@@ -1,0 +1,58 @@
+//! Property-based tests for the MOS interference model.
+
+use proptest::prelude::*;
+use whitefi_audio::{Interference, MosModel, AUDIBLE_MOS_DELTA, BASELINE_MOS};
+
+fn arb_interference() -> impl Strategy<Value = Interference> {
+    (1.0f64..10_000.0, -60.0f64..16.0).prop_map(|(interval_ms, power_dbm)| Interference {
+        packet_bytes: 70,
+        interval_ms,
+        power_dbm,
+    })
+}
+
+proptest! {
+    /// MOS stays within [1, baseline] for any pattern.
+    #[test]
+    fn mos_in_range(i in arb_interference()) {
+        let m = MosModel::calibrated();
+        let mos = m.mos(&i);
+        prop_assert!((1.0..=BASELINE_MOS).contains(&mos), "mos {}", mos);
+        prop_assert!(m.mos_delta(&i) >= 0.0);
+    }
+
+    /// More frequent packets never sound better.
+    #[test]
+    fn monotone_in_rate(i in arb_interference(), factor in 1.05f64..10.0) {
+        let m = MosModel::calibrated();
+        let denser = Interference { interval_ms: i.interval_ms / factor, ..i };
+        prop_assert!(m.mos_delta(&denser) >= m.mos_delta(&i) - 1e-12);
+    }
+
+    /// Louder packets never sound better.
+    #[test]
+    fn monotone_in_power(i in arb_interference(), extra_db in 0.1f64..30.0) {
+        let m = MosModel::calibrated();
+        let louder = Interference { power_dbm: (i.power_dbm + extra_db).min(16.0), ..i };
+        prop_assert!(m.mos_delta(&louder) >= m.mos_delta(&i) - 1e-12);
+    }
+
+    /// Audibility is consistent with the delta.
+    #[test]
+    fn audible_iff_delta(i in arb_interference()) {
+        let m = MosModel::calibrated();
+        prop_assert_eq!(m.audible(&i), m.mos_delta(&i) >= AUDIBLE_MOS_DELTA);
+    }
+
+    /// The audible-rate threshold really is the boundary.
+    #[test]
+    fn threshold_boundary(power in -60.0f64..16.0) {
+        let m = MosModel::calibrated();
+        let thr = m.audible_rate_threshold_hz(power);
+        prop_assume!(thr > 1e-6 && thr < 1e4);
+        let above = Interference { packet_bytes: 70, interval_ms: 1000.0 / (thr * 1.01), power_dbm: power };
+        let below = Interference { packet_bytes: 70, interval_ms: 1000.0 / (thr * 0.99), power_dbm: power };
+        prop_assert!(m.audible(&above));
+        prop_assert!(!m.audible(&below));
+    }
+}

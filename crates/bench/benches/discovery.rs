@@ -1,0 +1,53 @@
+//! Criterion benches for the three AP-discovery algorithms (Figure 8/9
+//! kernels) on the full band and on a fragmented urban-like map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use whitefi::{baseline_discovery, j_sift_discovery, l_sift_discovery, SyntheticOracle};
+use whitefi_spectrum::{SpectrumMap, WfChannel, Width};
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    let maps = [
+        ("open", SpectrumMap::all_free()),
+        (
+            "building5",
+            SpectrumMap::from_free([5, 6, 7, 8, 9, 12, 13, 14, 17, 26]),
+        ),
+    ];
+    for (label, map) in maps {
+        let ap = map.available_channels()[0];
+        group.bench_with_input(BenchmarkId::new("baseline", label), &map, |b, &map| {
+            b.iter(|| {
+                let mut o = SyntheticOracle::new(ap, ChaCha8Rng::seed_from_u64(1));
+                baseline_discovery(&mut o, map)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("l_sift", label), &map, |b, &map| {
+            b.iter(|| {
+                let mut o = SyntheticOracle::new(ap, ChaCha8Rng::seed_from_u64(1));
+                l_sift_discovery(&mut o, map)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("j_sift", label), &map, |b, &map| {
+            b.iter(|| {
+                let mut o = SyntheticOracle::new(ap, ChaCha8Rng::seed_from_u64(1));
+                j_sift_discovery(&mut o, map)
+            })
+        });
+    }
+    // Worst-case placement for J-SIFT: a 20 MHz AP at the top of the band.
+    let map = SpectrumMap::all_free();
+    let ap = WfChannel::from_parts(27, Width::W20);
+    group.bench_function("j_sift/worst_case", |b| {
+        b.iter(|| {
+            let mut o = SyntheticOracle::new(ap, ChaCha8Rng::seed_from_u64(1));
+            j_sift_discovery(&mut o, map)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the discrete-event MAC simulator: events per
+//! simulated second under the Figure 11-style workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whitefi::driver::{run_fixed, BackgroundPair, BackgroundTraffic, Scenario};
+use whitefi_phy::SimDuration;
+use whitefi_spectrum::{SpectrumMap, WfChannel, Width};
+
+fn scenario(pairs: usize) -> Scenario {
+    let map = SpectrumMap::all_free();
+    let mut s = Scenario::new(42, map, 2);
+    s.warmup = SimDuration::from_millis(200);
+    s.duration = SimDuration::from_secs(1);
+    for i in 0..pairs {
+        s.background.push(BackgroundPair {
+            channel: WfChannel::from_parts(i % 30, Width::W5),
+            traffic: BackgroundTraffic::Cbr {
+                interval: SimDuration::from_millis(30),
+            },
+        });
+    }
+    s
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mac_sim");
+    group.sample_size(10);
+    for pairs in [0usize, 8, 17] {
+        let s = scenario(pairs);
+        group.bench_with_input(
+            BenchmarkId::new("fixed_1s", format!("{pairs}_pairs")),
+            &s,
+            |b, s| b.iter(|| run_fixed(s, WfChannel::from_parts(15, Width::W20))),
+        );
+    }
+    let s = scenario(8);
+    group.bench_function("whitefi_adaptive_1s", |b| {
+        b.iter(|| whitefi::driver::run_whitefi(&s, None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mac);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for the MCham metric and full channel selection
+//! (the kernel the AP runs at every reassessment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use whitefi::{mcham, select_channel, NodeReport};
+use whitefi_spectrum::{AirtimeVector, ChannelLoad, SpectrumMap, UhfChannel, WfChannel, Width};
+
+fn loaded_airtime(seed: u64) -> AirtimeVector {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    AirtimeVector::from_fn(|_| ChannelLoad::new(rng.gen_range(0.0..0.8), rng.gen_range(0..3)))
+}
+
+fn bench_mcham(c: &mut Criterion) {
+    let airtime = loaded_airtime(1);
+    let cand = WfChannel::from_parts(10, Width::W20);
+    c.bench_function("mcham/single_channel", |b| b.iter(|| mcham(&airtime, cand)));
+
+    let ap = NodeReport {
+        map: SpectrumMap::all_free(),
+        airtime: loaded_airtime(2),
+    };
+    let clients: Vec<NodeReport> = (0..10)
+        .map(|i| NodeReport {
+            map: SpectrumMap::all_free(),
+            airtime: loaded_airtime(3 + i),
+        })
+        .collect();
+    c.bench_function("mcham/select_84_candidates_10_clients", |b| {
+        b.iter(|| select_channel(&ap, &clients))
+    });
+
+    let fragmented = NodeReport {
+        map: SpectrumMap::from_free([5, 6, 7, 8, 9, 12, 13, 14, 17, 26]),
+        airtime: loaded_airtime(20),
+    };
+    c.bench_function("mcham/select_fragmented_map", |b| {
+        b.iter(|| select_channel(&fragmented, &clients))
+    });
+
+    // Airtime vector ops used on the scan path.
+    c.bench_function("mcham/rho_all_channels", |b| {
+        b.iter(|| UhfChannel::all().map(|ch| airtime.rho(ch)).sum::<f64>())
+    });
+}
+
+criterion_group!(benches, bench_mcham);
+criterion_main!(benches);

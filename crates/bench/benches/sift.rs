@@ -1,0 +1,38 @@
+//! Criterion benches for the SIFT detector: burst extraction and full
+//! classification over Table 1-style traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use whitefi_bench::experiments::table1::cbr_schedule;
+use whitefi_phy::{Sift, Synthesizer};
+use whitefi_spectrum::Width;
+
+fn bench_sift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sift");
+    for width in [Width::W5, Width::W10, Width::W20] {
+        let (bursts, window) = cbr_schedule(width, 1000, 30);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trace = Synthesizer::new().synthesize(&bursts, window, &mut rng);
+        let sift = Sift::default();
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("detect", format!("{}MHz", width.mhz())),
+            &trace,
+            |b, trace| b.iter(|| sift.detect(trace)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("airtime", format!("{}MHz", width.mhz())),
+            &trace,
+            |b, trace| b.iter(|| sift.airtime_fraction(trace)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sift
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Interactive diagnostics for the simulation-backed experiments:
+//! prints channel timelines, background-only airtime vectors, and MCham
+//! scores so sweep shapes can be inspected without re-running the full
+//! harness.
+//!
+//! ```text
+//! diag fig14   # channel timeline + phase-1 airtime/MCham breakdown
+//! diag fig10   # MCham vs throughput across the intensity sweep
+//! diag fig12   # adaptive run switch log under spatial variation
+//! ```
+
+use whitefi::driver::{measure_airtime, run_whitefi};
+use whitefi::mcham;
+use whitefi_bench::experiments::{fig12, fig14};
+use whitefi_phy::SimDuration;
+use whitefi_spectrum::{UhfChannel, WfChannel, Width};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    if which == "fig14" {
+        let s = fig14::scenario(9100, 1);
+        // Airtime the AP would measure during phase 1 (bg on 5..=8).
+        let out = run_whitefi(&s, Some(WfChannel::from_parts(7, Width::W20)));
+        for smp in out.samples.iter().step_by(4) {
+            println!("t={:6.1}s ch={}", smp.t.as_secs_f64(), smp.ap_channel);
+        }
+        println!("violations {}", out.violations);
+        // Background-only airtime at phase-1 time: approximate with a
+        // bg-only sim over the scripted window.
+        let air = measure_airtime(&s, SimDuration::from_secs(13));
+        for i in [5usize, 6, 7, 8, 12, 13, 17] {
+            let l = air.load(UhfChannel::from_index(i));
+            println!("bg-only ch{i}: busy {:.3} aps {}", l.busy, l.aps);
+        }
+        for (lbl, c) in [
+            ("W20@7", WfChannel::from_parts(7, Width::W20)),
+            ("W10@13", WfChannel::from_parts(13, Width::W10)),
+            ("W5@17", WfChannel::from_parts(17, Width::W5)),
+        ] {
+            println!("mcham {lbl} = {:.3}", mcham(&air, c));
+        }
+    } else if which == "fig10" {
+        for delay in [3u64, 8, 14, 20, 30, 40, 50, 60, 80] {
+            let (m, t) = whitefi_bench::experiments::fig10::sweep_point(delay, 40 + delay, true);
+            println!(
+                "delay {delay:3}ms  mcham [{:.2} {:.2} {:.2}]  tput [{:.2} {:.2} {:.2}]",
+                m[0], m[1], m[2], t[0], t[1], t[2]
+            );
+        }
+    } else if which == "fig12" {
+        let s = fig12::scenario(0.05, 7001, true);
+        let out = run_whitefi(&s, None);
+        let mut last = None;
+        for smp in &out.samples {
+            if last != Some(smp.ap_channel) {
+                println!("t={:6.2}s -> {}", smp.t.as_secs_f64(), smp.ap_channel);
+            }
+            last = Some(smp.ap_channel);
+        }
+        println!("per-client {:?}", out.per_client_mbps);
+        println!(
+            "aggregate {:.3} violations {}",
+            out.aggregate_mbps, out.violations
+        );
+    } else {
+        eprintln!("usage: diag fig14|fig10|fig12");
+    }
+}

@@ -1,0 +1,72 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments list               # show available experiment ids
+//! experiments all [--quick]      # run everything
+//! experiments fig11 table1 ...   # run selected experiments
+//! ```
+//!
+//! Results are printed as text tables and written as JSON to
+//! `results/<id>.json`.
+
+use std::fs;
+use std::time::Instant;
+use whitefi_bench::registry;
+
+/// Default chart axes per experiment for `--plot`.
+fn plot_axes(id: &str) -> Option<(&'static str, Vec<&'static str>)> {
+    match id {
+        "fig7" => Some(("attenuation_db", vec!["sift", "sniffer"])),
+        "fig8" => Some(("fragment_width", vec!["l_sift_frac", "j_sift_frac"])),
+        "fig10" => Some(("delay_ms", vec!["tput5", "tput10", "tput20"])),
+        "fig11" => Some(("pairs", vec!["whitefi", "opt", "opt20"])),
+        "fig12" => Some(("p", vec!["whitefi", "opt", "opt20"])),
+        "fig13" => Some(("churn", vec!["whitefi", "opt", "opt20"])),
+        "fig14" => Some(("t_s", vec!["goodput_mbps", "width_mhz"])),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let plot = args.iter().any(|a| a == "--plot");
+    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let registry = registry();
+
+    if selected.first().map(|s| s.as_str()) == Some("list") {
+        for (id, desc, _) in &registry {
+            println!("{id:14} {desc}");
+        }
+        return;
+    }
+
+    let run_all = selected.is_empty() || selected.iter().any(|s| s.as_str() == "all");
+    let mut ran = 0;
+    fs::create_dir_all("results").ok();
+    for (id, _desc, runner) in &registry {
+        if !run_all && !selected.iter().any(|s| s.as_str() == *id) {
+            continue;
+        }
+        let start = Instant::now();
+        let report = runner(quick);
+        let elapsed = start.elapsed();
+        println!("{}", report.render_text());
+        if plot {
+            if let Some((x, ys)) = plot_axes(id) {
+                println!("{}", report.render_ascii_chart(x, &ys));
+            }
+        }
+        println!("({id} completed in {:.1}s)\n", elapsed.as_secs_f64());
+        let path = format!("results/{id}.json");
+        if let Err(e) = fs::write(&path, report.to_json()) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no matching experiments; try `experiments list`");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Ablations of WhiteFi's design choices (beyond the paper's figures,
+//! but directly testing its design arguments):
+//!
+//! 1. **MCham combiner** — §4.1 argues the per-channel shares must be
+//!    *multiplied*: "simply taking the minimum or the maximum across all
+//!    channels, instead of the product, will be an underestimate since
+//!    the traffic on a narrower channel contends with traffic on an
+//!    overlapping wider channel." We re-run the Figure 10 microbenchmark
+//!    with product/min/max combiners and score each on how much of the
+//!    best measured throughput its picked channel achieves.
+//!
+//! 2. **J-SIFT pass order** — Algorithm 1 scans widest-first ("Generally,
+//!    if more widths are available, we would do the staggered search
+//!    starting from the widest channel width"). We compare against a
+//!    narrowest-first stagger on the open band.
+
+use crate::experiments::fig10::{candidates, sweep_point};
+use crate::report::{mean, round4, ExperimentReport};
+use rand::Rng;
+use serde_json::json;
+use whitefi::driver::{measure_airtime, BackgroundPair, BackgroundTraffic, Scenario};
+use whitefi::{mcham_with, Combiner, ScanOracle, SyntheticOracle};
+use whitefi_phy::SimDuration;
+use whitefi_spectrum::{SpectrumMap, UhfChannel, WfChannel, Width};
+
+fn argmax(xs: &[f64; 3]) -> usize {
+    (0..3)
+        .max_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap())
+        .unwrap()
+}
+
+/// For one background intensity: the throughput fraction (picked/best)
+/// achieved by each combiner's pick.
+pub fn combiner_fractions(delay_ms: u64, seed: u64, quick: bool) -> [f64; 3] {
+    // Reuse the Figure 10 scenario: measured airtime + per-width truth.
+    let (_m, tput) = sweep_point(delay_ms, seed, quick);
+    let best = tput[argmax(&tput)];
+    let mut s = Scenario::new(seed, crate::experiments::fig10::fragment_map(), 1);
+    for i in 5..=9usize {
+        s.background.push(BackgroundPair {
+            channel: WfChannel::from_parts(i, Width::W5),
+            traffic: BackgroundTraffic::Cbr {
+                interval: SimDuration::from_millis(delay_ms),
+            },
+        });
+    }
+    let airtime = measure_airtime(&s, SimDuration::from_secs(2));
+    let mut out = [0.0; 3];
+    for (k, combiner) in [Combiner::Product, Combiner::Min, Combiner::Max]
+        .into_iter()
+        .enumerate()
+    {
+        let scores: Vec<f64> = candidates()
+            .iter()
+            .map(|&c| mcham_with(combiner, &airtime, c))
+            .collect();
+        let pick = (0..3)
+            .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap())
+            .unwrap();
+        out[k] = if best > 0.0 { tput[pick] / best } else { 1.0 };
+    }
+    out
+}
+
+/// A narrowest-first staggered scan (the anti-Algorithm-1 ordering) for
+/// the pass-order ablation.
+pub fn narrowest_first_scans<O: ScanOracle>(oracle: &mut O, map: SpectrumMap) -> Option<u32> {
+    let mut scans = 0;
+    for _ in 0..8 {
+        let mut scanned = [false; 30];
+        for w in Width::ALL {
+            // narrowest first
+            let stride = w.span();
+            let mut cur = 0usize;
+            while cur < 30 {
+                let ch = UhfChannel::from_index(cur);
+                if !scanned[cur] && map.is_free(ch) {
+                    scanned[cur] = true;
+                    scans += 1;
+                    if let Some(found) = oracle.sift_scan(ch) {
+                        for cand in whitefi_phy::Scanner::candidate_centers(ch, found) {
+                            if !map.admits(cand) {
+                                continue;
+                            }
+                            scans += 1;
+                            if oracle.decode_scan(cand) {
+                                return Some(scans);
+                            }
+                        }
+                    }
+                }
+                cur += stride;
+            }
+        }
+    }
+    None
+}
+
+/// Runs both ablations.
+pub fn run(quick: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "ablation",
+        "Design ablations: MCham combiner; J-SIFT pass order",
+        &["delay_ms", "product_frac", "min_frac", "max_frac"],
+    );
+    // --- MCham combiner over the Figure 10 sweep -----------------------
+    let delays: &[u64] = if quick {
+        &[4, 30]
+    } else {
+        &[3, 8, 14, 22, 30, 45]
+    };
+    let mut sums = [0.0; 3];
+    for (i, &d) in delays.iter().enumerate() {
+        let f = combiner_fractions(d, 4400 + i as u64, quick);
+        for k in 0..3 {
+            sums[k] += f[k] / delays.len() as f64;
+        }
+        report.push_row(&[
+            ("delay_ms", json!(d)),
+            ("product_frac", round4(f[0])),
+            ("min_frac", round4(f[1])),
+            ("max_frac", round4(f[2])),
+        ]);
+    }
+    report.note(format!(
+        "mean fraction of best throughput achieved: product {:.3}, min {:.3}, max {:.3} — the paper's product combiner dominates",
+        sums[0], sums[1], sums[2]
+    ));
+
+    // --- J-SIFT pass order on the open band -----------------------------
+    let map = SpectrumMap::all_free();
+    let placements = map.available_channels();
+    let trials = if quick { 60 } else { 300 };
+    let mut rng = super::rng(4500);
+    let mut widest = Vec::new();
+    let mut narrowest = Vec::new();
+    for _ in 0..trials {
+        let ap = placements[rng.gen_range(0..placements.len())];
+        let mut o = SyntheticOracle::new(ap, super::rng(rng.gen()));
+        widest.push(whitefi::j_sift_discovery(&mut o, map).unwrap().scans as f64);
+        let mut o = SyntheticOracle::new(ap, super::rng(rng.gen()));
+        narrowest.push(narrowest_first_scans(&mut o, map).unwrap() as f64);
+    }
+    report.note(format!(
+        "J-SIFT pass order, mean scans on the open band: widest-first {:.2} vs narrowest-first {:.2} — Algorithm 1's ordering wins",
+        mean(&widest),
+        mean(&narrowest)
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_combiner_never_worse_on_average() {
+        let mut sums = [0.0; 3];
+        for (i, d) in [4u64, 30].into_iter().enumerate() {
+            let f = combiner_fractions(d, 4600 + i as u64, true);
+            for k in 0..3 {
+                sums[k] += f[k] / 2.0;
+            }
+        }
+        assert!(
+            sums[0] >= sums[1] - 0.05 && sums[0] >= sums[2] - 0.05,
+            "product {:.3} vs min {:.3} max {:.3}",
+            sums[0],
+            sums[1],
+            sums[2]
+        );
+    }
+
+    #[test]
+    fn widest_first_beats_narrowest_first() {
+        let map = SpectrumMap::all_free();
+        let placements = map.available_channels();
+        let mut rng = super::super::rng(4700);
+        let mut w = 0.0;
+        let mut n = 0.0;
+        for _ in 0..150 {
+            let ap = placements[rng.gen_range(0..placements.len())];
+            let mut o = SyntheticOracle::new(ap, super::super::rng(rng.gen()));
+            w += whitefi::j_sift_discovery(&mut o, map).unwrap().scans as f64;
+            let mut o = SyntheticOracle::new(ap, super::super::rng(rng.gen()));
+            n += narrowest_first_scans(&mut o, map).unwrap() as f64;
+        }
+        assert!(w < n, "widest-first {w} vs narrowest-first {n}");
+    }
+}

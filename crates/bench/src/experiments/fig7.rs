@@ -1,0 +1,135 @@
+//! Figure 7: discovery of packets with signal attenuation — SIFT vs a
+//! packet sniffer.
+//!
+//! "We evaluated the accuracy of SIFT at low signal strengths by
+//! connecting two KNOWS devices through a tunable RF attenuator … At low
+//! attenuation, both SIFT and the packet sniffer perform very well.
+//! However, SIFT outperforms the packet sniffer, as it is even able to
+//! detect corrupted packets. At higher attenuation, SIFT continues to
+//! detect more packets than the sniffer until 96 dB attenuation … Beyond
+//! 96 dB we see a very sharp drop … the reception ratio of the packet
+//! sniffer falls off more smoothly, and performs better than SIFT beyond
+//! 98 dB attenuation. However, at this attenuation the capture ratio is
+//! extremely low at around 35%."
+
+use crate::report::{round4, ExperimentReport};
+use serde_json::json;
+use whitefi_phy::attenuation::{amplitude_after, NoiseModel, TX_REFERENCE_AMPLITUDE};
+use whitefi_phy::synth::data_ack_exchange;
+use whitefi_phy::{DetectionKind, Sift, SimDuration, SimTime, Sniffer, Synthesizer};
+use whitefi_spectrum::Width;
+
+/// SIFT detection fraction at the given attenuation.
+pub fn sift_fraction(attenuation_db: f64, packets: usize, seed: u64) -> f64 {
+    let amplitude = amplitude_after(TX_REFERENCE_AMPLITUDE, attenuation_db);
+    let mut bursts = Vec::with_capacity(packets * 2);
+    let mut t = SimTime::from_millis(1);
+    for _ in 0..packets {
+        let ex = data_ack_exchange(t, Width::W20, 1000, amplitude);
+        t = ex[1].start + ex[1].duration + SimDuration::from_millis(1);
+        bursts.extend(ex);
+    }
+    let window = SimDuration::from_nanos(t.as_nanos() + 1_000_000);
+    let mut rng = super::rng(seed);
+    let trace = Synthesizer::new().synthesize(&bursts, window, &mut rng);
+    let found = Sift::default()
+        .detect(&trace)
+        .into_iter()
+        .filter(|d| d.kind == DetectionKind::DataAck && d.width == Width::W20)
+        .count();
+    found.min(packets) as f64 / packets as f64
+}
+
+/// Sniffer decode fraction (Monte Carlo over the decode model).
+pub fn sniffer_fraction(attenuation_db: f64, packets: usize, seed: u64) -> f64 {
+    let amplitude = amplitude_after(TX_REFERENCE_AMPLITUDE, attenuation_db);
+    let noise = NoiseModel::default_model();
+    let sniffer = Sniffer::default();
+    let snr = noise.snr_db(amplitude);
+    let mut rng = super::rng(seed);
+    let ok = (0..packets)
+        .filter(|_| sniffer.decodes(snr, &mut rng))
+        .count();
+    ok as f64 / packets as f64
+}
+
+/// Runs the attenuation sweep.
+pub fn run(quick: bool) -> ExperimentReport {
+    let packets = if quick { 60 } else { 200 };
+    let mut report = ExperimentReport::new(
+        "fig7",
+        "Packet detection fraction vs attenuation (20 MHz, 1000 B)",
+        &["attenuation_db", "sift", "sniffer"],
+    );
+    let mut cliff_db = None;
+    let mut crossover_db = None;
+    let mut prev = (1.0f64, 1.0f64);
+    for db2 in (80..=106).step_by(2) {
+        let db = db2 as f64;
+        let s = sift_fraction(db, packets, 700 + db2 as u64);
+        let p = sniffer_fraction(db, packets * 5, 800 + db2 as u64);
+        report.push_row(&[
+            ("attenuation_db", json!(db)),
+            ("sift", round4(s)),
+            ("sniffer", round4(p)),
+        ]);
+        if cliff_db.is_none() && prev.0 > 0.9 && s < 0.5 {
+            cliff_db = Some(db);
+        }
+        if crossover_db.is_none() && prev.1 <= prev.0 && p > s {
+            crossover_db = Some(db);
+        }
+        prev = (s, p);
+    }
+    if let Some(c) = cliff_db {
+        report.note(format!(
+            "SIFT cliff between {} and {} dB (paper: sharp drop beyond 96 dB)",
+            c - 2.0,
+            c
+        ));
+    }
+    if let Some(c) = crossover_db {
+        report.note(format!(
+            "sniffer overtakes SIFT at ~{c} dB (paper: beyond 98 dB, at ~35% capture)"
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_near_perfect_at_low_attenuation() {
+        assert!(sift_fraction(80.0, 40, 1) > 0.97);
+        assert!(sniffer_fraction(80.0, 400, 1) > 0.97);
+    }
+
+    #[test]
+    fn sift_beats_sniffer_in_the_mid_range() {
+        // 90–96 dB: the sniffer is already lossy, SIFT still near-perfect.
+        for db in [90.0, 92.0, 94.0] {
+            let s = sift_fraction(db, 60, 2);
+            let p = sniffer_fraction(db, 600, 2);
+            assert!(s > p, "at {db} dB: sift {s} <= sniffer {p}");
+            assert!(s > 0.9, "sift degraded early at {db} dB: {s}");
+        }
+    }
+
+    #[test]
+    fn sift_cliff_after_96db_sniffer_smooth() {
+        let s96 = sift_fraction(96.0, 60, 3);
+        let s100 = sift_fraction(100.0, 60, 3);
+        assert!(s96 > 0.85, "96 dB {s96}");
+        assert!(s100 < 0.25, "100 dB {s100}");
+        // Sniffer decays smoothly and wins beyond the cliff.
+        let p100 = sniffer_fraction(100.0, 600, 3);
+        assert!(p100 > s100, "sniffer {p100} vs sift {s100} at 100 dB");
+        let p98 = sniffer_fraction(98.0, 2000, 3);
+        assert!(
+            (0.2..0.5).contains(&p98),
+            "98 dB sniffer {p98} (paper ~0.35)"
+        );
+    }
+}

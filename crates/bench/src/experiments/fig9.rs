@@ -1,0 +1,114 @@
+//! Figure 9: time to discover one AP at various locations.
+//!
+//! "We also measured the time to discover an AP in metropolitan,
+//! suburban and rural areas … We randomly placed the AP on an available
+//! channel and width and repeated the experiment 10 times for every
+//! locale. In metro areas, where there are fewer contiguous channels,
+//! J-SIFT is 34% faster than the baseline. In rural areas (more
+//! contiguous channels), J-SIFT can discover APs in less than one-third
+//! the time taken by the baseline algorithm."
+
+use crate::report::{mean, round4, ExperimentReport};
+use rand::Rng;
+use serde_json::json;
+use whitefi::{baseline_discovery, j_sift_discovery, l_sift_discovery, SyntheticOracle};
+use whitefi_spectrum::{Locale, LocaleClass};
+
+/// Mean discovery times in seconds `(baseline, l_sift, j_sift)` for one
+/// locale class (dwell = 100 ms beacon period).
+pub fn mean_times(class: LocaleClass, locales: usize, trials: usize, seed: u64) -> (f64, f64, f64) {
+    let mut rng = super::rng(seed);
+    let mut b = Vec::new();
+    let mut l = Vec::new();
+    let mut j = Vec::new();
+    for _ in 0..locales {
+        let locale = Locale::sample(class, &mut rng);
+        let placements = locale.map.available_channels();
+        if placements.is_empty() {
+            continue;
+        }
+        for _ in 0..trials {
+            let ap = placements[rng.gen_range(0..placements.len())];
+            let mk = |s| SyntheticOracle::new(ap, super::rng(s));
+            b.push(
+                baseline_discovery(&mut mk(rng.gen()), locale.map)
+                    .unwrap()
+                    .time
+                    .as_secs_f64(),
+            );
+            l.push(
+                l_sift_discovery(&mut mk(rng.gen()), locale.map)
+                    .unwrap()
+                    .time
+                    .as_secs_f64(),
+            );
+            j.push(
+                j_sift_discovery(&mut mk(rng.gen()), locale.map)
+                    .unwrap()
+                    .time
+                    .as_secs_f64(),
+            );
+        }
+    }
+    (mean(&b), mean(&l), mean(&j))
+}
+
+/// Runs the locale discovery comparison.
+pub fn run(quick: bool) -> ExperimentReport {
+    let (locales, trials) = if quick { (5, 5) } else { (10, 10) };
+    let mut report = ExperimentReport::new(
+        "fig9",
+        "Mean AP discovery time by locale class (100 ms dwell)",
+        &["locale", "baseline_s", "l_sift_s", "j_sift_s", "j_speedup"],
+    );
+    for (i, class) in LocaleClass::ALL.iter().enumerate() {
+        let (b, l, j) = mean_times(*class, locales, trials, 1100 + i as u64);
+        report.push_row(&[
+            ("locale", json!(class.label())),
+            ("baseline_s", round4(b)),
+            ("l_sift_s", round4(l)),
+            ("j_sift_s", round4(j)),
+            ("j_speedup", round4(b / j)),
+        ]);
+        if *class == LocaleClass::Urban {
+            report.note(format!(
+                "urban: J-SIFT {:.0}% faster than baseline (paper: 34%)",
+                (1.0 - j / b) * 100.0
+            ));
+        }
+        if *class == LocaleClass::Rural {
+            report.note(format!(
+                "rural: J-SIFT takes {:.2}x the baseline time (paper: less than one-third)",
+                j / b
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn j_sift_faster_everywhere_and_much_faster_rural() {
+        let (ub, _, uj) = mean_times(LocaleClass::Urban, 8, 8, 1);
+        let (rb, _, rj) = mean_times(LocaleClass::Rural, 8, 8, 2);
+        // Urban: meaningfully faster (paper: 34%).
+        assert!(uj < 0.85 * ub, "urban speedup too small: {uj} vs {ub}");
+        // Rural: at least 3x faster.
+        assert!(rj < rb / 3.0, "rural: {rj} vs {rb}");
+    }
+
+    #[test]
+    fn rural_speedup_exceeds_urban() {
+        let (ub, _, uj) = mean_times(LocaleClass::Urban, 8, 8, 3);
+        let (rb, _, rj) = mean_times(LocaleClass::Rural, 8, 8, 4);
+        assert!(
+            rb / rj > ub / uj,
+            "rural {:.2}x vs urban {:.2}x",
+            rb / rj,
+            ub / uj
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Section 2.1: spatial variation across campus buildings.
+//!
+//! "We computed the Hamming distance, defined as the number of channels
+//! available at one location but unavailable at another, across all
+//! pairwise buildings. Our results showed that the median number of
+//! channels available at one point but unavailable at another is close
+//! to 7."
+
+use crate::report::{mean, round4, ExperimentReport};
+use serde_json::json;
+use whitefi_spectrum::{median, pairwise_hamming, BuildingSampler, SpectrumMap};
+
+/// A mid-density urban baseline for the campus region.
+pub fn campus_baseline() -> SpectrumMap {
+    SpectrumMap::from_occupied([0, 2, 3, 6, 10, 11, 15, 16, 20, 21, 22, 27])
+}
+
+/// Median pairwise Hamming distance across one 9-building draw.
+pub fn one_draw_median(seed: u64) -> f64 {
+    let sampler = BuildingSampler::campus(campus_baseline());
+    let mut rng = super::rng(seed);
+    let maps = sampler.sample(9, &mut rng);
+    let mut d = pairwise_hamming(&maps);
+    median(&mut d)
+}
+
+/// Runs the campus spatial-variation measurement.
+pub fn run(quick: bool) -> ExperimentReport {
+    let draws = if quick { 30 } else { 300 };
+    let mut report = ExperimentReport::new(
+        "hamming",
+        "Pairwise Hamming distance over 9 campus buildings",
+        &["draw_group", "median_hamming"],
+    );
+    let medians: Vec<f64> = (0..draws)
+        .map(|i| one_draw_median(1200 + i as u64))
+        .collect();
+    for (i, chunk) in medians.chunks(draws / 5).enumerate() {
+        report.push_row(&[
+            ("draw_group", json!(i)),
+            ("median_hamming", round4(mean(chunk))),
+        ]);
+    }
+    let overall = mean(&medians);
+    report.push_row(&[
+        ("draw_group", json!("overall")),
+        ("median_hamming", round4(overall)),
+    ]);
+    report.note(format!(
+        "mean of per-draw medians: {overall:.2} (paper: close to 7)"
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_close_to_seven() {
+        let medians: Vec<f64> = (0..100).map(one_draw_median).collect();
+        let m = mean(&medians);
+        assert!((m - 7.0).abs() < 0.8, "mean median {m}");
+    }
+}

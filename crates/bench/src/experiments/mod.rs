@@ -1,0 +1,28 @@
+//! One module per table/figure of the paper. See `DESIGN.md` §5 for the
+//! experiment index and `EXPERIMENTS.md` for the recorded outcomes.
+
+pub mod ablation;
+pub mod disconnection;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod hamming;
+pub mod mos;
+pub mod scan_analysis;
+pub mod table1;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic RNG for experiment `id`/replica.
+pub(crate) fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,92 @@
+//! Section 4.2.2: analytic expected scan counts, checked by Monte Carlo.
+//!
+//! "The expected number of iterations until an AP is discovered is NC/2
+//! [for L-SIFT] … While the worst-case discovery time of J-SIFT is the
+//! same as for L-SIFT (NC), the expected discovery time can be shown to
+//! be (NC + 2^(NW−1) + (NW−1)/2)/NW … we expect J-SIFT to outperform
+//! L-SIFT when NC is greater than about 10 UHF channels."
+
+use crate::report::{mean, round4, ExperimentReport};
+use rand::Rng;
+use serde_json::json;
+use whitefi::{
+    expected_scans_baseline, expected_scans_j_sift, expected_scans_l_sift, j_sift_discovery,
+    l_sift_discovery, SyntheticOracle,
+};
+use whitefi_spectrum::{SpectrumMap, UhfChannel};
+
+/// Monte-Carlo mean scans `(l_sift, j_sift)` for a contiguous band of
+/// `nc` channels.
+pub fn monte_carlo(nc: usize, trials: usize, seed: u64) -> (f64, f64) {
+    let mut map = SpectrumMap::all_occupied();
+    for i in 0..nc {
+        map.set_free(UhfChannel::from_index(i));
+    }
+    let placements = map.available_channels();
+    let mut rng = super::rng(seed);
+    let mut l = Vec::new();
+    let mut j = Vec::new();
+    for _ in 0..trials {
+        let ap = placements[rng.gen_range(0..placements.len())];
+        let mut o = SyntheticOracle::new(ap, super::rng(rng.gen()));
+        l.push(l_sift_discovery(&mut o, map).unwrap().scans as f64);
+        let mut o = SyntheticOracle::new(ap, super::rng(rng.gen()));
+        j.push(j_sift_discovery(&mut o, map).unwrap().scans as f64);
+    }
+    (mean(&l), mean(&j))
+}
+
+/// Runs the closed-form vs Monte-Carlo comparison.
+pub fn run(quick: bool) -> ExperimentReport {
+    let trials = if quick { 100 } else { 500 };
+    let mut report = ExperimentReport::new(
+        "scan_analysis",
+        "Expected scans: closed form vs Monte Carlo (NW = 3)",
+        &[
+            "nc",
+            "l_theory",
+            "l_measured",
+            "j_theory",
+            "j_measured",
+            "baseline_theory",
+        ],
+    );
+    for nc in [2usize, 5, 8, 10, 12, 15, 20, 25, 30] {
+        let (l, j) = monte_carlo(nc, trials, 1300 + nc as u64);
+        report.push_row(&[
+            ("nc", json!(nc)),
+            ("l_theory", round4(expected_scans_l_sift(nc))),
+            ("l_measured", round4(l)),
+            ("j_theory", round4(expected_scans_j_sift(nc, 3))),
+            ("j_measured", round4(j)),
+            ("baseline_theory", round4(expected_scans_baseline(nc, 3))),
+        ]);
+    }
+    report.note("theory crossover: L-SIFT = J-SIFT at NC = 10 exactly");
+    report.note(
+        "measured counts include the decode endgame (one dwell for L-SIFT, up to span dwells for J-SIFT), so they sit slightly above the closed forms",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monte_carlo_tracks_theory() {
+        let (l, j) = monte_carlo(30, 400, 1);
+        // L-SIFT: NC/2 = 15 plus one decode.
+        assert!((l - (expected_scans_l_sift(30) + 1.0)).abs() < 1.5, "l {l}");
+        // J-SIFT: theory ≈ 11.67 plus an endgame of a few decodes.
+        let jt = expected_scans_j_sift(30, 3);
+        assert!(j >= jt - 1.0 && j <= jt + 4.0, "j {j} theory {jt}");
+    }
+
+    #[test]
+    fn theory_crossover_at_ten() {
+        assert!(expected_scans_l_sift(9) < expected_scans_j_sift(9, 3));
+        assert!((expected_scans_l_sift(10) - expected_scans_j_sift(10, 3)).abs() < 1e-12);
+        assert!(expected_scans_l_sift(11) > expected_scans_j_sift(11, 3));
+    }
+}

@@ -1,0 +1,522 @@
+//! The shared radio medium: active transmissions, per-UHF-channel
+//! occupancy accounting, and windowed queries for the scanning radio.
+
+use crate::frames::{Frame, NodeId};
+use std::collections::VecDeque;
+use whitefi_phy::{Burst, SimDuration, SimTime, VisibleBurst};
+use whitefi_spectrum::{UhfChannel, WfChannel, NUM_UHF_CHANNELS};
+
+/// One frame on the air.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmission {
+    /// Unique id.
+    pub id: u64,
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Whether the transmitter is an access point (drives the `B_c`
+    /// interfering-AP estimate of Equation 1).
+    pub src_is_ap: bool,
+    /// The transmitter's network (SSID). Scanner queries exclude a
+    /// node's own SSID: Equation 1's `A_c`/`B_c` measure *other*
+    /// networks' load, not the measuring network's own traffic.
+    pub ssid: Option<u32>,
+    /// The `(F, W)` channel the frame is sent on.
+    pub channel: WfChannel,
+    /// Start of the transmission.
+    pub start: SimTime,
+    /// End of the transmission.
+    pub end: SimTime,
+    /// The frame itself.
+    pub frame: Frame,
+    /// Received amplitude at range (drives SIFT visibility).
+    pub amplitude: f64,
+}
+
+impl Transmission {
+    /// Whether this transmission overlaps `[from, to)` in time.
+    pub fn overlaps_window(&self, from: SimTime, to: SimTime) -> bool {
+        self.start < to && self.end > from
+    }
+
+    /// Whether this transmission's span intersects `other`'s span.
+    pub fn overlaps_channel(&self, other: WfChannel) -> bool {
+        self.channel.overlaps(other)
+    }
+
+    /// Converts to a scanner-visible burst.
+    pub fn to_visible(&self) -> VisibleBurst {
+        VisibleBurst {
+            channel: self.channel,
+            burst: Burst {
+                start: self.start,
+                duration: self.end.since(self.start),
+                width: self.channel.width(),
+                amplitude: self.amplitude,
+                kind: self.frame.kind.burst_kind(),
+            },
+        }
+    }
+}
+
+/// The medium: active transmissions plus a pruned history for windowed
+/// airtime queries (the scanning radio's view).
+#[derive(Debug)]
+pub struct Medium {
+    active: Vec<Transmission>,
+    history: VecDeque<Transmission>,
+    /// How much history to retain for scanner queries.
+    pub history_horizon: SimDuration,
+    /// Cumulative busy time per UHF channel since simulation start
+    /// (union of overlapping transmissions — exact, via active counts).
+    busy_total: [SimDuration; NUM_UHF_CHANNELS],
+    active_count: [u32; NUM_UHF_CHANNELS],
+    last_change: [SimTime; NUM_UHF_CHANNELS],
+    next_id: u64,
+}
+
+impl Default for Medium {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Medium {
+    /// An empty medium with a 3-second history horizon.
+    pub fn new() -> Self {
+        Self {
+            active: Vec::new(),
+            history: VecDeque::new(),
+            history_horizon: SimDuration::from_secs(3),
+            busy_total: [SimDuration::ZERO; NUM_UHF_CHANNELS],
+            active_count: [0; NUM_UHF_CHANNELS],
+            last_change: [SimTime::ZERO; NUM_UHF_CHANNELS],
+            next_id: 0,
+        }
+    }
+
+    /// Starts a transmission; returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        &mut self,
+        src: NodeId,
+        src_is_ap: bool,
+        ssid: Option<u32>,
+        channel: WfChannel,
+        start: SimTime,
+        end: SimTime,
+        frame: Frame,
+        amplitude: f64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        for ch in channel.spanned() {
+            self.accrue(ch, start);
+            self.active_count[ch.index()] += 1;
+        }
+        self.active.push(Transmission {
+            id,
+            src,
+            src_is_ap,
+            ssid,
+            channel,
+            start,
+            end,
+            frame,
+            amplitude,
+        });
+        id
+    }
+
+    /// Finishes a transmission, moving it to history. Returns it.
+    pub fn finish(&mut self, id: u64, now: SimTime) -> Transmission {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == id)
+            .expect("finishing unknown transmission");
+        let tx = self.active.swap_remove(idx);
+        for ch in tx.channel.spanned() {
+            self.accrue(ch, now);
+            self.active_count[ch.index()] -= 1;
+        }
+        self.history.push_back(tx);
+        self.prune(now);
+        tx
+    }
+
+    fn accrue(&mut self, ch: UhfChannel, now: SimTime) {
+        let i = ch.index();
+        if self.active_count[i] > 0 {
+            self.busy_total[i] += now.since(self.last_change[i]);
+        }
+        self.last_change[i] = now;
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        let cutoff = now.saturating_since(SimTime::ZERO + self.history_horizon);
+        let cutoff = SimTime::ZERO + cutoff;
+        while let Some(front) = self.history.front() {
+            if front.end < cutoff {
+                self.history.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The transmissions currently on the air.
+    pub fn active(&self) -> &[Transmission] {
+        &self.active
+    }
+
+    /// Whether any active transmission's span intersects `channel`
+    /// (optionally excluding one transmitter — a node does not sense its
+    /// own signal as foreign carrier).
+    pub fn carrier_sensed(&self, channel: WfChannel, exclude_src: Option<NodeId>) -> bool {
+        self.active
+            .iter()
+            .any(|t| Some(t.src) != exclude_src && t.overlaps_channel(channel))
+    }
+
+    /// Cumulative busy time on `ch` since simulation start, as of `now`.
+    pub fn busy_total(&self, ch: UhfChannel, now: SimTime) -> SimDuration {
+        let i = ch.index();
+        let mut total = self.busy_total[i];
+        if self.active_count[i] > 0 {
+            total += now.since(self.last_change[i]);
+        }
+        total
+    }
+
+    /// Busy airtime fraction of `ch` over the window `[from, to)`,
+    /// estimated from transmission history (the scanning radio's
+    /// measurement; overlapping transmissions may double-count, so the
+    /// result is clamped to 1).
+    pub fn airtime_in_window(&self, ch: UhfChannel, from: SimTime, to: SimTime) -> f64 {
+        self.airtime_in_window_excluding(ch, from, to, None)
+    }
+
+    /// Like [`Medium::airtime_in_window`], but ignoring transmissions of
+    /// the given SSID — a node measuring residual airtime for Equation 1
+    /// must not count its own network's traffic.
+    pub fn airtime_in_window_excluding(
+        &self,
+        ch: UhfChannel,
+        from: SimTime,
+        to: SimTime,
+        exclude_ssid: Option<u32>,
+    ) -> f64 {
+        assert!(to > from, "empty airtime window");
+        let mut busy = 0u64;
+        for t in self.history.iter().chain(self.active.iter()) {
+            if !t.channel.contains(ch) || !t.overlaps_window(from, to) {
+                continue;
+            }
+            if exclude_ssid.is_some() && t.ssid == exclude_ssid {
+                continue;
+            }
+            let s = t.start.max(from);
+            let e = t.end.min(to);
+            busy += e.since(s).as_nanos();
+        }
+        (busy as f64 / to.since(from).as_nanos() as f64).min(1.0)
+    }
+
+    /// Number of distinct *AP* transmitters seen on `ch` in `[from, to)`
+    /// — the `B_c` estimate of Equation 1 ("we estimate the number of
+    /// contending nodes as the number of interfering APs").
+    pub fn ap_count_in_window(&self, ch: UhfChannel, from: SimTime, to: SimTime) -> u32 {
+        self.ap_count_in_window_excluding(ch, from, to, None)
+    }
+
+    /// Like [`Medium::ap_count_in_window`], but ignoring APs of the given
+    /// SSID (Equation 1's `B_c` counts *other* access points).
+    pub fn ap_count_in_window_excluding(
+        &self,
+        ch: UhfChannel,
+        from: SimTime,
+        to: SimTime,
+        exclude_ssid: Option<u32>,
+    ) -> u32 {
+        let mut seen: Vec<NodeId> = Vec::new();
+        for t in self.history.iter().chain(self.active.iter()) {
+            if t.src_is_ap
+                && t.channel.contains(ch)
+                && t.overlaps_window(from, to)
+                && !seen.contains(&t.src)
+                && !(exclude_ssid.is_some() && t.ssid == exclude_ssid)
+            {
+                seen.push(t.src);
+            }
+        }
+        seen.len() as u32
+    }
+
+    /// All transmissions (active or recent) overlapping `[from, to)`, as
+    /// scanner-visible bursts. Feed these to
+    /// [`whitefi_phy::Scanner::capture`] for signal-level SIFT.
+    pub fn visible_bursts(&self, from: SimTime, to: SimTime) -> Vec<VisibleBurst> {
+        self.history
+            .iter()
+            .chain(self.active.iter())
+            .filter(|t| t.overlaps_window(from, to))
+            .map(|t| t.to_visible())
+            .collect()
+    }
+
+    /// Raw transmissions (history + active) overlapping `[from, to)`,
+    /// for trace export.
+    pub fn visible_window_transmissions(&self, from: SimTime, to: SimTime) -> Vec<Transmission> {
+        self.history
+            .iter()
+            .chain(self.active.iter())
+            .filter(|t| t.overlaps_window(from, to))
+            .copied()
+            .collect()
+    }
+
+    /// Transmissions in history plus active, overlapping the window and
+    /// intersecting the given channel — used for interference checks.
+    pub fn interferers(
+        &self,
+        channel: WfChannel,
+        from: SimTime,
+        to: SimTime,
+        exclude_id: u64,
+    ) -> Vec<Transmission> {
+        self.history
+            .iter()
+            .chain(self.active.iter())
+            .filter(|t| {
+                t.id != exclude_id && t.overlaps_channel(channel) && t.overlaps_window(from, to)
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use whitefi_spectrum::Width;
+
+    fn frame() -> Frame {
+        Frame::data(0, 1, 500)
+    }
+
+    fn ch(center: usize, w: Width) -> WfChannel {
+        WfChannel::from_parts(center, w)
+    }
+
+    #[test]
+    fn busy_accounting_union_not_sum() {
+        let mut m = Medium::new();
+        let c = ch(10, Width::W5);
+        // Two overlapping transmissions on the same channel: busy time is
+        // the union, not the sum.
+        let a = m.start(
+            0,
+            false,
+            None,
+            c,
+            SimTime::from_micros(0),
+            SimTime::from_micros(100),
+            frame(),
+            1000.0,
+        );
+        let b = m.start(
+            1,
+            false,
+            None,
+            c,
+            SimTime::from_micros(50),
+            SimTime::from_micros(150),
+            frame(),
+            1000.0,
+        );
+        m.finish(a, SimTime::from_micros(100));
+        m.finish(b, SimTime::from_micros(150));
+        let busy = m.busy_total(UhfChannel::from_index(10), SimTime::from_micros(200));
+        assert_eq!(busy.as_micros(), 150);
+    }
+
+    #[test]
+    fn carrier_sense_is_span_intersection() {
+        let mut m = Medium::new();
+        let tx20 = ch(10, Width::W20); // spans 8..=12
+        m.start(
+            0,
+            false,
+            None,
+            tx20,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            frame(),
+            1000.0,
+        );
+        // A 5 MHz node on channel 12 senses the 20 MHz carrier.
+        assert!(m.carrier_sensed(ch(12, Width::W5), None));
+        // A 5 MHz node on channel 13 does not.
+        assert!(!m.carrier_sensed(ch(13, Width::W5), None));
+        // The transmitter does not sense itself.
+        assert!(!m.carrier_sensed(ch(10, Width::W20), Some(0)));
+        // …but senses others.
+        assert!(m.carrier_sensed(ch(10, Width::W20), Some(5)));
+    }
+
+    #[test]
+    fn airtime_window_measures_overlap() {
+        let mut m = Medium::new();
+        let c = ch(5, Width::W5);
+        let a = m.start(
+            0,
+            false,
+            None,
+            c,
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+            frame(),
+            1000.0,
+        );
+        m.finish(a, SimTime::from_millis(20));
+        let u = UhfChannel::from_index(5);
+        // Fully inside the window.
+        let f = m.airtime_in_window(u, SimTime::ZERO, SimTime::from_millis(100));
+        assert!((f - 0.1).abs() < 1e-9);
+        // Window clips the transmission.
+        let f = m.airtime_in_window(u, SimTime::from_millis(15), SimTime::from_millis(25));
+        assert!((f - 0.5).abs() < 1e-9);
+        // Unrelated channel is idle.
+        let f = m.airtime_in_window(
+            UhfChannel::from_index(6),
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+        );
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn ap_count_distinct_aps_only() {
+        let mut m = Medium::new();
+        let c = ch(5, Width::W5);
+        for (src, is_ap) in [(0, true), (0, true), (1, true), (2, false)] {
+            let id = m.start(
+                src,
+                is_ap,
+                None,
+                c,
+                SimTime::from_millis(1),
+                SimTime::from_millis(2),
+                frame(),
+                1000.0,
+            );
+            m.finish(id, SimTime::from_millis(2));
+        }
+        let n = m.ap_count_in_window(
+            UhfChannel::from_index(5),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        assert_eq!(n, 2); // nodes 0 and 1; node 2 is not an AP
+    }
+
+    #[test]
+    fn visible_bursts_window_filter() {
+        let mut m = Medium::new();
+        let c = ch(5, Width::W10);
+        let a = m.start(
+            0,
+            false,
+            None,
+            c,
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+            frame(),
+            900.0,
+        );
+        m.finish(a, SimTime::from_millis(2));
+        assert_eq!(
+            m.visible_bursts(SimTime::ZERO, SimTime::from_millis(5))
+                .len(),
+            1
+        );
+        assert!(m
+            .visible_bursts(SimTime::from_millis(3), SimTime::from_millis(5))
+            .is_empty());
+        let vb = &m.visible_bursts(SimTime::ZERO, SimTime::from_millis(5))[0];
+        assert_eq!(vb.channel, c);
+        assert_eq!(vb.burst.width, Width::W10);
+    }
+
+    #[test]
+    fn history_pruned_beyond_horizon() {
+        let mut m = Medium::new();
+        let c = ch(5, Width::W5);
+        let a = m.start(
+            0,
+            false,
+            None,
+            c,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            frame(),
+            1000.0,
+        );
+        m.finish(a, SimTime::from_millis(1));
+        assert_eq!(
+            m.visible_bursts(SimTime::ZERO, SimTime::from_secs(100))
+                .len(),
+            1
+        );
+        // A later transmission triggers pruning of the stale one.
+        let b = m.start(
+            0,
+            false,
+            None,
+            c,
+            SimTime::from_secs(10),
+            SimTime::from_secs(11),
+            frame(),
+            1000.0,
+        );
+        m.finish(b, SimTime::from_secs(11));
+        let bursts = m.visible_bursts(SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(bursts.len(), 1);
+    }
+
+    #[test]
+    fn interferers_exclude_self() {
+        let mut m = Medium::new();
+        let c = ch(5, Width::W5);
+        let a = m.start(
+            0,
+            false,
+            None,
+            c,
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+            frame(),
+            1000.0,
+        );
+        let _b = m.start(
+            1,
+            false,
+            None,
+            c,
+            SimTime::from_millis(1),
+            SimTime::from_millis(3),
+            frame(),
+            1000.0,
+        );
+        let ints = m.interferers(c, SimTime::ZERO, SimTime::from_millis(2), a);
+        assert_eq!(ints.len(), 1);
+        assert_eq!(ints[0].src, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty airtime window")]
+    fn empty_window_panics() {
+        Medium::new().airtime_in_window(UhfChannel::from_index(0), SimTime::ZERO, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,72 @@
+//! Per-node counters collected by the simulator.
+
+use serde::{Deserialize, Serialize};
+use whitefi_phy::SimDuration;
+
+/// Counters for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Bytes of unicast payload successfully acknowledged (sender side).
+    pub tx_acked_bytes: u64,
+    /// Unicast frames acknowledged.
+    pub tx_acked_frames: u64,
+    /// Bytes of unicast payload received (receiver side).
+    pub rx_data_bytes: u64,
+    /// Unicast data/report frames received.
+    pub rx_data_frames: u64,
+    /// Broadcast frames received.
+    pub rx_broadcast_frames: u64,
+    /// Transmission attempts started (including retries, ACKs, beacons).
+    pub tx_attempts: u64,
+    /// Frames dropped after exhausting the retry limit.
+    pub tx_failures: u64,
+    /// Frames that collided or were otherwise lost at some receiver.
+    pub rx_collisions: u64,
+    /// Transmissions started while the *true* incumbent map had an active
+    /// primary user on an overlapped channel — the protocol-correctness
+    /// counter (must stay zero for a well-behaved WhiteFi network; §2.3).
+    pub incumbent_violations: u64,
+}
+
+impl NodeStats {
+    /// Sender goodput in Mbps over the given span.
+    pub fn tx_goodput_mbps(&self, span: SimDuration) -> f64 {
+        if span == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.tx_acked_bytes as f64 * 8.0 / span.as_secs_f64() / 1e6
+    }
+
+    /// Receiver goodput in Mbps over the given span.
+    pub fn rx_goodput_mbps(&self, span: SimDuration) -> f64 {
+        if span == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.rx_data_bytes as f64 * 8.0 / span.as_secs_f64() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_computation() {
+        let s = NodeStats {
+            tx_acked_bytes: 1_250_000, // 10 Mbit
+            ..Default::default()
+        };
+        let g = s.tx_goodput_mbps(SimDuration::from_secs(2));
+        assert!((g - 5.0).abs() < 1e-9);
+        assert_eq!(s.tx_goodput_mbps(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn rx_goodput() {
+        let s = NodeStats {
+            rx_data_bytes: 125_000,
+            ..Default::default()
+        };
+        assert!((s.rx_goodput_mbps(SimDuration::from_secs(1)) - 1.0).abs() < 1e-9);
+    }
+}

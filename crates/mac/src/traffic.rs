@@ -1,0 +1,394 @@
+//! Traffic-generating behaviours used as foreground and background load.
+//!
+//! The paper's experiments use three load shapes:
+//!
+//! * **backlogged** flows ("The AP and clients are backlogged and transmit
+//!   UDP flows", §5.4.1) — [`SaturatingSender`];
+//! * **constant-bit-rate** background pairs parameterized by inter-packet
+//!   delay (0–50 ms sweeps in Figures 10–12) — [`CbrSender`];
+//! * **two-state Markov churn** ("we model background nodes using a simple
+//!   discrete Markov chain with two states (A=active, P=passive)",
+//!   Figure 13) — [`MarkovOnOffSender`];
+//!
+//! plus the scripted on/off windows of the Figure 14 prototype trace —
+//! [`ScriptedCbrSender`].
+
+use crate::frames::{Frame, NodeId};
+use crate::sim::{Behavior, Ctx};
+use rand::Rng;
+use whitefi_phy::{SimDuration, SimTime};
+
+/// Keeps `pipeline` frames in flight forever (a backlogged UDP flow).
+#[derive(Debug, Clone)]
+pub struct SaturatingSender {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload bytes per frame.
+    pub bytes: usize,
+    /// Queue depth to maintain.
+    pub pipeline: usize,
+}
+
+impl SaturatingSender {
+    /// A saturating flow of 1000-byte frames.
+    pub fn new(dst: NodeId) -> Self {
+        Self {
+            dst,
+            bytes: 1000,
+            pipeline: 2,
+        }
+    }
+}
+
+impl Behavior for SaturatingSender {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for _ in 0..self.pipeline {
+            ctx.send(Frame::data(ctx.id(), self.dst, self.bytes));
+        }
+    }
+    fn on_send_result(&mut self, _frame: &Frame, _success: bool, ctx: &mut Ctx) {
+        while ctx.queue_len() < self.pipeline {
+            ctx.send(Frame::data(ctx.id(), self.dst, self.bytes));
+        }
+    }
+}
+
+/// Constant-bit-rate sender: one frame every `interval`.
+#[derive(Debug, Clone)]
+pub struct CbrSender {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload bytes per frame.
+    pub bytes: usize,
+    /// Inter-packet interval (the paper's "inter-packet delay").
+    pub interval: SimDuration,
+}
+
+impl CbrSender {
+    /// A CBR flow of 1000-byte frames at the given inter-packet delay.
+    pub fn new(dst: NodeId, interval: SimDuration) -> Self {
+        Self {
+            dst,
+            bytes: 1000,
+            interval,
+        }
+    }
+}
+
+impl Behavior for CbrSender {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // Desynchronise CBR sources with a random initial phase.
+        let phase = ctx.rng().gen_range(0..self.interval.as_nanos().max(1));
+        ctx.set_timer(SimDuration::from_nanos(phase), 0);
+    }
+    fn on_timer(&mut self, _key: u64, ctx: &mut Ctx) {
+        // A generous bound: an overloaded CBR source keeps contending
+        // (its queue backlogs, as a UDP socket buffer would) but memory
+        // stays bounded on very long runs.
+        if ctx.queue_len() < 64 {
+            ctx.send(Frame::data(ctx.id(), self.dst, self.bytes));
+        }
+        ctx.set_timer(self.interval, 0);
+    }
+}
+
+/// Two-state (Active/Passive) Markov CBR sender for the churn experiment.
+///
+/// In state A the node sends CBR traffic at `interval`; in state P it is
+/// silent. State dwell times are exponential with the given means, giving
+/// the `(likelihood, average duration)` sweep of Figure 13's x-axis.
+#[derive(Debug, Clone)]
+pub struct MarkovOnOffSender {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload bytes per frame.
+    pub bytes: usize,
+    /// CBR interval while active.
+    pub interval: SimDuration,
+    /// Mean dwell time in the active state.
+    pub mean_active: SimDuration,
+    /// Mean dwell time in the passive state.
+    pub mean_passive: SimDuration,
+    active: bool,
+    epoch: u64,
+}
+
+impl MarkovOnOffSender {
+    /// Creates a churn source (starts passive).
+    pub fn new(
+        dst: NodeId,
+        interval: SimDuration,
+        mean_active: SimDuration,
+        mean_passive: SimDuration,
+    ) -> Self {
+        Self {
+            dst,
+            bytes: 1000,
+            interval,
+            mean_active,
+            mean_passive,
+            active: false,
+            epoch: 0,
+        }
+    }
+
+    fn exp_sample(mean: SimDuration, rng: &mut impl Rng) -> SimDuration {
+        if mean == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        SimDuration::from_nanos((-(mean.as_nanos() as f64) * u.ln()) as u64)
+    }
+}
+
+/// Timer keys: low bit selects CBR tick (0) vs state flip (1); upper bits
+/// carry the epoch so stale CBR ticks from a previous active period are
+/// ignored.
+const KEY_TICK: u64 = 0;
+const KEY_FLIP: u64 = 1;
+
+impl Behavior for MarkovOnOffSender {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // An always-passive source (mean_active == 0) never starts.
+        if self.mean_active == SimDuration::ZERO {
+            return;
+        }
+        // An always-active source (mean_passive == 0) starts immediately.
+        let dwell = Self::exp_sample(self.mean_passive, ctx.rng());
+        ctx.set_timer(dwell, KEY_FLIP);
+    }
+
+    fn on_timer(&mut self, key: u64, ctx: &mut Ctx) {
+        let kind = key & 1;
+        let epoch = key >> 1;
+        if kind == KEY_FLIP {
+            self.active = !self.active;
+            self.epoch += 1;
+            if self.active {
+                // Kick off CBR ticks for this epoch.
+                ctx.set_timer(SimDuration::ZERO, (self.epoch << 1) | KEY_TICK);
+                let dwell = Self::exp_sample(self.mean_active, ctx.rng());
+                if self.mean_passive > SimDuration::ZERO {
+                    ctx.set_timer(dwell, KEY_FLIP);
+                }
+            } else {
+                let dwell = Self::exp_sample(self.mean_passive, ctx.rng());
+                ctx.set_timer(dwell, KEY_FLIP);
+            }
+        } else if self.active && epoch == self.epoch {
+            if ctx.queue_len() < 64 {
+                ctx.send(Frame::data(ctx.id(), self.dst, self.bytes));
+            }
+            ctx.set_timer(self.interval, (self.epoch << 1) | KEY_TICK);
+        }
+    }
+}
+
+/// CBR sender active only during scripted windows — used for the
+/// Figure 14 prototype timeline ("at time 50 seconds, we introduce
+/// background traffic on channels 26 through 29 …").
+#[derive(Debug, Clone)]
+pub struct ScriptedCbrSender {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload bytes per frame.
+    pub bytes: usize,
+    /// CBR interval while a window is open.
+    pub interval: SimDuration,
+    /// Active windows `(start, end)`, sorted, non-overlapping.
+    pub windows: Vec<(SimTime, SimTime)>,
+}
+
+impl ScriptedCbrSender {
+    /// Creates a scripted source.
+    pub fn new(dst: NodeId, interval: SimDuration, windows: Vec<(SimTime, SimTime)>) -> Self {
+        for w in windows.windows(2) {
+            assert!(w[0].1 <= w[1].0, "windows must be sorted/non-overlapping");
+        }
+        Self {
+            dst,
+            bytes: 1000,
+            interval,
+            windows,
+        }
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        self.windows.iter().any(|&(s, e)| t >= s && t < e)
+    }
+
+    fn next_window_start(&self, t: SimTime) -> Option<SimTime> {
+        self.windows.iter().map(|&(s, _)| s).find(|&s| s > t)
+    }
+}
+
+impl Behavior for ScriptedCbrSender {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        if self.in_window(now) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        } else if let Some(s) = self.next_window_start(now) {
+            ctx.set_timer(s.since(now), 0);
+        }
+    }
+    fn on_timer(&mut self, _key: u64, ctx: &mut Ctx) {
+        let now = ctx.now();
+        if self.in_window(now) {
+            if ctx.queue_len() < 64 {
+                ctx.send(Frame::data(ctx.id(), self.dst, self.bytes));
+            }
+            ctx.set_timer(self.interval, 0);
+        } else if let Some(s) = self.next_window_start(now) {
+            ctx.set_timer(s.since(now), 0);
+        }
+    }
+}
+
+/// A behaviour that does nothing (a pure receiver / sink).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sink;
+
+impl Behavior for Sink {
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{NodeConfig, Simulator};
+    use whitefi_spectrum::{WfChannel, Width};
+
+    fn ch() -> WfChannel {
+        WfChannel::from_parts(10, Width::W20)
+    }
+
+    #[test]
+    fn cbr_rate_matches_interval() {
+        let mut sim = Simulator::new(1);
+        let rx = sim.add_node(NodeConfig::on_channel(ch()), Box::new(Sink));
+        sim.add_node(
+            NodeConfig::on_channel(ch()),
+            Box::new(CbrSender::new(rx, SimDuration::from_millis(10))),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let frames = sim.stats(rx).rx_data_frames;
+        // ~500 frames expected (±2% for the random phase).
+        assert!((485..=502).contains(&frames), "{frames}");
+    }
+
+    #[test]
+    fn saturating_sender_fills_channel() {
+        let mut sim = Simulator::new(1);
+        let rx = sim.add_node(NodeConfig::on_channel(ch()), Box::new(Sink));
+        sim.add_node(
+            NodeConfig::on_channel(ch()),
+            Box::new(SaturatingSender::new(rx)),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let mbps = sim.stats(rx).rx_goodput_mbps(SimDuration::from_secs(1));
+        assert!(mbps > 4.0, "saturating goodput {mbps}");
+    }
+
+    #[test]
+    fn markov_extremes() {
+        // Always passive: no traffic.
+        let mut sim = Simulator::new(2);
+        let rx = sim.add_node(NodeConfig::on_channel(ch()), Box::new(Sink));
+        sim.add_node(
+            NodeConfig::on_channel(ch()),
+            Box::new(MarkovOnOffSender {
+                mean_active: SimDuration::ZERO,
+                ..MarkovOnOffSender::new(
+                    rx,
+                    SimDuration::from_millis(10),
+                    SimDuration::ZERO,
+                    SimDuration::from_secs(1),
+                )
+            }),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.stats(rx).rx_data_frames, 0);
+
+        // Always active: close to pure CBR.
+        let mut sim = Simulator::new(2);
+        let rx = sim.add_node(NodeConfig::on_channel(ch()), Box::new(Sink));
+        sim.add_node(
+            NodeConfig::on_channel(ch()),
+            Box::new(MarkovOnOffSender::new(
+                rx,
+                SimDuration::from_millis(10),
+                SimDuration::from_secs(3600),
+                SimDuration::ZERO,
+            )),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let frames = sim.stats(rx).rx_data_frames;
+        assert!(frames > 480, "always-active Markov sent {frames}");
+    }
+
+    #[test]
+    fn markov_half_duty_cycle() {
+        let mut sim = Simulator::new(3);
+        let rx = sim.add_node(NodeConfig::on_channel(ch()), Box::new(Sink));
+        sim.add_node(
+            NodeConfig::on_channel(ch()),
+            Box::new(MarkovOnOffSender::new(
+                rx,
+                SimDuration::from_millis(10),
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(2),
+            )),
+        );
+        sim.run_until(SimTime::from_secs(60));
+        let frames = sim.stats(rx).rx_data_frames as f64;
+        let expect = 60.0 / 0.010 / 2.0; // half duty cycle
+        assert!(
+            (frames / expect - 1.0).abs() < 0.35,
+            "frames {frames} vs expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn scripted_windows_respected() {
+        let mut sim = Simulator::new(4);
+        let rx = sim.add_node(NodeConfig::on_channel(ch()), Box::new(Sink));
+        sim.add_node(
+            NodeConfig::on_channel(ch()),
+            Box::new(ScriptedCbrSender::new(
+                rx,
+                SimDuration::from_millis(10),
+                vec![
+                    (SimTime::from_secs(1), SimTime::from_secs(2)),
+                    (SimTime::from_secs(4), SimTime::from_secs(5)),
+                ],
+            )),
+        );
+        // Nothing before the first window.
+        sim.run_until(SimTime::from_millis(999));
+        assert_eq!(sim.stats(rx).rx_data_frames, 0);
+        // First window delivers ~100 frames.
+        sim.run_until(SimTime::from_secs(3));
+        let after_first = sim.stats(rx).rx_data_frames;
+        assert!((95..=105).contains(&after_first), "{after_first}");
+        // Gap is silent.
+        sim.run_until(SimTime::from_millis(3_999));
+        assert_eq!(sim.stats(rx).rx_data_frames, after_first);
+        // Second window delivers another ~100.
+        sim.run_until(SimTime::from_secs(6));
+        let total = sim.stats(rx).rx_data_frames;
+        assert!((190..=210).contains(&total), "{total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted/non-overlapping")]
+    fn scripted_rejects_overlap() {
+        ScriptedCbrSender::new(
+            0,
+            SimDuration::from_millis(10),
+            vec![
+                (SimTime::from_secs(1), SimTime::from_secs(3)),
+                (SimTime::from_secs(2), SimTime::from_secs(4)),
+            ],
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the discrete-event MAC simulator.
+
+use proptest::prelude::*;
+use whitefi_mac::traffic::Sink;
+use whitefi_mac::{CbrSender, NodeConfig, SaturatingSender, Simulator};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_spectrum::{UhfChannel, WfChannel, Width};
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W5), Just(Width::W10), Just(Width::W20)]
+}
+
+fn channel_for(center: usize, w: Width) -> WfChannel {
+    let h = w.half_span();
+    let c = center.clamp(h, 29 - h);
+    WfChannel::from_parts(c, w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every byte received was sent; acked bytes never
+    /// exceed received bytes (an ACK implies delivery).
+    #[test]
+    fn byte_conservation(
+        seed in 0u64..1000,
+        w in arb_width(),
+        center in 0usize..30,
+        bytes in 100usize..1400,
+        n_flows in 1usize..4,
+    ) {
+        let c = channel_for(center, w);
+        let mut sim = Simulator::new(seed);
+        let mut pairs = Vec::new();
+        for _ in 0..n_flows {
+            let rx = sim.add_node(NodeConfig::on_channel(c), Box::new(Sink));
+            let tx = sim.add_node(NodeConfig::on_channel(c), Box::new(SaturatingSender {
+                dst: rx, bytes, pipeline: 2,
+            }));
+            pairs.push((tx, rx));
+        }
+        sim.run_until(SimTime::from_millis(500));
+        for (tx, rx) in pairs {
+            let sent = sim.stats(tx).tx_acked_bytes;
+            let recv = sim.stats(rx).rx_data_bytes;
+            // Acked ⇒ delivered, so acked ≤ received; received may exceed
+            // acked when an ACK is lost and the frame retransmitted.
+            prop_assert!(sent <= recv, "acked {} > received {}", sent, recv);
+            prop_assert!(recv > 0, "flow starved entirely");
+        }
+    }
+
+    /// Channel capacity: aggregate goodput never exceeds the width's PHY
+    /// rate, regardless of flow count.
+    #[test]
+    fn goodput_bounded_by_phy_rate(
+        seed in 0u64..1000,
+        w in arb_width(),
+        n_flows in 1usize..5,
+    ) {
+        let c = channel_for(15, w);
+        let mut sim = Simulator::new(seed);
+        let mut rxs = Vec::new();
+        for _ in 0..n_flows {
+            let rx = sim.add_node(NodeConfig::on_channel(c), Box::new(Sink));
+            sim.add_node(NodeConfig::on_channel(c), Box::new(SaturatingSender::new(rx)));
+            rxs.push(rx);
+        }
+        let span = SimDuration::from_secs(1);
+        sim.run_until(SimTime::ZERO + span);
+        let total: f64 = rxs.iter().map(|&r| sim.stats(r).rx_goodput_mbps(span)).sum();
+        let rate = whitefi_phy::PhyTiming::for_width(w).data_rate_mbps();
+        prop_assert!(total <= rate, "goodput {} exceeds PHY rate {}", total, rate);
+        prop_assert!(total > 0.3 * rate, "goodput {} implausibly low vs {}", total, rate);
+    }
+
+    /// Medium airtime accounting: the busy fraction of a saturated
+    /// channel is high; an untouched channel is exactly idle.
+    #[test]
+    fn airtime_accounting(seed in 0u64..1000, w in arb_width()) {
+        let c = channel_for(10, w);
+        let mut sim = Simulator::new(seed);
+        let rx = sim.add_node(NodeConfig::on_channel(c), Box::new(Sink));
+        sim.add_node(NodeConfig::on_channel(c), Box::new(SaturatingSender::new(rx)));
+        sim.run_until(SimTime::from_secs(1));
+        let mid = UhfChannel::from_index(c.center().index());
+        let busy = sim.medium().airtime_in_window(
+            mid,
+            SimTime::from_millis(100),
+            SimTime::from_secs(1),
+        );
+        prop_assert!(busy > 0.5, "saturated channel busy only {}", busy);
+        // A channel outside the span is idle.
+        let outside = UhfChannel::from_index(if c.high_index() < 29 { 29 } else { 0 });
+        let idle = sim.medium().airtime_in_window(
+            outside,
+            SimTime::from_millis(100),
+            SimTime::from_secs(1),
+        );
+        prop_assert_eq!(idle, 0.0);
+    }
+
+    /// Determinism: identical seeds and topologies give identical stats.
+    #[test]
+    fn deterministic(seed in 0u64..100) {
+        let run = || {
+            let c = channel_for(12, Width::W10);
+            let mut sim = Simulator::new(seed);
+            let rx = sim.add_node(NodeConfig::on_channel(c), Box::new(Sink));
+            sim.add_node(NodeConfig::on_channel(c), Box::new(CbrSender::new(
+                rx, SimDuration::from_millis(7),
+            )));
+            sim.add_node(NodeConfig::on_channel(c), Box::new(SaturatingSender::new(rx)));
+            sim.run_until(SimTime::from_millis(400));
+            (sim.stats(rx), sim.stats(1), sim.stats(2))
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// No incumbent violations when no incumbents exist.
+    #[test]
+    fn no_spurious_violations(seed in 0u64..100, w in arb_width()) {
+        let c = channel_for(8, w);
+        let mut sim = Simulator::new(seed);
+        let rx = sim.add_node(NodeConfig::on_channel(c), Box::new(Sink));
+        sim.add_node(NodeConfig::on_channel(c), Box::new(SaturatingSender::new(rx)));
+        sim.run_until(SimTime::from_millis(300));
+        for n in 0..sim.node_count() {
+            prop_assert_eq!(sim.stats(n).incumbent_violations, 0);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! A small, dependency-free radix-2 FFT.
+//!
+//! The KNOWS scanner performs its incumbent feature detection "in the
+//! frequency domain, after performing a Fast Fourier Transform on the
+//! time series signal" (§3, Figure 4). This module provides the FFT that
+//! [`crate::feature`] builds on — iterative radix-2 decimation-in-time
+//! over an owned complex type, verified against a naive DFT.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A complex number (f64 components).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// 0 + 0i.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// e^(iθ).
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Squared magnitude |z|².
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude |z|.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+/// If `buf.len()` is not a power of two.
+pub fn fft(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place inverse FFT (normalized by 1/N).
+pub fn ifft(buf: &mut [Complex]) {
+    for z in buf.iter_mut() {
+        *z = z.conj();
+    }
+    fft(buf);
+    let n = buf.len() as f64;
+    for z in buf.iter_mut() {
+        *z = z.conj() * (1.0 / n);
+    }
+}
+
+/// Naive O(N²) DFT (reference for tests).
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (t, &x) in input.iter().enumerate() {
+                let ang = -std::f64::consts::TAU * (k * t) as f64 / n as f64;
+                acc += x * Complex::from_angle(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let sig = random_signal(n, n as u64);
+            let want = dft_naive(&sig);
+            let mut got = sig.clone();
+            fft(&mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.re - w.re).abs() < 1e-9, "n={n}");
+                assert!((g.im - w.im).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let sig = random_signal(512, 3);
+        let mut buf = sig.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in buf.iter().zip(&sig) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let sig = random_signal(1024, 9);
+        let time_energy: f64 = sig.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = sig;
+        fft(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / 1024.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    fn pure_tone_lands_in_its_bin() {
+        let n = 256;
+        let k = 37;
+        let mut buf: Vec<Complex> = (0..n)
+            .map(|t| Complex::from_angle(std::f64::consts::TAU * (k * t) as f64 / n as f64))
+            .collect();
+        fft(&mut buf);
+        for (i, z) in buf.iter().enumerate() {
+            if i == k {
+                assert!((z.abs() - n as f64).abs() < 1e-6);
+            } else {
+                assert!(z.abs() < 1e-6, "leakage at bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut buf = vec![Complex::ZERO; 12];
+        fft(&mut buf);
+    }
+
+    #[test]
+    fn impulse_is_flat() {
+        let mut buf = vec![Complex::ZERO; 64];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft(&mut buf);
+        for z in &buf {
+            assert!((z.abs() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The KNOWS hardware platform as an API — Figure 3/4's block diagram.
+//!
+//! "The hardware consists of three components: a PC, a scanner, and a UHF
+//! translator. … The PC comes equipped with a standard 2.4 GHz Wi-Fi
+//! card, the antenna port of which is connected to the UHF translator,
+//! which downconverts the outgoing 2.4 GHz signal to the 512–698 MHz
+//! band. … The center frequency of the UHF translator is set from the PC
+//! via a serial control interface. … we use the technique presented in
+//! [15] of changing the PLL clock frequency to reduce the Wi-Fi
+//! transmission bandwidth" (§3).
+//!
+//! This module composes the crate's pieces into that device model:
+//!
+//! * [`UhfTranslator`] — the serially-controlled centre frequency;
+//! * [`AtherosDriver`] — the 5/10/20 MHz variable-width driver and its
+//!   PLL-scaled timing;
+//! * [`KnowsDevice`] — translator + driver + scanner, exposing the two
+//!   analysis paths of Figure 4: the time-domain path (raw (I,Q) →
+//!   SIFT) and the frequency-domain path (FFT → TV/mic detection).
+
+use crate::feature::{FeatureDetector, Incumbent, IqSynthesizer};
+use crate::scanner::{Scanner, VisibleBurst};
+use crate::sift::{Detection, Sift};
+use crate::time::{SimDuration, SimTime};
+use crate::timing::PhyTiming;
+use rand::Rng;
+use whitefi_spectrum::{UhfChannel, WfChannel, Width};
+
+/// The UHF translator: tunes the transceiver chain's centre frequency
+/// ("set from the PC via a serial control interface").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UhfTranslator {
+    center: UhfChannel,
+}
+
+impl UhfTranslator {
+    /// Powers up tuned to the given UHF channel.
+    pub fn new(center: UhfChannel) -> Self {
+        Self { center }
+    }
+
+    /// Retunes the centre frequency. Returns the analogue of the serial
+    /// command latency (a few milliseconds — "the overhead … is the extra
+    /// time taken to switch across channels, which is known to be a few
+    /// milliseconds", §4.3).
+    pub fn set_center(&mut self, center: UhfChannel) -> SimDuration {
+        self.center = center;
+        SimDuration::from_millis(3)
+    }
+
+    /// The tuned UHF channel.
+    pub fn center(&self) -> UhfChannel {
+        self.center
+    }
+
+    /// The tuned centre frequency in MHz (512–698 band).
+    pub fn center_mhz(&self) -> f64 {
+        self.center.center_mhz()
+    }
+}
+
+/// The modified Atheros driver: 5/10/20 MHz signal bandwidth by PLL
+/// clock scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtherosDriver {
+    width: Width,
+}
+
+impl AtherosDriver {
+    /// Powers up at the given width.
+    pub fn new(width: Width) -> Self {
+        Self { width }
+    }
+
+    /// Changes the PLL clock ("an expensive switch of the PLL clock
+    /// frequency is required to decode packets at other channel widths",
+    /// §2.2). Returns the switching latency.
+    pub fn set_width(&mut self, width: Width) -> SimDuration {
+        self.width = width;
+        SimDuration::from_millis(5)
+    }
+
+    /// The current signal bandwidth.
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// The PLL-scaled PHY timing at the current width.
+    pub fn timing(&self) -> PhyTiming {
+        PhyTiming::for_width(self.width)
+    }
+}
+
+/// The assembled KNOWS device: one transceiver chain (translator +
+/// Atheros driver) and one scanner (USRP + TVRX daughterboard).
+#[derive(Debug, Clone)]
+pub struct KnowsDevice {
+    /// The transceiver's UHF translator.
+    pub translator: UhfTranslator,
+    /// The variable-width Wi-Fi driver.
+    pub driver: AtherosDriver,
+    /// The scanner front-end.
+    pub scanner: Scanner,
+    /// Time-domain analysis (Figure 4's "Temporal Analysis (SIFT)").
+    pub sift: Sift,
+    /// Frequency-domain analysis (Figure 4's "FFT → TV/MIC Detection").
+    pub feature: FeatureDetector,
+}
+
+impl KnowsDevice {
+    /// A device tuned to `channel`.
+    pub fn new(channel: WfChannel) -> Self {
+        Self {
+            translator: UhfTranslator::new(channel.center()),
+            driver: AtherosDriver::new(channel.width()),
+            scanner: Scanner::new(),
+            sift: Sift::default(),
+            feature: FeatureDetector::default(),
+        }
+    }
+
+    /// The `(F, W)` channel the transceiver is tuned to, if the current
+    /// translator/driver combination is a valid in-band channel.
+    pub fn tuned_channel(&self) -> Option<WfChannel> {
+        WfChannel::new(self.translator.center(), self.driver.width())
+    }
+
+    /// Retunes the whole transceiver chain; returns the combined
+    /// translator + PLL latency.
+    pub fn tune(&mut self, channel: WfChannel) -> SimDuration {
+        let mut latency = SimDuration::ZERO;
+        if self.translator.center() != channel.center() {
+            latency += self.translator.set_center(channel.center());
+        }
+        if self.driver.width() != channel.width() {
+            latency += self.driver.set_width(channel.width());
+        }
+        latency
+    }
+
+    /// Runs one scanner dwell on `scan_center` over the given on-air
+    /// transmissions, returning SIFT's detections (the AP-discovery
+    /// primitive).
+    pub fn sift_dwell<R: Rng + ?Sized>(
+        &self,
+        scan_center: UhfChannel,
+        on_air: &[VisibleBurst],
+        window_start: SimTime,
+        dwell: SimDuration,
+        rng: &mut R,
+    ) -> Vec<Detection> {
+        let trace = self
+            .scanner
+            .capture(scan_center, on_air, window_start, dwell, rng);
+        self.sift.detect(&trace)
+    }
+
+    /// Runs the frequency-domain incumbent classifier on a synthetic
+    /// capture of the current scan span (TV/mic powers at the antenna).
+    pub fn classify_incumbent<R: Rng + ?Sized>(
+        &self,
+        environment: &IqSynthesizer,
+        frames: usize,
+        rng: &mut R,
+    ) -> Incumbent {
+        let capture = environment.generate(frames, rng);
+        self.feature.classify(&capture)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::data_ack_exchange;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn tune_round_trip_and_latency() {
+        let a = WfChannel::from_parts(7, Width::W20);
+        let b = WfChannel::from_parts(13, Width::W10);
+        let mut dev = KnowsDevice::new(a);
+        assert_eq!(dev.tuned_channel(), Some(a));
+        let lat = dev.tune(b);
+        assert_eq!(dev.tuned_channel(), Some(b));
+        // Centre + PLL both changed: 3 + 5 ms.
+        assert_eq!(lat, SimDuration::from_millis(8));
+        // Same-channel tune is free.
+        assert_eq!(dev.tune(b), SimDuration::ZERO);
+        // Width-only change pays just the PLL switch.
+        let c = WfChannel::from_parts(13, Width::W5);
+        assert_eq!(dev.tune(c), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn edge_tuning_is_invalid() {
+        let mut dev = KnowsDevice::new(WfChannel::from_parts(5, Width::W5));
+        // A 20 MHz width centred at channel 0 hangs off the band edge.
+        dev.translator.set_center(UhfChannel::from_index(0));
+        dev.driver.set_width(Width::W20);
+        assert_eq!(dev.tuned_channel(), None);
+    }
+
+    #[test]
+    fn sift_dwell_detects_neighbouring_transmitter() {
+        let dev = KnowsDevice::new(WfChannel::from_parts(5, Width::W5));
+        let tx = WfChannel::from_parts(10, Width::W20);
+        let ex = data_ack_exchange(SimTime::from_millis(1), Width::W20, 1000, 1000.0);
+        let on_air: Vec<VisibleBurst> = ex
+            .iter()
+            .map(|&burst| VisibleBurst { channel: tx, burst })
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let hits = dev.sift_dwell(
+            UhfChannel::from_index(9),
+            &on_air,
+            SimTime::ZERO,
+            SimDuration::from_millis(5),
+            &mut rng,
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].width, Width::W20);
+    }
+
+    #[test]
+    fn both_analysis_paths_coexist() {
+        // Figure 4: the same platform runs SIFT and the FFT detector.
+        let dev = KnowsDevice::new(WfChannel::from_parts(7, Width::W20));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let env = IqSynthesizer {
+            tv_dbm: Some(-100.0),
+            mic: None,
+        };
+        assert_eq!(dev.classify_incumbent(&env, 16, &mut rng), Incumbent::Tv);
+        let env = IqSynthesizer {
+            tv_dbm: None,
+            mic: Some((-105.0, 1.0e6)),
+        };
+        assert_eq!(dev.classify_incumbent(&env, 16, &mut rng), Incumbent::Mic);
+        let env = IqSynthesizer::default();
+        assert_eq!(dev.classify_incumbent(&env, 16, &mut rng), Incumbent::None);
+    }
+
+    #[test]
+    fn translator_reports_band_frequencies() {
+        let t = UhfTranslator::new(UhfChannel::from_index(0));
+        assert!((t.center_mhz() - 515.0).abs() < 1e-9);
+        let mut t = t;
+        t.set_center(UhfChannel::from_index(29));
+        assert!((t.center_mhz() - 695.0).abs() < 1e-9);
+    }
+}

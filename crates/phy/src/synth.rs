@@ -1,0 +1,397 @@
+//! Synthesis of raw amplitude sample traces.
+//!
+//! The KNOWS scanner "samples a bandwidth of 1 MHz around F at
+//! 1 MSamples/sec. Each sample represents 1.024 µs of raw RF signal as an
+//! (I,Q) pair; the signal amplitude is computed as sqrt(I² + Q²). The USRP
+//! delivers blocks of 2048 samples at a time" (§4.2.1). SIFT consumes only
+//! the amplitude series, so this synthesizer produces amplitude samples
+//! directly from a schedule of bursts.
+//!
+//! Two waveform details from Figure 5 matter for fidelity:
+//!
+//! * the amplitude "might fall to very low values even in the middle of
+//!   the packet transmission" — modelled as per-sample multiplicative
+//!   ripple — which is exactly why SIFT needs its moving average;
+//! * "the initial portion of a packet at 5 MHz channel width is sent at a
+//!   lower amplitude than the rest of the packet", which makes SIFT
+//!   "sometimes fail to accurately match the length of the detected packet"
+//!   (§5.1) — modelled as a random low-amplitude head applied to 5 MHz
+//!   bursts only.
+
+use crate::attenuation::NoiseModel;
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use whitefi_spectrum::Width;
+
+/// Nanoseconds represented by one SDR sample (1 MS/s ⇒ 1.024 µs).
+pub const SAMPLE_NS: u64 = 1_024;
+
+/// Samples per USRP block.
+pub const BLOCK_SAMPLES: usize = 2_048;
+
+/// Converts a duration to a (fractional) number of samples.
+pub fn duration_to_samples(d: SimDuration) -> f64 {
+    d.as_nanos() as f64 / SAMPLE_NS as f64
+}
+
+/// Converts a sample count to the duration it spans.
+pub fn samples_to_duration(samples: usize) -> SimDuration {
+    SimDuration::from_nanos(samples as u64 * SAMPLE_NS)
+}
+
+/// What a burst of RF energy is, from the transmitter's point of view.
+///
+/// SIFT cannot decode frames; the kind only drives waveform details (the
+/// 5 MHz head droop) and lets tests assert against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BurstKind {
+    /// A data frame.
+    Data,
+    /// A MAC acknowledgement.
+    Ack,
+    /// An AP beacon.
+    Beacon,
+    /// A CTS-to-self (sent one SIFS after each beacon so SIFT can match
+    /// beacons like data/ACK pairs — §4.2.1).
+    Cts,
+    /// A disconnection chirp (§4.3).
+    Chirp,
+}
+
+/// One burst of energy to synthesize, positioned relative to the capture
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Burst {
+    /// Start time relative to the capture window origin.
+    pub start: SimTime,
+    /// On-air duration.
+    pub duration: SimDuration,
+    /// Channel width the frame was sent at.
+    pub width: Width,
+    /// Received amplitude (after any attenuation), linear units.
+    pub amplitude: f64,
+    /// Frame kind (ground truth, not visible to SIFT).
+    pub kind: BurstKind,
+}
+
+/// Waveform-shape knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthesizerConfig {
+    /// Per-sample multiplicative ripple, uniform in `[ripple_low,
+    /// ripple_high]` (mean must be ~1 to preserve calibration).
+    pub ripple_low: f64,
+    /// Upper ripple bound.
+    pub ripple_high: f64,
+    /// Fraction of a 5 MHz burst affected by the low-amplitude head.
+    pub w5_head_fraction: f64,
+    /// Mean of the per-burst head amplitude factor.
+    pub w5_head_mean: f64,
+    /// Standard deviation of the head amplitude factor.
+    pub w5_head_sd: f64,
+}
+
+impl Default for SynthesizerConfig {
+    fn default() -> Self {
+        Self {
+            ripple_low: 0.55,
+            ripple_high: 1.45,
+            w5_head_fraction: 0.15,
+            w5_head_mean: 0.45,
+            w5_head_sd: 0.15,
+        }
+    }
+}
+
+/// Amplitude-trace synthesizer.
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    /// Waveform shape.
+    pub config: SynthesizerConfig,
+    /// Additive receiver noise.
+    pub noise: NoiseModel,
+}
+
+impl Synthesizer {
+    /// A synthesizer with default shape and noise.
+    pub fn new() -> Self {
+        Self {
+            config: SynthesizerConfig::default(),
+            noise: NoiseModel::default_model(),
+        }
+    }
+
+    /// A noiseless, ripple-free synthesizer producing ideal rectangular
+    /// envelopes (for exactness tests).
+    pub fn ideal() -> Self {
+        Self {
+            config: SynthesizerConfig {
+                ripple_low: 1.0,
+                ripple_high: 1.0,
+                w5_head_fraction: 0.0,
+                w5_head_mean: 1.0,
+                w5_head_sd: 0.0,
+            },
+            noise: NoiseModel::noiseless(),
+        }
+    }
+
+    /// Synthesizes the amplitude trace of a capture window of length
+    /// `window`, containing the given bursts (positions relative to the
+    /// window; bursts extending past either edge are clipped).
+    pub fn synthesize<R: Rng + ?Sized>(
+        &self,
+        bursts: &[Burst],
+        window: SimDuration,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let n = (window.as_nanos() / SAMPLE_NS) as usize;
+        let mut samples = vec![0f64; n];
+        for b in bursts {
+            let start = (b.start.as_nanos() / SAMPLE_NS) as usize;
+            let end_ns = b.start.as_nanos() + b.duration.as_nanos();
+            let end = (end_ns / SAMPLE_NS) as usize; // exclusive
+            let start = start.min(n);
+            let end = end.min(n);
+            if start >= end {
+                continue;
+            }
+            let len = end - start;
+            // Per-burst head droop for 5 MHz frames. The droop is a
+            // power-ramp artifact of initiating a transmission from an
+            // idle chain, so it affects data/beacon/chirp frames; an ACK
+            // or CTS follows one SIFS behind with the chain still warm.
+            let initiating = matches!(
+                b.kind,
+                BurstKind::Data | BurstKind::Beacon | BurstKind::Chirp
+            );
+            let head_len =
+                if b.width == Width::W5 && initiating && self.config.w5_head_fraction > 0.0 {
+                    (len as f64 * self.config.w5_head_fraction) as usize
+                } else {
+                    0
+                };
+            let head_factor = if head_len > 0 {
+                let g = {
+                    // Box–Muller standard normal.
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                };
+                (self.config.w5_head_mean + g * self.config.w5_head_sd).clamp(0.02, 1.0)
+            } else {
+                1.0
+            };
+            for (i, s) in samples[start..end].iter_mut().enumerate() {
+                let ripple = if self.config.ripple_low == self.config.ripple_high {
+                    self.config.ripple_low
+                } else {
+                    rng.gen_range(self.config.ripple_low..self.config.ripple_high)
+                };
+                let head = if i < head_len { head_factor } else { 1.0 };
+                *s += b.amplitude * ripple * head;
+            }
+        }
+        // Additive receiver noise everywhere.
+        samples
+            .into_iter()
+            .map(|s| (s + self.noise.sample(rng)) as f32)
+            .collect()
+    }
+}
+
+impl Default for Synthesizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builds the burst pair of a unicast data + ACK exchange starting at
+/// `start`, using the width-scaled timing of `width`.
+pub fn data_ack_exchange(
+    start: SimTime,
+    width: Width,
+    data_bytes: usize,
+    amplitude: f64,
+) -> [Burst; 2] {
+    let t = crate::timing::PhyTiming::for_width(width);
+    let data = Burst {
+        start,
+        duration: t.frame_duration(data_bytes),
+        width,
+        amplitude,
+        kind: BurstKind::Data,
+    };
+    let ack = Burst {
+        start: start + data.duration + t.sifs(),
+        duration: t.ack_duration(),
+        width,
+        amplitude,
+        kind: BurstKind::Ack,
+    };
+    [data, ack]
+}
+
+/// Builds a beacon + CTS-to-self pair (the AP-discovery signature).
+pub fn beacon_cts(start: SimTime, width: Width, amplitude: f64) -> [Burst; 2] {
+    let t = crate::timing::PhyTiming::for_width(width);
+    let beacon = Burst {
+        start,
+        duration: t.beacon_duration(),
+        width,
+        amplitude,
+        kind: BurstKind::Beacon,
+    };
+    let cts = Burst {
+        start: start + beacon.duration + t.sifs(),
+        duration: t.cts_duration(),
+        width,
+        amplitude,
+        kind: BurstKind::Cts,
+    };
+    [beacon, cts]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::PhyTiming;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sample_conversions_round_trip() {
+        let d = SimDuration::from_micros(1024);
+        assert_eq!(duration_to_samples(d), 1000.0);
+        assert_eq!(samples_to_duration(1000), d);
+    }
+
+    #[test]
+    fn ideal_trace_is_rectangular() {
+        let synth = Synthesizer::ideal();
+        let burst = Burst {
+            start: SimTime::from_micros(100),
+            duration: SimDuration::from_micros(200),
+            width: Width::W20,
+            amplitude: 1000.0,
+            kind: BurstKind::Data,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let trace = synth.synthesize(&[burst], SimDuration::from_micros(500), &mut rng);
+        let start = 100_000 / SAMPLE_NS as usize;
+        let end = 300_000 / SAMPLE_NS as usize;
+        assert!(trace[..start].iter().all(|&s| s == 0.0));
+        assert!(trace[start..end].iter().all(|&s| (s - 1000.0).abs() < 1e-3));
+        assert!(trace[end..].iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn bursts_superpose() {
+        let synth = Synthesizer::ideal();
+        let b = |start_us| Burst {
+            start: SimTime::from_micros(start_us),
+            duration: SimDuration::from_micros(100),
+            width: Width::W20,
+            amplitude: 500.0,
+            kind: BurstKind::Data,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let trace = synth.synthesize(&[b(0), b(50)], SimDuration::from_micros(200), &mut rng);
+        let mid = 75_000 / SAMPLE_NS as usize;
+        assert!((trace[mid] - 1000.0).abs() < 1e-3, "overlap should sum");
+    }
+
+    #[test]
+    fn bursts_clip_to_window() {
+        let synth = Synthesizer::ideal();
+        let burst = Burst {
+            start: SimTime::from_micros(400),
+            duration: SimDuration::from_micros(500),
+            width: Width::W20,
+            amplitude: 100.0,
+            kind: BurstKind::Data,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let trace = synth.synthesize(&[burst], SimDuration::from_micros(500), &mut rng);
+        assert_eq!(trace.len(), 500_000 / SAMPLE_NS as usize);
+        assert!(trace.last().unwrap() > &0.0);
+    }
+
+    #[test]
+    fn noise_floor_present_with_default_model() {
+        let synth = Synthesizer::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trace = synth.synthesize(&[], SimDuration::from_millis(1), &mut rng);
+        let mean: f64 = trace.iter().map(|&s| s as f64).sum::<f64>() / trace.len() as f64;
+        assert!(mean > 10.0 && mean < 40.0, "noise floor mean {mean}");
+    }
+
+    #[test]
+    fn w5_head_is_attenuated() {
+        let mut synth = Synthesizer::ideal();
+        synth.config.w5_head_fraction = 0.2;
+        synth.config.w5_head_mean = 0.4;
+        synth.config.w5_head_sd = 0.0;
+        let burst = Burst {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_micros(1024), // exactly 1000 samples
+            width: Width::W5,
+            amplitude: 1000.0,
+            kind: BurstKind::Data,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let trace = synth.synthesize(&[burst], SimDuration::from_micros(1024), &mut rng);
+        assert!(
+            (trace[100] - 400.0).abs() < 1e-3,
+            "head sample {}",
+            trace[100]
+        );
+        assert!(
+            (trace[500] - 1000.0).abs() < 1e-3,
+            "body sample {}",
+            trace[500]
+        );
+    }
+
+    #[test]
+    fn w20_has_no_head_droop() {
+        let synth = Synthesizer::ideal();
+        let burst = Burst {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_micros(1024),
+            width: Width::W20,
+            amplitude: 1000.0,
+            kind: BurstKind::Data,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let trace = synth.synthesize(&[burst], SimDuration::from_micros(1024), &mut rng);
+        assert!((trace[5] - 1000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn exchange_builder_spacing_matches_timing() {
+        for w in Width::ALL {
+            let t = PhyTiming::for_width(w);
+            let [data, ack] = data_ack_exchange(SimTime::ZERO, w, 132, 1000.0);
+            assert_eq!(data.duration, t.frame_duration(132));
+            assert_eq!(ack.duration, t.ack_duration());
+            assert_eq!(
+                ack.start.since(SimTime::ZERO + data.duration),
+                t.sifs(),
+                "gap must be one SIFS at {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn beacon_builder_spacing() {
+        let [beacon, cts] = beacon_cts(SimTime::ZERO, Width::W10, 800.0);
+        let t = PhyTiming::for_width(Width::W10);
+        assert_eq!(beacon.duration, t.beacon_duration());
+        assert_eq!(cts.duration, t.cts_duration());
+        assert_eq!(
+            cts.start.as_nanos(),
+            beacon.duration.as_nanos() + t.sifs().as_nanos()
+        );
+    }
+}

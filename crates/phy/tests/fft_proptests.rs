@@ -1,0 +1,132 @@
+//! Property-based tests for the FFT and the frequency-domain feature
+//! detector.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use whitefi_phy::feature::{
+    amplitude_for_dbm, bin_frequency_hz, welch_psd, FeatureDetector, Incumbent, IqSynthesizer,
+    FFT_SIZE,
+};
+use whitefi_phy::fft::{dft_naive, fft, ifft, Complex};
+
+fn arb_signal(max_pow: u32) -> impl Strategy<Value = Vec<Complex>> {
+    (1u32..=max_pow, any::<u64>()).prop_map(|(p, seed)| {
+        let n = 1usize << p;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        (0..n)
+            .map(|_| Complex::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FFT matches the naive DFT for all power-of-two sizes.
+    #[test]
+    fn fft_matches_dft(sig in arb_signal(8)) {
+        let want = dft_naive(&sig);
+        let mut got = sig.clone();
+        fft(&mut got);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.re - w.re).abs() < 1e-7);
+            prop_assert!((g.im - w.im).abs() < 1e-7);
+        }
+    }
+
+    /// IFFT ∘ FFT is the identity.
+    #[test]
+    fn round_trip(sig in arb_signal(10)) {
+        let mut buf = sig.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in buf.iter().zip(&sig) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    /// Linearity: FFT(a·x + y) = a·FFT(x) + FFT(y).
+    #[test]
+    fn linearity(x in arb_signal(6), scale in -3.0f64..3.0) {
+        let n = x.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        use rand::Rng;
+        let y: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let combined: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| *a * scale + *b)
+            .collect();
+        let mut fx = x.clone();
+        fft(&mut fx);
+        let mut fy = y.clone();
+        fft(&mut fy);
+        let mut fc = combined;
+        fft(&mut fc);
+        for i in 0..n {
+            let want = fx[i] * scale + fy[i];
+            prop_assert!((fc[i].re - want.re).abs() < 1e-7);
+            prop_assert!((fc[i].im - want.im).abs() < 1e-7);
+        }
+    }
+
+    /// The feature detector classifies correctly across the operating
+    /// envelope: TV ≥ −114 dBm, mic ≥ −110 dBm, noise stays clean.
+    #[test]
+    fn classification_envelope(
+        seed in 0u64..200,
+        tv_dbm in -114.0f64..-80.0,
+        mic_dbm in -110.0f64..-80.0,
+        mic_offset in -3.0e6f64..3.5e6,
+    ) {
+        let det = FeatureDetector::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let tv = IqSynthesizer { tv_dbm: Some(tv_dbm), mic: None }.generate(16, &mut rng);
+        prop_assert_eq!(det.classify(&tv), Incumbent::Tv, "tv at {} dBm", tv_dbm);
+        let mic = IqSynthesizer { tv_dbm: None, mic: Some((mic_dbm, mic_offset)) }
+            .generate(16, &mut rng);
+        prop_assert_eq!(det.classify(&mic), Incumbent::Mic,
+            "mic at {} dBm offset {}", mic_dbm, mic_offset);
+        let noise = IqSynthesizer::default().generate(16, &mut rng);
+        prop_assert_eq!(det.classify(&noise), Incumbent::None);
+    }
+
+    /// PSD of pure noise is flat: no bin more than ~8x the median with
+    /// 16-frame averaging.
+    #[test]
+    fn noise_psd_flat(seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let capture = IqSynthesizer::default().generate(16, &mut rng);
+        let psd = welch_psd(&capture);
+        let mut sorted = psd.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[FFT_SIZE / 2];
+        let peak = *sorted.last().unwrap();
+        prop_assert!(peak / median < 8.0, "peak/median {}", peak / median);
+    }
+
+    /// Amplitude calibration is exponential in dBm.
+    #[test]
+    fn amplitude_monotone(a in -140.0f64..-80.0, b in -140.0f64..-80.0) {
+        prop_assume!(a < b);
+        prop_assert!(amplitude_for_dbm(a) < amplitude_for_dbm(b));
+        // +20 dB = 10x amplitude.
+        let r = amplitude_for_dbm(a + 20.0) / amplitude_for_dbm(a);
+        prop_assert!((r - 10.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn bin_frequencies_monotone() {
+    let mut prev = f64::MIN;
+    for k in 0..FFT_SIZE {
+        let f = bin_frequency_hz(k);
+        assert!(f > prev);
+        prev = f;
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests: SIFT burst extraction must invert waveform
+//! synthesis across widths, packet sizes, amplitudes and schedules.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use whitefi_phy::synth::{data_ack_exchange, duration_to_samples};
+use whitefi_phy::{
+    Burst, BurstKind, DetectionKind, PhyTiming, Sift, SimDuration, SimTime, Synthesizer,
+};
+use whitefi_spectrum::Width;
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W5), Just(Width::W10), Just(Width::W20)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under ideal (noiseless, ripple-free) synthesis, extraction recovers
+    /// every burst's edges to within one sample.
+    #[test]
+    fn extraction_inverts_ideal_synthesis(
+        starts in prop::collection::vec(0u64..40_000, 1..6),
+        dur_us in 100u64..800,
+    ) {
+        // Build non-overlapping bursts separated by ≥ 100 µs.
+        let mut offsets: Vec<u64> = starts;
+        offsets.sort_unstable();
+        offsets.dedup();
+        let mut bursts = Vec::new();
+        let mut t = 0u64;
+        for o in &offsets {
+            t = t.max(*o) ;
+            bursts.push(Burst {
+                start: SimTime::from_micros(t),
+                duration: SimDuration::from_micros(dur_us),
+                width: Width::W20,
+                amplitude: 1000.0,
+                kind: BurstKind::Data,
+            });
+            t += dur_us + 100;
+        }
+        let window = SimDuration::from_micros(t + 1000);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trace = Synthesizer::ideal().synthesize(&bursts, window, &mut rng);
+        let found = Sift::default().extract_bursts(&trace);
+        prop_assert_eq!(found.len(), bursts.len());
+        for (f, b) in found.iter().zip(&bursts) {
+            let want_start = duration_to_samples(b.start.since(SimTime::ZERO));
+            let want_len = duration_to_samples(b.duration);
+            prop_assert!((f.start as f64 - want_start).abs() <= 1.0);
+            prop_assert!((f.len as f64 - want_len).abs() <= 1.5);
+        }
+    }
+
+    /// A strong data/ACK exchange of any width and size is detected with
+    /// the right width under realistic noise and ripple.
+    #[test]
+    fn exchange_width_classified_correctly(
+        width in arb_width(),
+        bytes in 64usize..1500,
+        seed in 0u64..500,
+        amplitude in 400f64..5000.0,
+    ) {
+        let ex = data_ack_exchange(SimTime::from_micros(500), width, bytes, amplitude);
+        let window = ex[1].start + ex[1].duration + SimDuration::from_millis(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = Synthesizer::new()
+            .synthesize(&ex, SimDuration::from_nanos(window.as_nanos()), &mut rng);
+        let detections = Sift::default().detect(&trace);
+        prop_assert_eq!(detections.len(), 1, "width {:?} bytes {}", width, bytes);
+        prop_assert_eq!(detections[0].width, width);
+        // A data frame whose length matches a beacon's is inherently
+        // indistinguishable from one in the time domain (SIFT cannot
+        // decode); accept either kind in that narrow band.
+        if (bytes as i64 - whitefi_phy::BEACON_BYTES as i64).abs() > 3 {
+            prop_assert_eq!(detections[0].kind, DetectionKind::DataAck);
+        }
+    }
+
+    /// Airtime measured by SIFT tracks ground truth within 3% for
+    /// non-overlapping schedules that fit the window.
+    #[test]
+    fn airtime_tracks_ground_truth(
+        width in arb_width(),
+        n in 1usize..10,
+        gap_us in 500u64..3_000,
+        seed in 0u64..100,
+    ) {
+        let mut bursts = Vec::new();
+        let mut t = SimTime::from_micros(100);
+        let mut on = 0u64;
+        for _ in 0..n {
+            let ex = data_ack_exchange(t, width, 256, 1200.0);
+            on += ex[0].duration.as_nanos() + ex[1].duration.as_nanos();
+            t = ex[1].start + ex[1].duration + SimDuration::from_micros(gap_us);
+            bursts.extend(ex);
+        }
+        let window = SimDuration::from_nanos(t.as_nanos() + 1_000_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = Synthesizer::new().synthesize(&bursts, window, &mut rng);
+        let measured = Sift::default().airtime_fraction(&trace);
+        let truth = on as f64 / window.as_nanos() as f64;
+        // 5 MHz packets carry the low-amplitude head (§5.1): when it
+        // dips below the threshold SIFT under-measures the packet by up
+        // to the head fraction — the paper's own 5 MHz caveat.
+        let under_allow = if width == Width::W5 { 0.2 * truth + 0.01 } else { 0.03 };
+        prop_assert!(
+            measured <= truth + 0.03 && measured >= truth - under_allow,
+            "measured {} truth {}", measured, truth
+        );
+    }
+
+    /// Frame durations are exactly linear in the width scale factor.
+    #[test]
+    fn durations_scale_exactly(bytes in 1usize..2000) {
+        let d20 = PhyTiming::for_width(Width::W20).frame_duration(bytes).as_nanos();
+        let d10 = PhyTiming::for_width(Width::W10).frame_duration(bytes).as_nanos();
+        let d5 = PhyTiming::for_width(Width::W5).frame_duration(bytes).as_nanos();
+        prop_assert_eq!(d10, 2 * d20);
+        prop_assert_eq!(d5, 4 * d20);
+    }
+
+    /// The throughput-relevant invariant behind Figure 6: sending the same
+    /// bytes at half the width takes exactly twice the airtime, so airtime
+    /// per byte is constant in offered load but doubles per halving.
+    #[test]
+    fn airtime_per_byte_constant_per_width(bytes in 200usize..1400) {
+        let per = |w: Width| {
+            PhyTiming::for_width(w).exchange_duration(bytes).as_nanos() as f64 / bytes as f64
+        };
+        prop_assert!((per(Width::W10) / per(Width::W20) - 2.0).abs() < 1e-9);
+        prop_assert!((per(Width::W5) / per(Width::W20) - 4.0).abs() < 1e-9);
+    }
+
+    /// SIFT never reports a width for pure noise.
+    #[test]
+    fn noise_never_classified(seed in 0u64..200) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = Synthesizer::new().synthesize(&[], SimDuration::from_millis(20), &mut rng);
+        prop_assert!(Sift::default().detect(&trace).is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Airtime utilization vectors and the per-channel share estimate ρ.
+//!
+//! "Each node also maintains an *airtime utilization vector* `{A_0, …,
+//! A_k}`, where `A_i` represents an estimate of the airtime utilization on
+//! each UHF channel" (§4.1). Along with the busy fraction the node
+//! estimates `B_i`, the number of other access points operating on channel
+//! `i`, and combines them into the expected share
+//!
+//! ```text
+//! ρ_n(c) = max(1 − A_c, 1 / (B_c + 1))          (Equation 1)
+//! ```
+//!
+//! The intuition: a node can expect at least the residual airtime `1 − A`,
+//! but even on a saturated channel CSMA gives it a fair `1/(B+1)` share
+//! once it contends with the `B` other APs.
+
+use crate::channel::{UhfChannel, NUM_UHF_CHANNELS};
+use serde::{Deserialize, Serialize};
+
+/// Measured load of a single UHF channel as seen by one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelLoad {
+    /// Busy airtime fraction `A ∈ [0, 1]`.
+    pub busy: f64,
+    /// Estimated number of other (interfering) APs on the channel, `B`.
+    pub aps: u32,
+}
+
+impl Default for ChannelLoad {
+    fn default() -> Self {
+        Self { busy: 0.0, aps: 0 }
+    }
+}
+
+impl ChannelLoad {
+    /// An idle channel: no busy airtime, no interfering APs.
+    pub const IDLE: ChannelLoad = ChannelLoad { busy: 0.0, aps: 0 };
+
+    /// Creates a load, clamping the busy fraction to `[0, 1]`.
+    pub fn new(busy: f64, aps: u32) -> Self {
+        Self {
+            busy: busy.clamp(0.0, 1.0),
+            aps,
+        }
+    }
+
+    /// Expected share ρ of this channel (Equation 1).
+    pub fn rho(self) -> f64 {
+        (1.0 - self.busy).max(1.0 / (self.aps as f64 + 1.0))
+    }
+}
+
+/// Per-UHF-channel airtime measurements for all 30 channels.
+///
+/// For incumbent-occupied channels the paper leaves `A_i` undefined; we
+/// store loads for every channel and rely on the spectrum map to exclude
+/// occupied ones from candidate enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AirtimeVector {
+    loads: [ChannelLoad; NUM_UHF_CHANNELS],
+}
+
+impl Default for AirtimeVector {
+    fn default() -> Self {
+        Self::idle()
+    }
+}
+
+impl AirtimeVector {
+    /// A vector with every channel idle.
+    pub fn idle() -> Self {
+        Self {
+            loads: [ChannelLoad::IDLE; NUM_UHF_CHANNELS],
+        }
+    }
+
+    /// Builds a vector from a function of the channel.
+    pub fn from_fn(mut f: impl FnMut(UhfChannel) -> ChannelLoad) -> Self {
+        let mut v = Self::idle();
+        for ch in UhfChannel::all() {
+            v.loads[ch.index()] = f(ch);
+        }
+        v
+    }
+
+    /// The measured load of `ch`.
+    pub fn load(&self, ch: UhfChannel) -> ChannelLoad {
+        self.loads[ch.index()]
+    }
+
+    /// Sets the measured load of `ch`.
+    pub fn set_load(&mut self, ch: UhfChannel, load: ChannelLoad) {
+        self.loads[ch.index()] = load;
+    }
+
+    /// Expected share ρ of `ch` (Equation 1).
+    pub fn rho(&self, ch: UhfChannel) -> f64 {
+        self.load(ch).rho()
+    }
+
+    /// Iterator over `(channel, load)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (UhfChannel, ChannelLoad)> + '_ {
+        UhfChannel::all().map(move |c| (c, self.load(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_of_idle_channel_is_one() {
+        assert_eq!(ChannelLoad::IDLE.rho(), 1.0);
+    }
+
+    #[test]
+    fn rho_takes_residual_airtime_when_lightly_loaded() {
+        // Busy 0.2 with one AP: residual 0.8 beats fair share 0.5.
+        let l = ChannelLoad::new(0.2, 1);
+        assert!((l.rho() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_takes_fair_share_when_saturated() {
+        // Busy 1.0 with one AP: residual 0 loses to fair share 0.5.
+        let l = ChannelLoad::new(1.0, 1);
+        assert!((l.rho() - 0.5).abs() < 1e-12);
+        // Saturated with three APs: fair share 0.25.
+        let l = ChannelLoad::new(1.0, 3);
+        assert!((l.rho() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_matches_paper_example_2_components() {
+        // Example 2 of §4.1: one channel with 1 AP at airtime 0.9 gives
+        // ρ = max(0.1, 0.5) = 0.5; one with 1 AP at 0.2 gives
+        // ρ = max(0.8, 0.5) = 0.8.
+        assert!((ChannelLoad::new(0.9, 1).rho() - 0.5).abs() < 1e-12);
+        assert!((ChannelLoad::new(0.2, 1).rho() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_fraction_is_clamped() {
+        assert_eq!(ChannelLoad::new(1.7, 0).busy, 1.0);
+        assert_eq!(ChannelLoad::new(-0.3, 0).busy, 0.0);
+    }
+
+    #[test]
+    fn vector_set_and_get() {
+        let mut v = AirtimeVector::idle();
+        let ch = UhfChannel::from_index(12);
+        v.set_load(ch, ChannelLoad::new(0.4, 2));
+        assert_eq!(v.load(ch).aps, 2);
+        assert!((v.rho(ch) - 0.6).abs() < 1e-12);
+        // Other channels untouched.
+        assert_eq!(v.load(UhfChannel::from_index(0)), ChannelLoad::IDLE);
+    }
+
+    #[test]
+    fn from_fn_visits_every_channel() {
+        let v = AirtimeVector::from_fn(|c| ChannelLoad::new(c.index() as f64 / 30.0, 0));
+        assert_eq!(v.iter().count(), NUM_UHF_CHANNELS);
+        assert!((v.load(UhfChannel::from_index(15)).busy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_never_below_fair_share_nor_above_one() {
+        for aps in 0..5 {
+            for b in [0.0, 0.3, 0.7, 1.0] {
+                let r = ChannelLoad::new(b, aps).rho();
+                assert!(r <= 1.0 + 1e-12);
+                assert!(r >= 1.0 / (aps as f64 + 1.0) - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Contiguous free-spectrum fragments and fragmentation statistics.
+//!
+//! "UHF white spaces are fragmented due to the presence of incumbents. The
+//! size of each fragment can vary from 1 channel to several channels"
+//! (§2.2). Figure 2 of the paper is a histogram of contiguous fragment
+//! widths across urban, suburban and rural locales; [`fragment_histogram`]
+//! computes the same statistic over a set of spectrum maps.
+
+use crate::channel::{UhfChannel, WfChannel, Width, NUM_UHF_CHANNELS};
+use crate::map::SpectrumMap;
+use serde::{Deserialize, Serialize};
+
+/// A maximal run of contiguous incumbent-free UHF channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fragment {
+    start: usize,
+    len: usize,
+}
+
+impl Fragment {
+    /// Creates a fragment starting at UHF index `start` spanning `len`
+    /// channels.
+    ///
+    /// # Panics
+    /// If the fragment extends past the band edge or is empty.
+    pub fn new(start: usize, len: usize) -> Self {
+        assert!(len >= 1, "fragment must span at least one channel");
+        assert!(start + len <= NUM_UHF_CHANNELS, "fragment exceeds band");
+        Self { start, len }
+    }
+
+    /// Index of the first channel in the fragment.
+    pub fn start(self) -> usize {
+        self.start
+    }
+
+    /// Number of contiguous channels.
+    pub fn len(self) -> usize {
+        self.len
+    }
+
+    /// Always false; fragments are non-empty by construction.
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Total bandwidth of the fragment in MHz (6 MHz per channel).
+    pub fn mhz(self) -> f64 {
+        self.len as f64 * 6.0
+    }
+
+    /// Iterator over the channels in the fragment.
+    pub fn channels(self) -> impl Iterator<Item = UhfChannel> {
+        (self.start..self.start + self.len).map(UhfChannel::from_index)
+    }
+
+    /// Whether the fragment contains the given channel.
+    pub fn contains(self, ch: UhfChannel) -> bool {
+        (self.start..self.start + self.len).contains(&ch.index())
+    }
+
+    /// The widest WhiteFi channel width that fits inside this fragment.
+    ///
+    /// Returns `None` only in the (impossible by construction) zero-length
+    /// case; a 1–2 channel fragment fits 5 MHz, 3–4 fits 10 MHz, ≥ 5 fits
+    /// 20 MHz.
+    pub fn widest_fitting_width(self) -> Option<Width> {
+        Width::WIDEST_FIRST
+            .iter()
+            .copied()
+            .find(|w| w.span() <= self.len)
+    }
+
+    /// All WhiteFi channels whose span lies entirely within the fragment.
+    pub fn channels_within(self) -> Vec<WfChannel> {
+        let mut out = Vec::new();
+        for w in Width::ALL {
+            let span = w.span();
+            if span > self.len {
+                continue;
+            }
+            let h = w.half_span();
+            for c in self.start + h..=self.start + self.len - 1 - h {
+                out.push(WfChannel::from_parts(c, w));
+            }
+        }
+        out
+    }
+}
+
+/// A histogram of contiguous fragment widths over a collection of spectrum
+/// maps — one count per possible width 1..=30 (index 0 unused).
+///
+/// This reproduces the statistic behind Figure 2: for each map the
+/// fragments are extracted and each fragment increments the bucket of its
+/// width.
+pub fn fragment_histogram<'a, I>(maps: I) -> [usize; NUM_UHF_CHANNELS + 1]
+where
+    I: IntoIterator<Item = &'a SpectrumMap>,
+{
+    let mut hist = [0usize; NUM_UHF_CHANNELS + 1];
+    for m in maps {
+        for f in m.fragments() {
+            hist[f.len()] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_accessors() {
+        let f = Fragment::new(4, 3);
+        assert_eq!(f.start(), 4);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert!((f.mhz() - 18.0).abs() < 1e-12);
+        let chans: Vec<usize> = f.channels().map(|c| c.index()).collect();
+        assert_eq!(chans, vec![4, 5, 6]);
+        assert!(f.contains(UhfChannel::from_index(5)));
+        assert!(!f.contains(UhfChannel::from_index(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fragment exceeds band")]
+    fn fragment_past_band_edge_panics() {
+        let _ = Fragment::new(28, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_fragment_panics() {
+        let _ = Fragment::new(0, 0);
+    }
+
+    #[test]
+    fn widest_fitting_width_thresholds() {
+        assert_eq!(Fragment::new(0, 1).widest_fitting_width(), Some(Width::W5));
+        assert_eq!(Fragment::new(0, 2).widest_fitting_width(), Some(Width::W5));
+        assert_eq!(Fragment::new(0, 3).widest_fitting_width(), Some(Width::W10));
+        assert_eq!(Fragment::new(0, 4).widest_fitting_width(), Some(Width::W10));
+        assert_eq!(Fragment::new(0, 5).widest_fitting_width(), Some(Width::W20));
+        assert_eq!(
+            Fragment::new(0, 16).widest_fitting_width(),
+            Some(Width::W20)
+        );
+    }
+
+    #[test]
+    fn channels_within_counts() {
+        // Fragment of 5: 5 five-MHz, 3 ten-MHz, 1 twenty-MHz channels.
+        let f = Fragment::new(10, 5);
+        let within = f.channels_within();
+        let count = |w: Width| within.iter().filter(|c| c.width() == w).count();
+        assert_eq!(count(Width::W5), 5);
+        assert_eq!(count(Width::W10), 3);
+        assert_eq!(count(Width::W20), 1);
+        // Everything admitted by the corresponding map.
+        let mut map = SpectrumMap::all_occupied();
+        for c in f.channels() {
+            map.set_free(c);
+        }
+        for wf in &within {
+            assert!(map.admits(*wf));
+        }
+        assert_eq!(map.available_channels().len(), within.len());
+    }
+
+    #[test]
+    fn histogram_counts_fragments() {
+        let a = SpectrumMap::from_free([0, 1, 2, 10]); // fragments 3, 1
+        let b = SpectrumMap::from_free([5, 6, 7]); // fragment 3
+        let h = fragment_histogram([&a, &b]);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[3], 2);
+        assert_eq!(h.iter().sum::<usize>(), 3);
+    }
+}

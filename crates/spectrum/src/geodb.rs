@@ -1,0 +1,266 @@
+//! Geo-location database for incumbent protection.
+//!
+//! Besides sensing, §3 notes: "The FCC is looking at the use of a
+//! geo-location database to regulate and inform clients about the
+//! presence of primary users" — the mechanism that ultimately shipped in
+//! the real white-space rules. This module implements that substrate: a
+//! database of TV station records with transmitter locations and
+//! protected service contours, answering "which channels may a device at
+//! location X use?".
+//!
+//! The model is deliberately simple and fully documented:
+//!
+//! * locations are planar kilometre coordinates (fine at metro scale);
+//! * a station's **service contour** is a disc around its transmitter
+//!   whose radius grows with effective radiated power (a smooth stand-in
+//!   for the FCC's F(50,90) propagation curves);
+//! * a white-space device must stay outside the contour *plus a
+//!   protection margin* (the real rules add kilometres of separation for
+//!   portable devices) — inside that keep-out disc the channel is
+//!   occupied.
+//!
+//! The database view complements sensing: [`GeoDatabase::query`] produces
+//! the same [`SpectrumMap`] shape the sensing path produces, so protocol
+//! code can combine both (the FCC requires the union).
+
+use crate::channel::UhfChannel;
+use crate::map::SpectrumMap;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A planar location in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Location {
+    /// East–west coordinate, km.
+    pub x_km: f64,
+    /// North–south coordinate, km.
+    pub y_km: f64,
+}
+
+impl Location {
+    /// Creates a location.
+    pub fn new(x_km: f64, y_km: f64) -> Self {
+        Self { x_km, y_km }
+    }
+
+    /// Euclidean distance to `other`, km.
+    pub fn distance_km(&self, other: Location) -> f64 {
+        ((self.x_km - other.x_km).powi(2) + (self.y_km - other.y_km).powi(2)).sqrt()
+    }
+}
+
+/// Protection margin added outside the service contour for portable
+/// white-space devices, km. (The FCC's rules specify kilometre-scale
+/// separations outside the protected contour; we use a single
+/// representative constant.)
+pub const PORTABLE_PROTECTION_MARGIN_KM: f64 = 14.4;
+
+/// Service-contour radius for a transmitter of the given effective
+/// radiated power.
+///
+/// A full-power UHF station (~1000 kW ERP) reaches ≈ 90 km; the radius
+/// scales with the cube root of power (free-space-ish over flat terrain),
+/// clamped to a 5 km floor for translators/boosters.
+pub fn contour_radius_km(erp_kw: f64) -> f64 {
+    (90.0 * (erp_kw.max(0.0) / 1000.0).powf(1.0 / 3.0)).max(5.0)
+}
+
+/// One TV station record in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StationRecord {
+    /// Licensed UHF channel.
+    pub channel: UhfChannel,
+    /// Transmitter site.
+    pub site: Location,
+    /// Effective radiated power, kW.
+    pub erp_kw: f64,
+}
+
+impl StationRecord {
+    /// The protected service-contour radius of this station, km.
+    pub fn contour_km(&self) -> f64 {
+        contour_radius_km(self.erp_kw)
+    }
+
+    /// Whether a white-space device at `loc` must avoid this station's
+    /// channel (inside contour + margin).
+    pub fn blocks(&self, loc: Location, margin_km: f64) -> bool {
+        self.site.distance_km(loc) <= self.contour_km() + margin_km
+    }
+}
+
+/// The geo-location database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GeoDatabase {
+    stations: Vec<StationRecord>,
+    /// Protection margin applied on queries, km.
+    pub margin_km: f64,
+}
+
+impl GeoDatabase {
+    /// An empty database with the portable-device protection margin.
+    pub fn new() -> Self {
+        Self {
+            stations: Vec::new(),
+            margin_km: PORTABLE_PROTECTION_MARGIN_KM,
+        }
+    }
+
+    /// Registers a station.
+    pub fn register(&mut self, record: StationRecord) {
+        self.stations.push(record);
+    }
+
+    /// All registered stations.
+    pub fn stations(&self) -> &[StationRecord] {
+        &self.stations
+    }
+
+    /// The spectrum map a device at `loc` must obey: a channel is
+    /// occupied iff some station on it blocks `loc`.
+    pub fn query(&self, loc: Location) -> SpectrumMap {
+        let mut map = SpectrumMap::all_free();
+        for s in &self.stations {
+            if s.blocks(loc, self.margin_km) {
+                map.set_occupied(s.channel);
+            }
+        }
+        map
+    }
+
+    /// The stations whose protected area covers `loc` (for UI/diagnosis).
+    pub fn blocking_stations(&self, loc: Location) -> Vec<StationRecord> {
+        self.stations
+            .iter()
+            .filter(|s| s.blocks(loc, self.margin_km))
+            .copied()
+            .collect()
+    }
+
+    /// Generates a synthetic metro-area database: `n` stations with
+    /// full-power transmitters clustered near the metro centre and
+    /// lower-power translators scattered outward.
+    pub fn synthetic_metro<R: Rng + ?Sized>(n: usize, radius_km: f64, rng: &mut R) -> Self {
+        let mut db = Self::new();
+        for _ in 0..n {
+            let full_power = rng.gen_bool(0.6);
+            let r = if full_power {
+                rng.gen_range(0.0..radius_km * 0.3)
+            } else {
+                rng.gen_range(radius_km * 0.3..radius_km)
+            };
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let erp = if full_power {
+                rng.gen_range(300.0..1000.0)
+            } else {
+                rng.gen_range(5.0..100.0)
+            };
+            db.register(StationRecord {
+                channel: UhfChannel::from_index(rng.gen_range(0..crate::channel::NUM_UHF_CHANNELS)),
+                site: Location::new(r * theta.cos(), r * theta.sin()),
+                erp_kw: erp,
+            });
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn station(channel: usize, x: f64, y: f64, erp: f64) -> StationRecord {
+        StationRecord {
+            channel: UhfChannel::from_index(channel),
+            site: Location::new(x, y),
+            erp_kw: erp,
+        }
+    }
+
+    #[test]
+    fn contour_scales_with_power() {
+        assert!((contour_radius_km(1000.0) - 90.0).abs() < 1e-9);
+        // 1/8 the power → half the radius.
+        assert!((contour_radius_km(125.0) - 45.0).abs() < 1e-9);
+        // Floor for tiny translators.
+        assert_eq!(contour_radius_km(0.01), 5.0);
+        assert_eq!(contour_radius_km(-3.0), 5.0);
+    }
+
+    #[test]
+    fn query_inside_and_outside_contour() {
+        let mut db = GeoDatabase::new();
+        db.register(station(7, 0.0, 0.0, 1000.0)); // contour 90 km
+        let ch = UhfChannel::from_index(7);
+        // Inside the contour: blocked.
+        assert!(db.query(Location::new(50.0, 0.0)).is_occupied(ch));
+        // Just outside the contour but inside the margin: still blocked.
+        assert!(db.query(Location::new(95.0, 0.0)).is_occupied(ch));
+        // Beyond contour + margin: free.
+        assert!(db.query(Location::new(110.0, 0.0)).is_free(ch));
+        // Other channels unaffected everywhere.
+        assert!(db
+            .query(Location::new(0.0, 0.0))
+            .is_free(UhfChannel::from_index(8)));
+    }
+
+    #[test]
+    fn maps_union_across_stations() {
+        let mut db = GeoDatabase::new();
+        db.register(station(3, 0.0, 0.0, 1000.0));
+        db.register(station(9, 30.0, 0.0, 1000.0));
+        db.register(station(20, 500.0, 0.0, 1000.0)); // far away
+        let map = db.query(Location::new(10.0, 0.0));
+        assert!(map.is_occupied(UhfChannel::from_index(3)));
+        assert!(map.is_occupied(UhfChannel::from_index(9)));
+        assert!(map.is_free(UhfChannel::from_index(20)));
+        assert_eq!(db.blocking_stations(Location::new(10.0, 0.0)).len(), 2);
+    }
+
+    #[test]
+    fn hidden_terminal_rationale() {
+        // §3's 30 dB detection buffer exists because "a TV is within
+        // transmission range of the TV tower but the transmitting device
+        // is not". In database terms: the device sits outside the range
+        // at which it could *sense* the tower, yet inside the protected
+        // area — and the database still blocks it.
+        let mut db = GeoDatabase::new();
+        db.register(station(5, 0.0, 0.0, 1000.0));
+        let fringe = Location::new(100.0, 0.0); // contour 90 + margin 14.4
+        assert!(db.query(fringe).is_occupied(UhfChannel::from_index(5)));
+    }
+
+    #[test]
+    fn database_and_sensing_maps_compose() {
+        // The FCC requires obeying the union of database and sensing.
+        let mut db = GeoDatabase::new();
+        db.register(station(2, 0.0, 0.0, 1000.0));
+        let db_map = db.query(Location::new(10.0, 0.0));
+        let sensed = SpectrumMap::from_occupied([17]); // a local mic
+        let combined = db_map.union(sensed);
+        assert!(combined.is_occupied(UhfChannel::from_index(2)));
+        assert!(combined.is_occupied(UhfChannel::from_index(17)));
+    }
+
+    #[test]
+    fn synthetic_metro_blocks_more_downtown_than_exurban() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let db = GeoDatabase::synthetic_metro(25, 60.0, &mut rng);
+        let downtown = db.query(Location::new(0.0, 0.0)).occupied_count();
+        let exurban = db.query(Location::new(250.0, 0.0)).occupied_count();
+        assert!(
+            downtown > exurban,
+            "downtown {downtown} vs exurban {exurban}"
+        );
+        assert!(exurban <= 5, "exurban should be mostly free: {exurban}");
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = GeoDatabase::synthetic_metro(10, 40.0, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = GeoDatabase::synthetic_metro(10, 40.0, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a.stations(), b.stations());
+    }
+}

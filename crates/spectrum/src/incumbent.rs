@@ -1,0 +1,346 @@
+//! Incumbent (primary user) models: TV stations and wireless microphones.
+//!
+//! TV broadcasts are the largest incumbent use of the band and are static
+//! on the timescales WhiteFi cares about; wireless microphones "can be
+//! turned on at any time" (§2.3) and are the source of the temporal
+//! variation that motivates the chirping disconnection protocol.
+//!
+//! Times throughout are integer nanoseconds of simulated time, matching the
+//! timebase of the `whitefi-mac` event simulator.
+
+use crate::channel::UhfChannel;
+use crate::map::SpectrumMap;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds of simulated time.
+pub type Nanos = u64;
+
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// A TV station occupying one UHF channel (statically, for the lifetime of
+/// a simulation).
+///
+/// Real stations are detected down to −114 dBm by the KNOWS scanner —
+/// 30 dB below the −85 dBm decode threshold, to cover the hidden-terminal
+/// case (§3). We carry the received power so detector models can apply the
+/// same margins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TvStation {
+    /// The occupied UHF channel.
+    pub channel: UhfChannel,
+    /// Received signal power at the measuring node, in dBm.
+    pub power_dbm: f64,
+}
+
+impl TvStation {
+    /// A station received at a typical in-market strength.
+    pub fn strong(channel: UhfChannel) -> Self {
+        Self {
+            channel,
+            power_dbm: -60.0,
+        }
+    }
+
+    /// A fringe station, below the decode threshold but above the FCC
+    /// detection requirement — the hidden-terminal case the 30 dB buffer
+    /// exists for.
+    pub fn fringe(channel: UhfChannel) -> Self {
+        Self {
+            channel,
+            power_dbm: -100.0,
+        }
+    }
+
+    /// Whether a scanner with the given sensitivity (dBm) detects this
+    /// station. The KNOWS scanner detects TV at −114 dBm (§3).
+    pub fn detectable_at(&self, sensitivity_dbm: f64) -> bool {
+        self.power_dbm >= sensitivity_dbm
+    }
+}
+
+/// Activity interval of a wireless microphone: on from `start` to `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicActivity {
+    /// When the mic switches on.
+    pub start: Nanos,
+    /// When the mic switches off (exclusive).
+    pub end: Nanos,
+}
+
+impl MicActivity {
+    /// Whether the mic is on at time `t`.
+    pub fn active_at(&self, t: Nanos) -> bool {
+        (self.start..self.end).contains(&t)
+    }
+
+    /// Duration of the activity in nanoseconds.
+    pub fn duration(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// On/off schedule for one wireless microphone on one channel.
+///
+/// Mic usage is "highly unpredictable" (§2.3): rooms are over-provisioned
+/// with mics on many channels and operators pick a few arbitrarily. We
+/// model a schedule as an explicit, sorted, non-overlapping list of
+/// activity intervals, either scripted or sampled from exponential on/off
+/// holding times.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MicSchedule {
+    intervals: Vec<MicActivity>,
+}
+
+impl MicSchedule {
+    /// An always-off schedule.
+    pub fn silent() -> Self {
+        Self::default()
+    }
+
+    /// A scripted schedule from explicit intervals.
+    ///
+    /// # Panics
+    /// If intervals are unsorted or overlap.
+    pub fn scripted(intervals: Vec<MicActivity>) -> Self {
+        for w in intervals.windows(2) {
+            assert!(
+                w[0].end <= w[1].start,
+                "mic intervals must be sorted and non-overlapping"
+            );
+        }
+        Self { intervals }
+    }
+
+    /// Samples a random schedule over `[0, horizon)` with exponential off
+    /// periods (mean `mean_off_s` seconds) and on periods (mean
+    /// `mean_on_s`).
+    pub fn sample<R: Rng + ?Sized>(
+        rng: &mut R,
+        horizon: Nanos,
+        mean_off_s: f64,
+        mean_on_s: f64,
+    ) -> Self {
+        let exp = |rng: &mut R, mean: f64| -> Nanos {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            ((-mean * u.ln()) * NANOS_PER_SEC as f64) as Nanos
+        };
+        let mut t: Nanos = 0;
+        let mut intervals = Vec::new();
+        loop {
+            t = t.saturating_add(exp(rng, mean_off_s));
+            if t >= horizon {
+                break;
+            }
+            let end = (t.saturating_add(exp(rng, mean_on_s))).min(horizon);
+            intervals.push(MicActivity { start: t, end });
+            t = end;
+        }
+        Self { intervals }
+    }
+
+    /// Whether the mic is on at time `t`.
+    pub fn active_at(&self, t: Nanos) -> bool {
+        // Binary search over sorted intervals.
+        self.intervals
+            .binary_search_by(|iv| {
+                if t < iv.start {
+                    std::cmp::Ordering::Greater
+                } else if t >= iv.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// The next on/off transition strictly after `t`, if any. Used by the
+    /// simulator to schedule incumbent-appearance events.
+    pub fn next_transition(&self, t: Nanos) -> Option<Nanos> {
+        self.intervals
+            .iter()
+            .flat_map(|iv| [iv.start, iv.end])
+            .find(|&edge| edge > t)
+    }
+
+    /// The scripted or sampled intervals.
+    pub fn intervals(&self) -> &[MicActivity] {
+        &self.intervals
+    }
+
+    /// Total on-time over the schedule.
+    pub fn total_on(&self) -> Nanos {
+        self.intervals.iter().map(|iv| iv.duration()).sum()
+    }
+}
+
+/// A wireless microphone bound to a channel with an activity schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirelessMic {
+    /// The UHF channel the mic transmits on.
+    pub channel: UhfChannel,
+    /// When the mic is on.
+    pub schedule: MicSchedule,
+    /// Received power at the measuring node, dBm. KNOWS detects mics at
+    /// −110 dBm (§3).
+    pub power_dbm: f64,
+}
+
+impl WirelessMic {
+    /// A mic at lecture-room strength with the given schedule.
+    pub fn new(channel: UhfChannel, schedule: MicSchedule) -> Self {
+        Self {
+            channel,
+            schedule,
+            power_dbm: -50.0,
+        }
+    }
+
+    /// Whether this mic is transmitting at time `t`.
+    pub fn active_at(&self, t: Nanos) -> bool {
+        self.schedule.active_at(t)
+    }
+}
+
+/// The incumbent environment at one node: static TV stations plus mics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IncumbentSet {
+    /// TV stations received at this node.
+    pub tv: Vec<TvStation>,
+    /// Wireless microphones audible at this node.
+    pub mics: Vec<WirelessMic>,
+}
+
+impl IncumbentSet {
+    /// The spectrum map observed at time `t`: a channel is occupied if a
+    /// detectable TV station or an active mic is on it.
+    pub fn map_at(&self, t: Nanos, sensitivity_dbm: f64) -> SpectrumMap {
+        let mut m = SpectrumMap::all_free();
+        for s in &self.tv {
+            if s.detectable_at(sensitivity_dbm) {
+                m.set_occupied(s.channel);
+            }
+        }
+        for mic in &self.mics {
+            if mic.active_at(t) && mic.power_dbm >= sensitivity_dbm {
+                m.set_occupied(mic.channel);
+            }
+        }
+        m
+    }
+
+    /// Next time after `t` at which the observed map may change.
+    pub fn next_change(&self, t: Nanos) -> Option<Nanos> {
+        self.mics
+            .iter()
+            .filter_map(|m| m.schedule.next_transition(t))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const SEC: Nanos = NANOS_PER_SEC;
+
+    #[test]
+    fn tv_detection_margins_match_knows() {
+        let fringe = TvStation::fringe(UhfChannel::from_index(4));
+        // Scanner at −114 dBm sees it; a plain transceiver at −85 dBm does
+        // not — the hidden-terminal case.
+        assert!(fringe.detectable_at(-114.0));
+        assert!(!fringe.detectable_at(-85.0));
+    }
+
+    #[test]
+    fn scripted_schedule_activity() {
+        let s = MicSchedule::scripted(vec![
+            MicActivity {
+                start: SEC,
+                end: 3 * SEC,
+            },
+            MicActivity {
+                start: 5 * SEC,
+                end: 6 * SEC,
+            },
+        ]);
+        assert!(!s.active_at(0));
+        assert!(s.active_at(SEC));
+        assert!(s.active_at(2 * SEC));
+        assert!(!s.active_at(3 * SEC));
+        assert!(s.active_at(5 * SEC + 1));
+        assert!(!s.active_at(7 * SEC));
+        assert_eq!(s.total_on(), 3 * SEC);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-overlapping")]
+    fn overlapping_intervals_rejected() {
+        MicSchedule::scripted(vec![
+            MicActivity {
+                start: 0,
+                end: 2 * SEC,
+            },
+            MicActivity {
+                start: SEC,
+                end: 3 * SEC,
+            },
+        ]);
+    }
+
+    #[test]
+    fn next_transition_walks_edges() {
+        let s = MicSchedule::scripted(vec![MicActivity {
+            start: SEC,
+            end: 3 * SEC,
+        }]);
+        assert_eq!(s.next_transition(0), Some(SEC));
+        assert_eq!(s.next_transition(SEC), Some(3 * SEC));
+        assert_eq!(s.next_transition(3 * SEC), None);
+    }
+
+    #[test]
+    fn sampled_schedule_is_sorted_and_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let s = MicSchedule::sample(&mut rng, 3600 * SEC, 300.0, 60.0);
+        assert!(!s.intervals().is_empty());
+        for w in s.intervals().windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        assert!(s.intervals().last().unwrap().end <= 3600 * SEC);
+    }
+
+    #[test]
+    fn sampled_on_fraction_near_expectation() {
+        // mean_off 300 s, mean_on 60 s → on fraction ≈ 60/360 ≈ 0.167.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let horizon = 200_000 * SEC;
+        let s = MicSchedule::sample(&mut rng, horizon, 300.0, 60.0);
+        let frac = s.total_on() as f64 / horizon as f64;
+        assert!((frac - 1.0 / 6.0).abs() < 0.03, "on fraction {frac}");
+    }
+
+    #[test]
+    fn incumbent_set_map_reflects_mic_activity() {
+        let mut set = IncumbentSet::default();
+        set.tv.push(TvStation::strong(UhfChannel::from_index(2)));
+        set.mics.push(WirelessMic::new(
+            UhfChannel::from_index(9),
+            MicSchedule::scripted(vec![MicActivity {
+                start: 10 * SEC,
+                end: 20 * SEC,
+            }]),
+        ));
+        let before = set.map_at(0, -114.0);
+        assert!(before.is_occupied(UhfChannel::from_index(2)));
+        assert!(before.is_free(UhfChannel::from_index(9)));
+        let during = set.map_at(15 * SEC, -114.0);
+        assert!(during.is_occupied(UhfChannel::from_index(9)));
+        assert_eq!(set.next_change(0), Some(10 * SEC));
+        assert_eq!(set.next_change(10 * SEC), Some(20 * SEC));
+    }
+}

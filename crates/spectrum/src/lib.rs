@@ -1,0 +1,41 @@
+//! UHF white-space band model for the WhiteFi reproduction.
+//!
+//! This crate captures everything the paper's Section 2 ("Characterizing
+//! White Spaces") and Section 4 ("Preliminaries") say about the spectrum
+//! itself, independent of any radio or MAC:
+//!
+//! * the 30 usable 6 MHz **UHF channels** (TV channels 21–51, excluding 37),
+//! * variable-width **WhiteFi channels** `(F, W)` with `W ∈ {5, 10, 20} MHz`,
+//! * per-node **spectrum maps** (incumbent occupancy bit-vectors) and
+//!   **airtime vectors** (busy fraction + interfering-AP count per channel),
+//! * **fragmentation** analysis (contiguous free runs),
+//! * **incumbent** models: TV stations (static) and wireless microphones
+//!   (abrupt temporal variation),
+//! * a synthetic **geography** generator reproducing the urban / suburban /
+//!   rural fragmentation regimes of Figure 2, and
+//! * the **spatial variation** models behind Section 2.1 (pairwise Hamming
+//!   distance across buildings) and Figure 12 (random map flips).
+//!
+//! The crate is deterministic: all randomness flows through caller-provided
+//! seeded RNGs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airtime;
+pub mod channel;
+pub mod fragment;
+pub mod geodb;
+pub mod geography;
+pub mod incumbent;
+pub mod map;
+pub mod spatial;
+
+pub use airtime::{AirtimeVector, ChannelLoad};
+pub use channel::{UhfChannel, WfChannel, Width, NUM_UHF_CHANNELS};
+pub use fragment::{fragment_histogram, Fragment};
+pub use geodb::{contour_radius_km, GeoDatabase, Location, StationRecord};
+pub use geography::{Locale, LocaleClass};
+pub use incumbent::{IncumbentSet, MicActivity, MicSchedule, Nanos, TvStation, WirelessMic};
+pub use map::SpectrumMap;
+pub use spatial::{flip_map, median, pairwise_hamming, BuildingSampler};

@@ -1,0 +1,101 @@
+//! Property-based tests for the geo-location database.
+
+use proptest::prelude::*;
+use whitefi_spectrum::{contour_radius_km, GeoDatabase, Location, StationRecord, UhfChannel};
+
+fn arb_station() -> impl Strategy<Value = StationRecord> {
+    (
+        0usize..30,
+        -200.0f64..200.0,
+        -200.0f64..200.0,
+        0.1f64..1000.0,
+    )
+        .prop_map(|(ch, x, y, erp)| StationRecord {
+            channel: UhfChannel::from_index(ch),
+            site: Location::new(x, y),
+            erp_kw: erp,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Contours are monotone in power and floored.
+    #[test]
+    fn contour_monotone(a in 0.0f64..2000.0, b in 0.0f64..2000.0) {
+        prop_assume!(a < b);
+        prop_assert!(contour_radius_km(a) <= contour_radius_km(b));
+        prop_assert!(contour_radius_km(a) >= 5.0);
+    }
+
+    /// Blocking is exactly "inside contour + margin".
+    #[test]
+    fn blocking_matches_distance(s in arb_station(), x in -400.0f64..400.0, y in -400.0f64..400.0) {
+        let mut db = GeoDatabase::new();
+        db.register(s);
+        let loc = Location::new(x, y);
+        let blocked = db.query(loc).is_occupied(s.channel);
+        let inside = s.site.distance_km(loc) <= s.contour_km() + db.margin_km;
+        prop_assert_eq!(blocked, inside);
+        // Channels nobody is licensed on are always free.
+        for ch in 0..30usize {
+            if ch != s.channel.index() {
+                prop_assert!(db.query(loc).is_free(UhfChannel::from_index(ch)));
+            }
+        }
+    }
+
+    /// The database map is the union of per-station maps; moving closer
+    /// to a station never frees its channel.
+    #[test]
+    fn union_and_monotone_distance(
+        stations in prop::collection::vec(arb_station(), 1..8),
+        x in -300.0f64..300.0,
+        y in -300.0f64..300.0,
+    ) {
+        let mut db = GeoDatabase::new();
+        for s in &stations {
+            db.register(*s);
+        }
+        let loc = Location::new(x, y);
+        let map = db.query(loc);
+        for s in &stations {
+            let mut single = GeoDatabase::new();
+            single.register(*s);
+            if single.query(loc).is_occupied(s.channel) {
+                prop_assert!(map.is_occupied(s.channel));
+            }
+            // Walk 90% of the way toward the transmitter: still blocked
+            // if it was blocked from farther out.
+            if map.is_occupied(s.channel) && single.query(loc).is_occupied(s.channel) {
+                let closer = Location::new(
+                    s.site.x_km + (loc.x_km - s.site.x_km) * 0.1,
+                    s.site.y_km + (loc.y_km - s.site.y_km) * 0.1,
+                );
+                prop_assert!(db.query(closer).is_occupied(s.channel));
+            }
+        }
+        // blocking_stations agrees with the map.
+        let blockers = db.blocking_stations(loc);
+        for b in &blockers {
+            prop_assert!(map.is_occupied(b.channel));
+        }
+        prop_assert_eq!(
+            map.occupied_count() == 0,
+            blockers.is_empty()
+        );
+    }
+
+    /// Distance is a metric (symmetric, zero iff same point, triangle).
+    #[test]
+    fn distance_metric(ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+                       bx in -100.0f64..100.0, by in -100.0f64..100.0,
+                       cx in -100.0f64..100.0, cy in -100.0f64..100.0) {
+        let a = Location::new(ax, ay);
+        let b = Location::new(bx, by);
+        let c = Location::new(cx, cy);
+        prop_assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        prop_assert!(a.distance_km(a) < 1e-12);
+        prop_assert!(a.distance_km(c) <= a.distance_km(b) + b.distance_km(c) + 1e-9);
+    }
+}

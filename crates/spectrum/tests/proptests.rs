@@ -1,0 +1,123 @@
+//! Property-based tests for the spectrum model.
+
+use proptest::prelude::*;
+use whitefi_spectrum::{
+    fragment_histogram, SpectrumMap, UhfChannel, WfChannel, Width, NUM_UHF_CHANNELS,
+};
+
+fn arb_map() -> impl Strategy<Value = SpectrumMap> {
+    (0u32..(1 << NUM_UHF_CHANNELS)).prop_map(SpectrumMap::from_bits)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W5), Just(Width::W10), Just(Width::W20)]
+}
+
+proptest! {
+    #[test]
+    fn bits_round_trip(m in arb_map()) {
+        prop_assert_eq!(SpectrumMap::from_bits(m.bits()), m);
+    }
+
+    #[test]
+    fn occupied_plus_free_is_thirty(m in arb_map()) {
+        prop_assert_eq!(m.occupied_count() + m.free_count(), NUM_UHF_CHANNELS);
+    }
+
+    #[test]
+    fn hamming_is_a_metric(a in arb_map(), b in arb_map(), c in arb_map()) {
+        prop_assert_eq!(a.hamming(b), b.hamming(a));
+        prop_assert_eq!(a.hamming(a), 0);
+        // Triangle inequality.
+        prop_assert!(a.hamming(c) <= a.hamming(b) + b.hamming(c));
+        // Identity of indiscernibles.
+        if a.hamming(b) == 0 { prop_assert_eq!(a, b); }
+    }
+
+    #[test]
+    fn union_is_monotone(a in arb_map(), b in arb_map()) {
+        let u = a.union(b);
+        for ch in UhfChannel::all() {
+            if a.is_occupied(ch) || b.is_occupied(ch) {
+                prop_assert!(u.is_occupied(ch));
+            } else {
+                prop_assert!(u.is_free(ch));
+            }
+        }
+        // Union can only shrink the candidate set.
+        prop_assert!(u.available_channels().len() <= a.available_channels().len());
+    }
+
+    #[test]
+    fn fragments_partition_free_channels(m in arb_map()) {
+        let frags = m.fragments();
+        // Total fragment length equals free count.
+        let total: usize = frags.iter().map(|f| f.len()).sum();
+        prop_assert_eq!(total, m.free_count());
+        // Fragments are maximal: separated by at least one occupied channel.
+        for w in frags.windows(2) {
+            prop_assert!(w[0].start() + w[0].len() < w[1].start());
+        }
+        // Every fragment channel is free.
+        for f in &frags {
+            for ch in f.channels() {
+                prop_assert!(m.is_free(ch));
+            }
+        }
+    }
+
+    #[test]
+    fn available_channels_fit_in_fragments(m in arb_map()) {
+        let frags = m.fragments();
+        for wf in m.available_channels() {
+            // The span of every available channel lies inside one fragment.
+            let hosted = frags.iter().any(|f| {
+                f.start() <= wf.low_index() && wf.high_index() < f.start() + f.len()
+            });
+            prop_assert!(hosted, "channel {wf} not inside any fragment");
+        }
+        // Conversely, per-fragment enumeration covers exactly the same set.
+        let mut from_frags: Vec<WfChannel> =
+            frags.iter().flat_map(|f| f.channels_within()).collect();
+        let mut avail = m.available_channels();
+        from_frags.sort();
+        avail.sort();
+        prop_assert_eq!(from_frags, avail);
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_channel(m in arb_map(), i in 0usize..NUM_UHF_CHANNELS) {
+        let mut f = m;
+        f.flip(UhfChannel::from_index(i));
+        prop_assert_eq!(m.hamming(f), 1);
+        f.flip(UhfChannel::from_index(i));
+        prop_assert_eq!(m, f);
+    }
+
+    #[test]
+    fn widest_fragment_bounds_widest_available_width(m in arb_map()) {
+        let widest = m.widest_fragment();
+        for wf in m.available_channels() {
+            prop_assert!(wf.width().span() <= widest);
+        }
+    }
+
+    #[test]
+    fn histogram_total_matches_fragment_count(m in arb_map()) {
+        let h = fragment_histogram([&m]);
+        prop_assert_eq!(h.iter().sum::<usize>(), m.fragments().len());
+        prop_assert_eq!(h[0], 0);
+    }
+
+    #[test]
+    fn overlap_iff_span_intersection(ci in 0usize..NUM_UHF_CHANNELS, wi in arb_width(),
+                                      cj in 0usize..NUM_UHF_CHANNELS, wj in arb_width()) {
+        let (Some(a), Some(b)) = (
+            WfChannel::new(UhfChannel::from_index(ci), wi),
+            WfChannel::new(UhfChannel::from_index(cj), wj),
+        ) else { return Ok(()); };
+        let brute = a.spanned().any(|u| b.contains(u));
+        prop_assert_eq!(a.overlaps(b), brute);
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+    }
+}

@@ -1,0 +1,647 @@
+//! The WhiteFi access-point state machine.
+//!
+//! The AP runs the full §4.1 loop:
+//!
+//! * beacons every 100 ms, advertising the 5 MHz backup channel;
+//! * measures per-UHF-channel airtime with the scanning radio
+//!   (round-robin, one channel per dwell);
+//! * collects client reports, and periodically re-evaluates the spectrum
+//!   assignment with the MCham objective plus hysteresis (voluntary
+//!   switches), announcing the move with `SwitchAnnounce` broadcasts on
+//!   the old channel before retuning;
+//! * vacates immediately when an incumbent appears on the main channel —
+//!   an involuntary switch (§4.3): it retunes to the backup channel
+//!   without transmitting anything further on the incumbent's channel,
+//!   chirps there, collects the chirped spectrum maps, reassigns, and
+//!   announces on the backup channel;
+//! * scans the backup channel for client chirps every
+//!   `backup_scan_interval` (3 s in the paper's §5.3 experiment) using
+//!   SIFT burst-length matching on the scanner's view — only when a chirp
+//!   is detected does the main radio visit the backup channel.
+
+use crate::assignment::{Assigner, AssignerConfig, Decision};
+use crate::chirp::{choose_backup, choose_secondary_backup, ChirpDetector};
+use crate::mcham::NodeReport;
+use whitefi_mac::{Behavior, Ctx, Frame, FrameKind, NodeId};
+use whitefi_phy::synth::duration_to_samples;
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_spectrum::{AirtimeVector, ChannelLoad, SpectrumMap, UhfChannel, WfChannel, Width};
+
+/// Timer keys.
+mod keys {
+    pub const BEACON: u64 = 1;
+    pub const SCAN: u64 = 2;
+    pub const REASSESS: u64 = 3;
+    pub const BACKUP_SCAN: u64 = 4;
+    pub const BACKUP_DONE: u64 = 5;
+    pub const SWITCH_FALLBACK: u64 = 6;
+    pub const AP_CHIRP: u64 = 7;
+    pub const PUMP: u64 = 8;
+}
+
+/// AP configuration.
+#[derive(Debug, Clone)]
+pub struct ApConfig {
+    /// Beacon period (100 ms, as in Wi-Fi).
+    pub beacon_interval: SimDuration,
+    /// Scanner dwell per UHF channel for airtime measurement.
+    pub scan_dwell: SimDuration,
+    /// Interval between voluntary re-evaluations of the assignment.
+    pub reassess_interval: SimDuration,
+    /// Interval between SIFT scans of the backup channel for chirps
+    /// ("the AP switched to the backup channel once every 3 seconds",
+    /// §5.3).
+    pub backup_scan_interval: SimDuration,
+    /// Time spent on the backup channel collecting chirped maps (the
+    /// threshold interval `T_c` of §4.3).
+    pub chirp_collect: SimDuration,
+    /// When `false`, the AP never changes channel (the OPT-x baselines).
+    pub adaptive: bool,
+    /// Downlink payload bytes per frame; `None` disables downlink
+    /// traffic.
+    pub downlink_bytes: Option<usize>,
+    /// Downlink CBR interval; `None` with `downlink_bytes` set means
+    /// backlogged round-robin across clients.
+    pub downlink_interval: Option<SimDuration>,
+    /// Assignment hysteresis knobs.
+    pub assigner: AssignerConfig,
+    /// Network security key: chirp payloads are processed "only if …
+    /// encoded with the network's security key" (§4.3). Fake chirps
+    /// still cost the brief main-radio visit to the backup channel.
+    pub key: u32,
+}
+
+impl Default for ApConfig {
+    fn default() -> Self {
+        Self {
+            beacon_interval: SimDuration::from_millis(100),
+            scan_dwell: SimDuration::from_millis(200),
+            reassess_interval: SimDuration::from_secs(2),
+            backup_scan_interval: SimDuration::from_secs(3),
+            // Must stay well below the client watchdog, or every backup
+            // excursion would knock connected clients into disconnection.
+            chirp_collect: SimDuration::from_millis(300),
+            adaptive: true,
+            downlink_bytes: None,
+            downlink_interval: None,
+            assigner: AssignerConfig::default(),
+            key: 0,
+        }
+    }
+}
+
+impl ApConfig {
+    /// Enables backlogged downlink traffic to all associated clients.
+    pub fn saturating_downlink(mut self, bytes: usize) -> Self {
+        self.downlink_bytes = Some(bytes);
+        self.downlink_interval = None;
+        self
+    }
+
+    /// Pins the AP to its initial channel (baseline mode).
+    pub fn fixed(mut self) -> Self {
+        self.adaptive = false;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Normal operation on the main channel.
+    Main,
+    /// Announcing a voluntary switch on the old main channel.
+    SwitchingFromMain {
+        target: WfChannel,
+        announces_left: u8,
+    },
+    /// On the backup channel collecting chirps.
+    OnBackup,
+    /// Announcing the post-disconnection assignment on the backup channel.
+    SwitchingFromBackup {
+        target: WfChannel,
+        announces_left: u8,
+    },
+}
+
+/// The AP behaviour.
+#[derive(Debug)]
+pub struct ApBehavior {
+    cfg: ApConfig,
+    assigner: Assigner,
+    mode: Mode,
+    backup: Option<WfChannel>,
+    clients: Vec<NodeId>,
+    reports: Vec<(NodeId, NodeReport)>,
+    chirp_maps: Vec<SpectrumMap>,
+    airtime: AirtimeVector,
+    scan_cursor: usize,
+    bytes_acked_since_eval: u64,
+    last_eval: SimTime,
+    rr_cursor: usize,
+    /// Chirps older than this are already handled; the backup scan only
+    /// reacts to newer ones (otherwise the trailing scanner window keeps
+    /// re-triggering on the chirps of an already-completed recovery).
+    chirp_scan_floor: SimTime,
+    /// Channel-switch history `(time, channel)` (observable for tests and
+    /// the Figure 14 timeline).
+    pub switch_log: Vec<(SimTime, WfChannel)>,
+}
+
+impl ApBehavior {
+    /// An AP with the given configuration.
+    pub fn new(cfg: ApConfig) -> Self {
+        Self {
+            assigner: Assigner::new(cfg.assigner),
+            cfg,
+            mode: Mode::Main,
+            backup: None,
+            clients: Vec::new(),
+            reports: Vec::new(),
+            chirp_maps: Vec::new(),
+            airtime: AirtimeVector::idle(),
+            scan_cursor: 0,
+            bytes_acked_since_eval: 0,
+            last_eval: SimTime::ZERO,
+            rr_cursor: 0,
+            chirp_scan_floor: SimTime::ZERO,
+            switch_log: Vec::new(),
+        }
+    }
+
+    /// The clients currently associated (learned from reports).
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn own_report(&self, ctx: &Ctx) -> NodeReport {
+        NodeReport {
+            map: ctx.spectrum_map(),
+            airtime: self.airtime,
+        }
+    }
+
+    fn client_reports(&self) -> Vec<NodeReport> {
+        self.reports.iter().map(|(_, r)| *r).collect()
+    }
+
+    fn combined_map(&self, ctx: &Ctx) -> SpectrumMap {
+        SpectrumMap::union_all(
+            std::iter::once(ctx.spectrum_map()).chain(self.reports.iter().map(|(_, r)| r.map)),
+        )
+    }
+
+    fn refresh_backup(&mut self, ctx: &Ctx) {
+        let map = self.combined_map(ctx);
+        self.backup = choose_backup(map, self.assigner.current());
+    }
+
+    fn pump_downlink(&mut self, ctx: &mut Ctx) {
+        if !matches!(self.mode, Mode::Main) {
+            return;
+        }
+        let Some(bytes) = self.cfg.downlink_bytes else {
+            return;
+        };
+        if self.cfg.downlink_interval.is_none() && !self.clients.is_empty() {
+            while ctx.queue_len() < 2 {
+                let dst = self.clients[self.rr_cursor % self.clients.len()];
+                self.rr_cursor += 1;
+                ctx.send(Frame::data(ctx.id(), dst, bytes));
+            }
+        }
+    }
+
+    fn announce(&mut self, target: WfChannel, ctx: &mut Ctx) {
+        ctx.send_front(Frame {
+            src: ctx.id(),
+            dst: None,
+            kind: FrameKind::SwitchAnnounce { target },
+        });
+    }
+
+    fn complete_switch(&mut self, target: WfChannel, ctx: &mut Ctx) {
+        // Anything chirped up to now has been handled by this switch.
+        self.chirp_scan_floor = ctx.now();
+        ctx.clear_queue();
+        ctx.set_channel(target);
+        self.assigner.set_current(Some(target));
+        self.mode = Mode::Main;
+        self.refresh_backup(ctx);
+        self.switch_log.push((ctx.now(), target));
+        // Beacon immediately so clients re-synchronise fast.
+        ctx.send(Frame {
+            src: ctx.id(),
+            dst: None,
+            kind: FrameKind::Beacon {
+                backup: self.backup,
+            },
+        });
+        // A client may have arrived on the backup channel just after we
+        // left it: scan again soon (one-off catch-up ahead of the
+        // periodic 3 s cadence) so stragglers reconnect quickly.
+        ctx.set_timer(SimDuration::from_secs(1), keys::BACKUP_SCAN);
+        self.pump_downlink(ctx);
+    }
+
+    /// Begins a voluntary switch: announce on the current channel, then
+    /// retune once the announcements have gone out.
+    fn begin_voluntary_switch(&mut self, target: WfChannel, ctx: &mut Ctx) {
+        self.mode = Mode::SwitchingFromMain {
+            target,
+            announces_left: 2,
+        };
+        self.announce(target, ctx);
+        self.announce(target, ctx);
+        ctx.set_timer(SimDuration::from_millis(500), keys::SWITCH_FALLBACK);
+    }
+
+    /// Involuntary vacate: an incumbent owns the main channel. Not one
+    /// more frame goes out on it.
+    fn vacate_to_backup(&mut self, ctx: &mut Ctx) {
+        ctx.clear_queue();
+        let map = ctx.spectrum_map();
+        let mut backup = self.backup.or_else(|| choose_backup(map, None));
+        if let Some(b) = backup {
+            if !map.admits(b) {
+                backup = choose_secondary_backup(map, None, b);
+            }
+        }
+        let Some(b) = backup else {
+            // Nowhere to go: fall silent and retry at the next reassess.
+            self.mode = Mode::OnBackup;
+            ctx.set_timer(self.cfg.chirp_collect, keys::BACKUP_DONE);
+            return;
+        };
+        self.backup = Some(b);
+        ctx.set_channel(b);
+        self.mode = Mode::OnBackup;
+        self.chirp_maps.clear();
+        // The AP chirps too, so clients listening on the backup channel
+        // know it is alive (§4.3: the node that detects the primary
+        // "switches to the backup channel and transmits a series of
+        // chirps").
+        ctx.set_timer(SimDuration::ZERO, keys::AP_CHIRP);
+        ctx.set_timer(self.cfg.chirp_collect, keys::BACKUP_DONE);
+    }
+
+    /// Finds a channel carrying chirps in the scanner's view of the last
+    /// scan interval, using SIFT burst-length matching (the decode-free
+    /// secondary-radio path of §4.3). The advertised backup channel is
+    /// preferred, but *all* channels are scanned: "in addition to
+    /// scanning the backup channel for chirps, the AP periodically scans
+    /// all channels in an attempt to reconnect with 'lost' nodes" — a
+    /// lost client may be chirping on a stale or secondary backup.
+    fn chirp_channel(&self, ctx: &Ctx) -> Option<WfChannel> {
+        let tol = 4.0;
+        let is_chirp = |vb: &whitefi_phy::VisibleBurst| {
+            vb.burst.width == Width::W5 && {
+                let len = duration_to_samples(vb.burst.duration);
+                (0u8..=15).any(|s| (len - ChirpDetector::expected_samples(s)).abs() <= tol)
+            }
+        };
+        let floor = self.chirp_scan_floor;
+        let bursts: Vec<whitefi_phy::VisibleBurst> = ctx
+            .visible_bursts(self.cfg.backup_scan_interval)
+            .into_iter()
+            .filter(|vb| vb.burst.start >= floor)
+            .collect();
+        if let Some(backup) = self.backup {
+            if bursts.iter().any(|vb| vb.channel == backup && is_chirp(vb)) {
+                return Some(backup);
+            }
+        }
+        bursts.iter().find(|vb| is_chirp(vb)).map(|vb| vb.channel)
+    }
+
+    fn reassess(&mut self, ctx: &mut Ctx) {
+        if !self.cfg.adaptive || !matches!(self.mode, Mode::Main) {
+            return;
+        }
+        let elapsed = ctx.now().since(self.last_eval);
+        let goodput = if elapsed > SimDuration::ZERO {
+            Some(self.bytes_acked_since_eval as f64 * 8.0 / elapsed.as_secs_f64() / 1e6)
+        } else {
+            None
+        };
+        // Post-switch evaluation: revert if the last voluntary switch
+        // measured worse than what we had.
+        if let Some(g) = goodput {
+            if self.assigner.should_revert(g) {
+                // Force an immediate re-evaluation; the hysteresis state
+                // has been reset by consuming the pre-switch goodput.
+                let ap_report = self.own_report(ctx);
+                let clients = self.client_reports();
+                if let Decision::Switch(target) = self.assigner.evaluate(&ap_report, &clients, None)
+                {
+                    if target != ctx.channel() {
+                        self.begin_voluntary_switch(target, ctx);
+                    }
+                }
+                self.bytes_acked_since_eval = 0;
+                self.last_eval = ctx.now();
+                return;
+            }
+        }
+        let ap_report = self.own_report(ctx);
+        let clients = self.client_reports();
+        match self.assigner.evaluate(&ap_report, &clients, goodput) {
+            Decision::Switch(target) if target != ctx.channel() => {
+                // "Channel probing" (§4.1): the round-robin airtime
+                // vector can be a full scan cycle stale; before
+                // committing, probe the target and the current channel
+                // with the scanner's fresh trailing window. Without this,
+                // two co-located networks chase each other's stale
+                // shadows around the band.
+                let current = ctx.channel();
+                let mut fresh = self.airtime;
+                for u in target.spanned().chain(current.spanned()) {
+                    let busy = ctx.airtime(u, self.cfg.scan_dwell);
+                    let aps = ctx.ap_count(u, self.cfg.scan_dwell);
+                    fresh.set_load(u, ChannelLoad::new(busy, aps));
+                }
+                self.airtime = fresh;
+                let fresh_report = NodeReport {
+                    map: ap_report.map,
+                    airtime: fresh,
+                };
+                let obj = self.cfg.assigner.objective;
+                let t_score = crate::mcham::objective_score(obj, &fresh_report, &clients, target);
+                let c_score = crate::mcham::objective_score(obj, &fresh_report, &clients, current);
+                let still_better = if c_score > 0.0 {
+                    t_score > c_score * (1.0 + self.cfg.assigner.hysteresis)
+                } else {
+                    t_score > c_score + self.cfg.assigner.hysteresis
+                };
+                if !still_better {
+                    // The probe contradicted the stale vector: stay.
+                    self.assigner.set_current(Some(current));
+                } else if ap_report.map.admits(current) {
+                    self.begin_voluntary_switch(target, ctx);
+                } else {
+                    // Shouldn't happen (incumbents arrive via
+                    // on_incumbent_change), but never announce over one.
+                    self.complete_switch(target, ctx);
+                }
+            }
+            _ => {}
+        }
+        self.bytes_acked_since_eval = 0;
+        self.last_eval = ctx.now();
+    }
+}
+
+impl Behavior for ApBehavior {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.assigner.set_current(Some(ctx.channel()));
+        self.switch_log.push((ctx.now(), ctx.channel()));
+        self.last_eval = ctx.now();
+        self.refresh_backup(ctx);
+        ctx.set_timer(SimDuration::ZERO, keys::BEACON);
+        ctx.set_timer(self.cfg.scan_dwell, keys::SCAN);
+        // Random phase: co-located APs must not re-evaluate in lockstep,
+        // or they herd onto the same channels forever.
+        let jitter = SimDuration::from_nanos(rand::Rng::gen_range(
+            ctx.rng(),
+            0..self.cfg.reassess_interval.as_nanos().max(1),
+        ));
+        ctx.set_timer(self.cfg.reassess_interval + jitter, keys::REASSESS);
+        ctx.set_timer(self.cfg.backup_scan_interval, keys::BACKUP_SCAN);
+        if let Some(interval) = self.cfg.downlink_interval {
+            ctx.set_timer(interval, keys::PUMP);
+        } else if self.cfg.downlink_bytes.is_some() {
+            ctx.set_timer(SimDuration::from_millis(50), keys::PUMP);
+        }
+    }
+
+    fn on_timer(&mut self, key: u64, ctx: &mut Ctx) {
+        match key {
+            keys::BEACON => {
+                // Beacon on whatever channel we are tuned to (including
+                // the backup channel while collecting chirps) — unless an
+                // incumbent owns it.
+                if ctx.spectrum_map().admits(ctx.channel()) {
+                    ctx.send(Frame {
+                        src: ctx.id(),
+                        dst: None,
+                        kind: FrameKind::Beacon {
+                            backup: self.backup,
+                        },
+                    });
+                }
+                ctx.set_timer(self.cfg.beacon_interval, keys::BEACON);
+            }
+            keys::SCAN => {
+                let map = ctx.spectrum_map();
+                let ch = UhfChannel::from_index(self.scan_cursor);
+                if map.is_free(ch) {
+                    let busy = ctx.airtime(ch, self.cfg.scan_dwell);
+                    let aps = ctx.ap_count(ch, self.cfg.scan_dwell);
+                    self.airtime.set_load(ch, ChannelLoad::new(busy, aps));
+                }
+                self.scan_cursor = (self.scan_cursor + 1) % whitefi_spectrum::NUM_UHF_CHANNELS;
+                ctx.set_timer(self.cfg.scan_dwell, keys::SCAN);
+            }
+            keys::REASSESS => {
+                self.reassess(ctx);
+                // Keep a light per-round jitter so two APs that happened
+                // to align drift apart again.
+                let jitter = SimDuration::from_nanos(rand::Rng::gen_range(
+                    ctx.rng(),
+                    0..(self.cfg.reassess_interval.as_nanos() / 4).max(1),
+                ));
+                ctx.set_timer(self.cfg.reassess_interval + jitter, keys::REASSESS);
+            }
+            keys::BACKUP_SCAN => {
+                if matches!(self.mode, Mode::Main) && self.cfg.adaptive {
+                    if let Some(ch) = self.chirp_channel(ctx) {
+                        // A lost client is calling: visit that channel
+                        // with the main radio to decode its chirps.
+                        ctx.clear_queue();
+                        ctx.set_channel(ch);
+                        self.mode = Mode::OnBackup;
+                        self.chirp_maps.clear();
+                        ctx.set_timer(self.cfg.chirp_collect, keys::BACKUP_DONE);
+                    }
+                }
+                ctx.set_timer(self.cfg.backup_scan_interval, keys::BACKUP_SCAN);
+            }
+            keys::BACKUP_DONE => {
+                if !matches!(self.mode, Mode::OnBackup) {
+                    return;
+                }
+                // Reassign spectrum from the collective availability
+                // advertised on the backup channel plus our own view.
+                let ap_report = self.own_report(ctx);
+                let mut clients = self.client_reports();
+                clients.extend(self.chirp_maps.iter().map(|&map| NodeReport {
+                    map,
+                    airtime: self.airtime,
+                }));
+                match crate::mcham::select_channel(&ap_report, &clients) {
+                    Some((target, _)) => {
+                        self.mode = Mode::SwitchingFromBackup {
+                            target,
+                            announces_left: 2,
+                        };
+                        self.announce(target, ctx);
+                        self.announce(target, ctx);
+                        ctx.set_timer(SimDuration::from_millis(500), keys::SWITCH_FALLBACK);
+                    }
+                    None => {
+                        // No channel free anywhere: keep waiting on the
+                        // backup channel and retry.
+                        ctx.set_timer(self.cfg.chirp_collect, keys::BACKUP_DONE);
+                    }
+                }
+            }
+            keys::SWITCH_FALLBACK => match self.mode {
+                Mode::SwitchingFromMain { target, .. }
+                | Mode::SwitchingFromBackup { target, .. } => {
+                    self.complete_switch(target, ctx);
+                }
+                _ => {}
+            },
+            keys::AP_CHIRP => {
+                if matches!(self.mode, Mode::OnBackup) {
+                    let map = ctx.spectrum_map();
+                    if map.admits(ctx.channel()) && ctx.queue_len() == 0 {
+                        ctx.send(Frame {
+                            src: ctx.id(),
+                            dst: None,
+                            kind: FrameKind::Chirp {
+                                map,
+                                slot: 0,
+                                key: self.cfg.key,
+                            },
+                        });
+                    }
+                    ctx.set_timer(SimDuration::from_millis(100), keys::AP_CHIRP);
+                }
+            }
+            keys::PUMP => {
+                if let (Some(bytes), Some(interval)) =
+                    (self.cfg.downlink_bytes, self.cfg.downlink_interval)
+                {
+                    if matches!(self.mode, Mode::Main)
+                        && !self.clients.is_empty()
+                        && ctx.queue_len() < 4
+                    {
+                        let dst = self.clients[self.rr_cursor % self.clients.len()];
+                        self.rr_cursor += 1;
+                        ctx.send(Frame::data(ctx.id(), dst, bytes));
+                    }
+                    ctx.set_timer(interval, keys::PUMP);
+                } else {
+                    self.pump_downlink(ctx);
+                    ctx.set_timer(SimDuration::from_millis(50), keys::PUMP);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, frame: &Frame, ctx: &mut Ctx) {
+        match frame.kind {
+            FrameKind::Report { map, airtime } => {
+                if !self.clients.contains(&frame.src) {
+                    self.clients.push(frame.src);
+                    self.pump_downlink(ctx);
+                }
+                let report = NodeReport { map, airtime };
+                if let Some(entry) = self.reports.iter_mut().find(|(id, _)| *id == frame.src) {
+                    entry.1 = report;
+                } else {
+                    self.reports.push((frame.src, report));
+                }
+            }
+            FrameKind::Chirp { map, key, .. }
+                // §4.3: process the chirp only when it carries the
+                // network's key — fake chirps are discarded after the
+                // (bounded) cost of having visited the backup channel.
+                if matches!(self.mode, Mode::OnBackup) && key == self.cfg.key => {
+                    self.chirp_maps.push(map);
+                    // Persist the chirped availability over the client's
+                    // (stale, pre-incumbent) report, or the next
+                    // voluntary reassessment would move the network right
+                    // back onto the incumbent's channel.
+                    if let Some(entry) =
+                        self.reports.iter_mut().find(|(id, _)| *id == frame.src)
+                    {
+                        entry.1.map = map;
+                    } else {
+                        self.reports.push((
+                            frame.src,
+                            NodeReport {
+                                map,
+                                airtime: self.airtime,
+                            },
+                        ));
+                    }
+                }
+            _ => {}
+        }
+    }
+
+    fn on_send_result(&mut self, frame: &Frame, success: bool, ctx: &mut Ctx) {
+        if success {
+            if let FrameKind::Data { bytes } = frame.kind {
+                self.bytes_acked_since_eval += bytes as u64;
+            }
+        }
+        if matches!(frame.kind, FrameKind::SwitchAnnounce { .. }) {
+            match self.mode {
+                Mode::SwitchingFromMain {
+                    target,
+                    announces_left,
+                }
+                | Mode::SwitchingFromBackup {
+                    target,
+                    announces_left,
+                } => {
+                    if announces_left <= 1 {
+                        self.complete_switch(target, ctx);
+                    } else {
+                        let left = announces_left - 1;
+                        self.mode = match self.mode {
+                            Mode::SwitchingFromMain { .. } => Mode::SwitchingFromMain {
+                                target,
+                                announces_left: left,
+                            },
+                            _ => Mode::SwitchingFromBackup {
+                                target,
+                                announces_left: left,
+                            },
+                        };
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.pump_downlink(ctx);
+    }
+
+    fn on_incumbent_change(&mut self, map: SpectrumMap, ctx: &mut Ctx) {
+        if !self.cfg.adaptive {
+            return;
+        }
+        match self.mode {
+            Mode::Main | Mode::SwitchingFromMain { .. } => {
+                if !map.admits(ctx.channel()) {
+                    self.vacate_to_backup(ctx);
+                }
+            }
+            Mode::OnBackup | Mode::SwitchingFromBackup { .. } => {
+                if !map.admits(ctx.channel()) {
+                    // The backup itself got hit: move to the secondary.
+                    if let Some(next) =
+                        choose_secondary_backup(map, self.assigner.current(), ctx.channel())
+                    {
+                        ctx.clear_queue();
+                        self.backup = Some(next);
+                        ctx.set_channel(next);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Scenario construction and measurement for the paper's evaluation.
+//!
+//! §5.4's large-scale simulations share one shape: "We place one AP in
+//! the middle of an area, and randomly distribute clients as well as
+//! background AP/client-pairs within transmission range of this AP …
+//! The AP and clients are backlogged and transmit UDP flows (up- and
+//! downstream). Background nodes transmit constant-bit-rate (CBR) traffic
+//! at a pre-specified intensity." A [`Scenario`] captures that shape; the
+//! runners measure per-client throughput after a warmup:
+//!
+//! * [`run_whitefi`] — the adaptive WhiteFi network;
+//! * [`run_fixed`] — the same network pinned to one channel (used for the
+//!   OPT-5/10/20 MHz static baselines and the omniscient OPT);
+//! * [`StaticBaselines::measure`] — sweeps every admissible channel to
+//!   produce all four baselines of Figures 11–13;
+//! * [`measure_airtime`] — a background-only run that yields the airtime
+//!   vector a WhiteFi scanner would measure (the Figure 10
+//!   microbenchmark's MCham input).
+
+use crate::ap::{ApBehavior, ApConfig};
+use crate::client::{ClientBehavior, ClientConfig};
+use crate::mcham::NodeReport;
+use serde::{Deserialize, Serialize};
+use whitefi_mac::traffic::Sink;
+use whitefi_mac::{CbrSender, MarkovOnOffSender, NodeConfig, NodeId, ScriptedCbrSender, Simulator};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_spectrum::{
+    AirtimeVector, ChannelLoad, IncumbentSet, SpectrumMap, TvStation, UhfChannel, WfChannel, Width,
+};
+
+/// Load shape of one background AP/client pair.
+#[derive(Debug, Clone)]
+pub enum BackgroundTraffic {
+    /// CBR at the given inter-packet delay.
+    Cbr {
+        /// Inter-packet delay.
+        interval: SimDuration,
+    },
+    /// Two-state Markov churn (Figure 13).
+    Markov {
+        /// CBR interval while active.
+        interval: SimDuration,
+        /// Mean active dwell.
+        mean_active: SimDuration,
+        /// Mean passive dwell.
+        mean_passive: SimDuration,
+    },
+    /// CBR only inside scripted windows (Figure 14).
+    Scripted {
+        /// CBR interval while a window is open.
+        interval: SimDuration,
+        /// Active windows.
+        windows: Vec<(SimTime, SimTime)>,
+    },
+}
+
+/// One background AP/client pair on a fixed channel.
+#[derive(Debug, Clone)]
+pub struct BackgroundPair {
+    /// The pair's (fixed) channel.
+    pub channel: WfChannel,
+    /// Its load shape.
+    pub traffic: BackgroundTraffic,
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// RNG seed (placement and MAC backoffs).
+    pub seed: u64,
+    /// Incumbent occupancy observed at the AP.
+    pub ap_map: SpectrumMap,
+    /// Incumbent occupancy observed at each client (length = number of
+    /// clients).
+    pub client_maps: Vec<SpectrumMap>,
+    /// Extra incumbents at the AP beyond the static map (e.g. scripted
+    /// mic schedules).
+    pub ap_extra_incumbents: Option<IncumbentSet>,
+    /// Extra incumbents per client.
+    pub client_extra_incumbents: Vec<Option<IncumbentSet>>,
+    /// Background pairs.
+    pub background: Vec<BackgroundPair>,
+    /// Downlink payload bytes (backlogged).
+    pub downlink_bytes: usize,
+    /// Uplink payload bytes (backlogged); `None` disables uplink.
+    pub uplink_bytes: Option<usize>,
+    /// Measurement duration (after warmup).
+    pub duration: SimDuration,
+    /// Warmup before stats are reset.
+    pub warmup: SimDuration,
+    /// Timeline sampling period.
+    pub sample_interval: SimDuration,
+    /// AP protocol configuration template (traffic fields are overridden
+    /// from the scenario).
+    pub ap_config: ApConfig,
+}
+
+impl Scenario {
+    /// A scenario with the given shared spectrum map and client count,
+    /// backlogged in both directions, 5 s measurement after 2 s warmup.
+    pub fn new(seed: u64, map: SpectrumMap, n_clients: usize) -> Self {
+        Self {
+            seed,
+            ap_map: map,
+            client_maps: vec![map; n_clients],
+            ap_extra_incumbents: None,
+            client_extra_incumbents: vec![None; n_clients],
+            background: Vec::new(),
+            downlink_bytes: 1000,
+            uplink_bytes: Some(500),
+            duration: SimDuration::from_secs(5),
+            warmup: SimDuration::from_secs(2),
+            sample_interval: SimDuration::from_millis(100),
+            ap_config: ApConfig::default(),
+        }
+    }
+
+    /// The union of the AP's and all clients' static maps — the candidate
+    /// universe of the assignment algorithm.
+    pub fn combined_map(&self) -> SpectrumMap {
+        SpectrumMap::union_all(std::iter::once(self.ap_map).chain(self.client_maps.iter().copied()))
+    }
+
+    fn incumbents_for(map: SpectrumMap, extra: Option<&IncumbentSet>) -> IncumbentSet {
+        let mut set = extra.cloned().unwrap_or_default();
+        for ch in map.occupied_channels() {
+            set.tv.push(TvStation::strong(ch));
+        }
+        set
+    }
+}
+
+/// One timeline sample of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Sample time.
+    pub t: SimTime,
+    /// The channel the AP was tuned to.
+    pub ap_channel: WfChannel,
+    /// Application bytes moved (down + up) since the previous sample.
+    pub bytes_delta: u64,
+}
+
+/// Measured outcome of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Per-client goodput (downlink received + uplink acknowledged) in
+    /// Mbps over the measurement window.
+    pub per_client_mbps: Vec<f64>,
+    /// Sum of per-client goodputs.
+    pub aggregate_mbps: f64,
+    /// Channel/goodput timeline at the scenario's sampling period.
+    pub samples: Vec<Sample>,
+    /// Total incumbent violations across all WhiteFi nodes (must be 0
+    /// for a correct protocol run).
+    pub violations: u64,
+}
+
+impl ScenarioOutcome {
+    /// Mean per-client goodput.
+    pub fn mean_client_mbps(&self) -> f64 {
+        if self.per_client_mbps.is_empty() {
+            return 0.0;
+        }
+        self.per_client_mbps.iter().sum::<f64>() / self.per_client_mbps.len() as f64
+    }
+}
+
+struct BuiltNetwork {
+    sim: Simulator,
+    ap: NodeId,
+    clients: Vec<NodeId>,
+}
+
+fn build(scenario: &Scenario, initial: WfChannel, adaptive: bool) -> BuiltNetwork {
+    let mut sim = Simulator::new(scenario.seed);
+
+    let mut ap_cfg = scenario.ap_config.clone();
+    ap_cfg.adaptive = adaptive;
+    ap_cfg.downlink_bytes = Some(scenario.downlink_bytes);
+    ap_cfg.downlink_interval = None;
+
+    let ap_node_cfg = NodeConfig::on_channel(initial)
+        .ap()
+        .in_ssid(1)
+        .with_incumbents(Scenario::incumbents_for(
+            scenario.ap_map,
+            scenario.ap_extra_incumbents.as_ref(),
+        ));
+    let ap = sim.add_node(ap_node_cfg, Box::new(ApBehavior::new(ap_cfg)));
+
+    let mut clients = Vec::new();
+    for (i, &map) in scenario.client_maps.iter().enumerate() {
+        let extra = scenario
+            .client_extra_incumbents
+            .get(i)
+            .and_then(|o| o.as_ref());
+        let node_cfg = NodeConfig::on_channel(initial)
+            .in_ssid(1)
+            .with_incumbents(Scenario::incumbents_for(map, extra));
+        let mut ccfg = ClientConfig::new(ap, (i % 16) as u8);
+        if let Some(bytes) = scenario.uplink_bytes {
+            ccfg = ccfg.saturating_uplink(bytes);
+        }
+        // Fixed-channel baselines must not run the disconnection
+        // protocol either (they model a dumb static network).
+        if !adaptive {
+            ccfg.disconnect_timeout = SimDuration::from_secs(1_000_000);
+        }
+        let id = sim.add_node(node_cfg, Box::new(ClientBehavior::new(ccfg)));
+        clients.push(id);
+    }
+
+    for pair in &scenario.background {
+        let rx_cfg = NodeConfig::on_channel(pair.channel);
+        let rx = sim.add_node(rx_cfg, Box::new(Sink));
+        let tx_cfg = NodeConfig::on_channel(pair.channel).ap();
+        match &pair.traffic {
+            BackgroundTraffic::Cbr { interval } => {
+                sim.add_node(tx_cfg, Box::new(CbrSender::new(rx, *interval)));
+            }
+            BackgroundTraffic::Markov {
+                interval,
+                mean_active,
+                mean_passive,
+            } => {
+                sim.add_node(
+                    tx_cfg,
+                    Box::new(MarkovOnOffSender::new(
+                        rx,
+                        *interval,
+                        *mean_active,
+                        *mean_passive,
+                    )),
+                );
+            }
+            BackgroundTraffic::Scripted { interval, windows } => {
+                sim.add_node(
+                    tx_cfg,
+                    Box::new(ScriptedCbrSender::new(rx, *interval, windows.clone())),
+                );
+            }
+        }
+    }
+
+    BuiltNetwork { sim, ap, clients }
+}
+
+fn measure(scenario: &Scenario, net: &mut BuiltNetwork) -> ScenarioOutcome {
+    let BuiltNetwork { sim, ap, clients } = net;
+    sim.run_until(SimTime::ZERO + scenario.warmup);
+    sim.reset_stats();
+
+    let mut samples = Vec::new();
+    let mut last_total: u64 = 0;
+    let end = scenario.warmup + scenario.duration;
+    let mut t = scenario.warmup;
+    while t < end {
+        t += scenario.sample_interval;
+        if t > end {
+            t = end;
+        }
+        sim.run_until(SimTime::ZERO + t);
+        let total: u64 = clients
+            .iter()
+            .map(|&c| sim.stats(c).rx_data_bytes + sim.stats(c).tx_acked_bytes)
+            .sum();
+        samples.push(Sample {
+            t: SimTime::ZERO + t,
+            ap_channel: sim.node_channel(*ap),
+            bytes_delta: total - last_total,
+        });
+        last_total = total;
+    }
+
+    let span = scenario.duration;
+    let per_client_mbps: Vec<f64> = clients
+        .iter()
+        .map(|&c| {
+            let s = sim.stats(c);
+            (s.rx_data_bytes + s.tx_acked_bytes) as f64 * 8.0 / span.as_secs_f64() / 1e6
+        })
+        .collect();
+    let aggregate_mbps = per_client_mbps.iter().sum();
+    let mut violations = sim.stats(*ap).incumbent_violations;
+    for &c in clients.iter() {
+        violations += sim.stats(c).incumbent_violations;
+    }
+    ScenarioOutcome {
+        per_client_mbps,
+        aggregate_mbps,
+        samples,
+        violations,
+    }
+}
+
+/// Runs the adaptive WhiteFi network. `initial` overrides the bootstrap
+/// channel; by default the assignment algorithm's clean-spectrum choice
+/// over the combined map is used.
+pub fn run_whitefi(scenario: &Scenario, initial: Option<WfChannel>) -> ScenarioOutcome {
+    let initial = initial
+        .or_else(|| {
+            crate::mcham::select_channel(
+                &NodeReport {
+                    map: scenario.combined_map(),
+                    airtime: AirtimeVector::idle(),
+                },
+                &[],
+            )
+            .map(|(c, _)| c)
+        })
+        .expect("scenario has no admissible channel");
+    let mut net = build(scenario, initial, true);
+    measure(scenario, &mut net)
+}
+
+/// Runs the network pinned to `channel` (no adaptation, no disconnection
+/// protocol) — the building block of the static baselines.
+pub fn run_fixed(scenario: &Scenario, channel: WfChannel) -> ScenarioOutcome {
+    let mut net = build(scenario, channel, false);
+    measure(scenario, &mut net)
+}
+
+/// The four baselines of Figures 11–13.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticBaselines {
+    /// Best static 5 MHz channel's aggregate goodput (Mbps).
+    pub opt5: f64,
+    /// Best static 10 MHz channel's aggregate goodput (Mbps).
+    pub opt10: f64,
+    /// Best static 20 MHz channel's aggregate goodput (Mbps).
+    pub opt20: f64,
+    /// The omniscient OPT: best over every admissible channel.
+    pub opt: f64,
+}
+
+impl StaticBaselines {
+    /// Sweeps every admissible channel of the combined map, running the
+    /// fixed-channel network on each, and records the best aggregate
+    /// goodput per width. "OPT is an ideal, omniscient algorithm that for
+    /// every experiment run picks the channel with maximum throughput."
+    pub fn measure(scenario: &Scenario) -> Self {
+        let mut best = [0f64; 3];
+        for cand in scenario.combined_map().available_channels() {
+            let out = run_fixed(scenario, cand);
+            let slot = match cand.width() {
+                Width::W5 => 0,
+                Width::W10 => 1,
+                Width::W20 => 2,
+            };
+            if out.aggregate_mbps > best[slot] {
+                best[slot] = out.aggregate_mbps;
+            }
+        }
+        Self {
+            opt5: best[0],
+            opt10: best[1],
+            opt20: best[2],
+            opt: best[0].max(best[1]).max(best[2]),
+        }
+    }
+}
+
+/// Runs the scenario's *background traffic only* (no WhiteFi network) and
+/// returns the airtime vector a scanner parked next to the AP would
+/// measure over the trailing `window` — the MCham input for the
+/// Figure 10 microbenchmark.
+pub fn measure_airtime(scenario: &Scenario, window: SimDuration) -> AirtimeVector {
+    let mut sim = Simulator::new(scenario.seed);
+    for pair in &scenario.background {
+        let rx = sim.add_node(NodeConfig::on_channel(pair.channel), Box::new(Sink));
+        let tx_cfg = NodeConfig::on_channel(pair.channel).ap();
+        match &pair.traffic {
+            BackgroundTraffic::Cbr { interval } => {
+                sim.add_node(tx_cfg, Box::new(CbrSender::new(rx, *interval)));
+            }
+            BackgroundTraffic::Markov {
+                interval,
+                mean_active,
+                mean_passive,
+            } => {
+                sim.add_node(
+                    tx_cfg,
+                    Box::new(MarkovOnOffSender::new(
+                        rx,
+                        *interval,
+                        *mean_active,
+                        *mean_passive,
+                    )),
+                );
+            }
+            BackgroundTraffic::Scripted { interval, windows } => {
+                sim.add_node(
+                    tx_cfg,
+                    Box::new(ScriptedCbrSender::new(rx, *interval, windows.clone())),
+                );
+            }
+        }
+    }
+    let end = scenario.warmup + window;
+    sim.run_until(SimTime::ZERO + end);
+    let from = SimTime::ZERO + scenario.warmup;
+    let to = SimTime::ZERO + end;
+    AirtimeVector::from_fn(|ch: UhfChannel| {
+        let busy = sim.medium().airtime_in_window(ch, from, to);
+        let aps = sim.medium().ap_count_in_window(ch, from, to);
+        ChannelLoad::new(busy, aps)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mut s: Scenario) -> Scenario {
+        s.duration = SimDuration::from_secs(2);
+        s.warmup = SimDuration::from_secs(1);
+        s
+    }
+
+    #[test]
+    fn clean_spectrum_network_reaches_20mhz_goodput() {
+        let s = quick(Scenario::new(1, SpectrumMap::all_free(), 2));
+        let out = run_whitefi(&s, None);
+        // Clean band: WhiteFi should sit on a 20 MHz channel and move
+        // multiple Mbps of aggregate traffic.
+        assert!(out.aggregate_mbps > 3.0, "aggregate {}", out.aggregate_mbps);
+        assert_eq!(out.violations, 0);
+        let last = out.samples.last().unwrap();
+        assert_eq!(last.ap_channel.width(), Width::W20);
+    }
+
+    #[test]
+    fn fixed_runs_stay_on_channel() {
+        let s = quick(Scenario::new(2, SpectrumMap::all_free(), 1));
+        let pin = WfChannel::from_parts(13, Width::W10);
+        let out = run_fixed(&s, pin);
+        assert!(out.samples.iter().all(|smp| smp.ap_channel == pin));
+        assert!(out.aggregate_mbps > 1.0, "aggregate {}", out.aggregate_mbps);
+    }
+
+    #[test]
+    fn per_client_split_roughly_fair() {
+        let s = quick(Scenario::new(3, SpectrumMap::all_free(), 3));
+        let out = run_whitefi(&s, None);
+        let max = out.per_client_mbps.iter().cloned().fold(0.0, f64::max);
+        let min = out.per_client_mbps.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min > 0.0, "a client starved: {:?}", out.per_client_mbps);
+        assert!(max / min < 3.0, "unfair: {:?}", out.per_client_mbps);
+    }
+
+    #[test]
+    fn background_traffic_measured_in_airtime() {
+        let mut s = quick(Scenario::new(4, SpectrumMap::all_free(), 0));
+        let bg_ch = WfChannel::from_parts(7, Width::W5);
+        s.background.push(BackgroundPair {
+            channel: bg_ch,
+            traffic: BackgroundTraffic::Cbr {
+                interval: SimDuration::from_millis(10),
+            },
+        });
+        let air = measure_airtime(&s, SimDuration::from_secs(2));
+        let busy = air.load(UhfChannel::from_index(7)).busy;
+        assert!(busy > 0.2, "busy {busy}");
+        assert_eq!(air.load(UhfChannel::from_index(7)).aps, 1);
+        assert_eq!(air.load(UhfChannel::from_index(20)).busy, 0.0);
+    }
+
+    #[test]
+    fn whitefi_avoids_loaded_fragment() {
+        // Heavy background on the low 20 MHz fragment: WhiteFi must end
+        // up elsewhere.
+        let map = SpectrumMap::all_free();
+        let mut s = quick(Scenario::new(5, map, 1));
+        for c in [2usize, 3, 4, 5, 6] {
+            s.background.push(BackgroundPair {
+                channel: WfChannel::from_parts(c, Width::W5),
+                traffic: BackgroundTraffic::Cbr {
+                    interval: SimDuration::from_millis(3),
+                },
+            });
+        }
+        s.duration = SimDuration::from_secs(4);
+        let out = run_whitefi(&s, Some(WfChannel::from_parts(4, Width::W20)));
+        let final_ch = out.samples.last().unwrap().ap_channel;
+        assert!(
+            final_ch.low_index() > 6,
+            "still on the loaded fragment: {final_ch}"
+        );
+        assert_eq!(out.violations, 0);
+    }
+}

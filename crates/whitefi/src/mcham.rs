@@ -1,0 +1,381 @@
+//! The multichannel airtime metric (MCham) and the channel-selection
+//! objective — Equations 1 and 2 of §4.1.
+//!
+//! For a candidate channel `(F, W)` and a node `n`,
+//!
+//! ```text
+//! MCham_n(F, W) = (W / 5 MHz) · Π_{c ∈ (F,W)} ρ_n(c)
+//! ```
+//!
+//! where `ρ_n(c) = max(1 − A_c, 1/(B_c + 1))` is the expected share of
+//! UHF channel `c`. "Since ρ_n(c) represents the expected share of a UHF
+//! channel c, the *product* of these shares across each UHF channel in
+//! (F, W) gives the expected share for the entire channel" — the minimum
+//! or maximum would underestimate, because traffic on a narrow channel
+//! contends with traffic on an overlapping wider channel.
+//!
+//! The AP selects the channel maximizing `N·MCham_AP + Σ_n MCham_n`,
+//! weighting its own (downlink) view by the number of clients.
+
+use serde::{Deserialize, Serialize};
+use whitefi_spectrum::{AirtimeVector, SpectrumMap, WfChannel};
+
+/// One node's contribution to channel selection: its spectrum map and its
+/// measured airtime vector (the contents of the client control message).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Incumbent occupancy observed at the node.
+    pub map: SpectrumMap,
+    /// Measured per-UHF-channel load at the node.
+    pub airtime: AirtimeVector,
+}
+
+/// MCham of channel `channel` under the airtime measurements `airtime`
+/// (Equation 2).
+pub fn mcham(airtime: &AirtimeVector, channel: WfChannel) -> f64 {
+    let product: f64 = channel.spanned().map(|c| airtime.rho(c)).product();
+    channel.width().capacity_factor() * product
+}
+
+/// How per-channel shares are combined into a whole-channel share.
+///
+/// The paper argues for the product: "simply taking the minimum or the
+/// maximum across all channels, instead of the product, will be an
+/// underestimate since the traffic on a narrower channel contends with
+/// traffic on an overlapping wider channel." [`Combiner::Min`] and
+/// [`Combiner::Max`] exist for the ablation experiment that demonstrates
+/// this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Combiner {
+    /// The paper's Equation 2: the product of per-channel shares.
+    Product,
+    /// Ablation: the minimum share across spanned channels.
+    Min,
+    /// Ablation: the maximum share across spanned channels.
+    Max,
+}
+
+/// MCham with a configurable per-channel share combiner (ablation use).
+pub fn mcham_with(combiner: Combiner, airtime: &AirtimeVector, channel: WfChannel) -> f64 {
+    let shares = channel.spanned().map(|c| airtime.rho(c));
+    let combined = match combiner {
+        Combiner::Product => shares.product(),
+        Combiner::Min => shares.fold(f64::INFINITY, f64::min),
+        Combiner::Max => shares.fold(0.0, f64::max),
+    };
+    channel.width().capacity_factor() * combined
+}
+
+/// The channel-selection objective. The paper optimizes aggregate
+/// throughput and notes that "other metrics (such as metrics including
+/// fairness conditions) can easily be implemented instead".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Objective {
+    /// `N·MCham_AP + Σ_n MCham_n` — the paper's default.
+    #[default]
+    Aggregate,
+    /// `Σ log(MCham)` over the AP and every client — proportionally fair
+    /// across nodes' expected shares.
+    ProportionalFair,
+    /// `min(MCham)` over the AP and every client — max-min fairness: no
+    /// node is left on a channel that is terrible *for it*.
+    MaxMin,
+}
+
+/// Scores one candidate channel under the given objective.
+pub fn objective_score(
+    objective: Objective,
+    ap: &NodeReport,
+    clients: &[NodeReport],
+    channel: WfChannel,
+) -> f64 {
+    match objective {
+        Objective::Aggregate => selection_score(ap, clients, channel),
+        Objective::ProportionalFair => {
+            let mut sum = mcham(&ap.airtime, channel).max(1e-9).ln();
+            for c in clients {
+                sum += mcham(&c.airtime, channel).max(1e-9).ln();
+            }
+            sum
+        }
+        Objective::MaxMin => clients
+            .iter()
+            .map(|c| mcham(&c.airtime, channel))
+            .fold(mcham(&ap.airtime, channel), f64::min),
+    }
+}
+
+/// [`select_channel`] under an arbitrary objective.
+pub fn select_channel_with(
+    objective: Objective,
+    ap: &NodeReport,
+    clients: &[NodeReport],
+) -> Option<(WfChannel, f64)> {
+    let combined =
+        SpectrumMap::union_all(std::iter::once(ap.map).chain(clients.iter().map(|c| c.map)));
+    let mut best: Option<(WfChannel, f64)> = None;
+    for cand in combined.available_channels() {
+        let score = objective_score(objective, ap, clients, cand);
+        let better = match best {
+            None => true,
+            Some((b, s)) => {
+                score > s + 1e-12
+                    || ((score - s).abs() <= 1e-12
+                        && (cand.width() > b.width()
+                            || (cand.width() == b.width()
+                                && cand.center().index() < b.center().index())))
+            }
+        };
+        if better {
+            best = Some((cand, score));
+        }
+    }
+    best
+}
+
+/// The AP's selection objective for one candidate channel:
+/// `N·MCham_AP + Σ_n MCham_n` (§4.1, "Channel selection").
+pub fn selection_score(ap: &NodeReport, clients: &[NodeReport], channel: WfChannel) -> f64 {
+    let n = clients.len().max(1) as f64;
+    n * mcham(&ap.airtime, channel)
+        + clients
+            .iter()
+            .map(|c| mcham(&c.airtime, channel))
+            .sum::<f64>()
+}
+
+/// Runs the full §4.1 probing step: combine the maps (bitwise OR),
+/// enumerate every admissible `(F, W)`, score each, and return the best
+/// channel with its score. Returns `None` when no channel is free at all
+/// nodes.
+///
+/// Ties break deterministically toward the wider, lower-frequency
+/// channel, so repeated evaluations of an unchanged environment pick the
+/// same channel.
+pub fn select_channel(ap: &NodeReport, clients: &[NodeReport]) -> Option<(WfChannel, f64)> {
+    let combined =
+        SpectrumMap::union_all(std::iter::once(ap.map).chain(clients.iter().map(|c| c.map)));
+    let mut best: Option<(WfChannel, f64)> = None;
+    for cand in combined.available_channels() {
+        let score = selection_score(ap, clients, cand);
+        let better = match best {
+            None => true,
+            Some((b, s)) => {
+                score > s + 1e-12
+                    || ((score - s).abs() <= 1e-12
+                        && (cand.width() > b.width()
+                            || (cand.width() == b.width()
+                                && cand.center().index() < b.center().index())))
+            }
+        };
+        if better {
+            best = Some((cand, score));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whitefi_spectrum::{ChannelLoad, UhfChannel, Width};
+
+    fn ch(center: usize, w: Width) -> WfChannel {
+        WfChannel::from_parts(center, w)
+    }
+
+    #[test]
+    fn paper_example_1_empty_spectrum() {
+        // "If there is no background interference … MCham simply evaluates
+        // to the optimal channel capacity: 1 for W=5, 2 for W=10, 4 for
+        // W=20."
+        let idle = AirtimeVector::idle();
+        assert_eq!(mcham(&idle, ch(10, Width::W5)), 1.0);
+        assert_eq!(mcham(&idle, ch(10, Width::W10)), 2.0);
+        assert_eq!(mcham(&idle, ch(10, Width::W20)), 4.0);
+    }
+
+    #[test]
+    fn paper_example_2() {
+        // "Out of the 5 UHF channels spanned by (F, 20 MHz), three have no
+        // background interference, one has 1 AP and airtime 0.9, and one
+        // has 1 AP with airtime 0.2: MCham = 4 · 0.5 · 0.8 = 1.6."
+        let mut airtime = AirtimeVector::idle();
+        airtime.set_load(UhfChannel::from_index(8), ChannelLoad::new(0.9, 1));
+        airtime.set_load(UhfChannel::from_index(12), ChannelLoad::new(0.2, 1));
+        let v = mcham(&airtime, ch(10, Width::W20));
+        assert!((v - 1.6).abs() < 1e-12, "MCham {v}");
+    }
+
+    #[test]
+    fn product_not_min_or_max() {
+        // Two loaded channels must compound, not take min/max.
+        let mut airtime = AirtimeVector::idle();
+        airtime.set_load(UhfChannel::from_index(9), ChannelLoad::new(0.5, 1));
+        airtime.set_load(UhfChannel::from_index(11), ChannelLoad::new(0.5, 1));
+        let v = mcham(&airtime, ch(10, Width::W20));
+        // rho = max(0.5, 0.5) = 0.5 on both loaded channels; min or max
+        // over rho would have given 4*0.5 = 2.0 instead.
+        assert!((v - 4.0 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_on_one_channel_prefers_narrow() {
+        // Heavy background on one of the outer channels of a 20 MHz span
+        // makes the inner 10 MHz/5 MHz channels win.
+        let mut airtime = AirtimeVector::idle();
+        // Two APs saturating channel 8: rho = max(0.05, 1/3) = 1/3.
+        airtime.set_load(UhfChannel::from_index(8), ChannelLoad::new(0.95, 2));
+        let w20 = mcham(&airtime, ch(10, Width::W20));
+        let w10 = mcham(&airtime, ch(10, Width::W10)); // spans 9..=11, clean
+        assert!(w10 > w20, "w10 {w10} w20 {w20}");
+    }
+
+    #[test]
+    fn selection_objective_weights_ap_by_client_count() {
+        let mut ap_air = AirtimeVector::idle();
+        ap_air.set_load(UhfChannel::from_index(5), ChannelLoad::new(0.5, 1));
+        let ap = NodeReport {
+            map: SpectrumMap::all_free(),
+            airtime: ap_air,
+        };
+        let clients = vec![NodeReport::default(); 3];
+        let c = ch(5, Width::W5);
+        // AP's rho = max(0.5, 0.5) = 0.5: 3 · 0.5 + 3 · 1.0 = 4.5.
+        let s = selection_score(&ap, &clients, c);
+        assert!((s - 4.5).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn select_channel_respects_client_maps() {
+        // The widest fragment is blocked at one client; selection must
+        // avoid it even though the AP sees it free.
+        let ap = NodeReport::default();
+        // Client cannot use channels 0..=9.
+        let blocked = NodeReport {
+            map: SpectrumMap::from_occupied(0..10),
+            ..NodeReport::default()
+        };
+        let (best, _) = select_channel(&ap, &[blocked]).unwrap();
+        assert!(best.low_index() >= 10, "picked {best}");
+    }
+
+    #[test]
+    fn select_channel_none_when_fully_blocked() {
+        let ap = NodeReport {
+            map: SpectrumMap::from_occupied(0..15),
+            airtime: AirtimeVector::idle(),
+        };
+        let client = NodeReport {
+            map: SpectrumMap::from_occupied(15..30),
+            airtime: AirtimeVector::idle(),
+        };
+        assert!(select_channel(&ap, &[client]).is_none());
+    }
+
+    #[test]
+    fn select_prefers_widest_clean_channel() {
+        let ap = NodeReport::default();
+        let (best, score) = select_channel(&ap, &[]).unwrap();
+        assert_eq!(best.width(), Width::W20);
+        assert!((score - 4.0).abs() < 1e-12);
+        // Deterministic tie-break: lowest admissible centre.
+        assert_eq!(best.center().index(), 2);
+    }
+
+    #[test]
+    fn select_is_deterministic() {
+        let ap = NodeReport {
+            map: SpectrumMap::from_free([5, 6, 7, 8, 9, 12, 13, 14, 17, 26]),
+            airtime: AirtimeVector::idle(),
+        };
+        let a = select_channel(&ap, &[]);
+        let b = select_channel(&ap, &[]);
+        assert_eq!(a, b);
+        // The Building-5 map's best clean channel is the 20 MHz fragment.
+        let (best, _) = a.unwrap();
+        assert_eq!(best.width(), Width::W20);
+        assert_eq!(best.center().index(), 7);
+    }
+
+    #[test]
+    fn combiner_ablation_orderings() {
+        // Min underestimates and max overestimates relative to the
+        // product whenever more than one spanned channel is loaded.
+        let mut airtime = AirtimeVector::idle();
+        airtime.set_load(UhfChannel::from_index(9), ChannelLoad::new(0.6, 1));
+        airtime.set_load(UhfChannel::from_index(11), ChannelLoad::new(0.4, 1));
+        let c = ch(10, Width::W20);
+        let p = mcham_with(Combiner::Product, &airtime, c);
+        let lo = mcham_with(Combiner::Min, &airtime, c);
+        let hi = mcham_with(Combiner::Max, &airtime, c);
+        assert!(p < lo, "product {p} must be below min-combined {lo}");
+        assert!(lo < hi, "min {lo} must be below max {hi}");
+        // Product matches Equation 2 exactly.
+        assert!((p - mcham(&airtime, c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxmin_objective_protects_the_worst_client() {
+        // Client 0 sees heavy load on the low fragment; client 1 on the
+        // high one. Aggregate may pick either; max-min must pick the
+        // channel whose *worst* client share is largest.
+        let mk = |loads: &[(usize, f64)]| {
+            let mut a = AirtimeVector::idle();
+            for &(i, busy) in loads {
+                a.set_load(UhfChannel::from_index(i), ChannelLoad::new(busy, 2));
+            }
+            NodeReport {
+                map: SpectrumMap::all_free(),
+                airtime: a,
+            }
+        };
+        let ap = NodeReport::default();
+        // Client 0: low band crushed; client 1: mild load high band.
+        let c0 = mk(&[(2, 1.0), (3, 1.0), (4, 1.0), (5, 1.0), (6, 1.0)]);
+        let c1 = mk(&[(20, 0.3)]);
+        let (best, score) = select_channel_with(Objective::MaxMin, &ap, &[c0, c1]).unwrap();
+        // The max-min winner avoids client 0's crushed band entirely.
+        assert!(best.low_index() > 6, "picked {best}");
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn proportional_fair_between_aggregate_and_maxmin() {
+        let ap = NodeReport::default();
+        let clients = vec![NodeReport::default(); 2];
+        for obj in [
+            Objective::Aggregate,
+            Objective::ProportionalFair,
+            Objective::MaxMin,
+        ] {
+            let (best, _) = select_channel_with(obj, &ap, &clients).unwrap();
+            // On clean spectrum all objectives agree: widest channel.
+            assert_eq!(best.width(), Width::W20, "{obj:?}");
+        }
+    }
+
+    #[test]
+    fn default_objective_matches_select_channel() {
+        let ap = NodeReport {
+            map: SpectrumMap::from_free([5, 6, 7, 8, 9, 17]),
+            airtime: AirtimeVector::idle(),
+        };
+        assert_eq!(
+            select_channel(&ap, &[]),
+            select_channel_with(Objective::Aggregate, &ap, &[])
+        );
+    }
+
+    #[test]
+    fn saturated_but_shared_beats_nothing() {
+        // A fully-busy channel with one AP still yields ρ = 0.5 per
+        // channel: contending is better than silence.
+        let mut airtime = AirtimeVector::idle();
+        for i in 0..30 {
+            airtime.set_load(UhfChannel::from_index(i), ChannelLoad::new(1.0, 1));
+        }
+        let v = mcham(&airtime, ch(10, Width::W5));
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,352 @@
+//! Focused state-machine tests for the AP and client behaviours, driven
+//! through small simulations (the integration suite covers full
+//! scenarios; these pin down individual transitions and their timing).
+
+use whitefi::{ApBehavior, ApConfig, ClientBehavior, ClientConfig};
+use whitefi_mac::traffic::Sink;
+use whitefi_mac::{Behavior, Ctx, Frame, FrameKind, NodeConfig, NodeId, Simulator};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_spectrum::{
+    IncumbentSet, MicActivity, MicSchedule, SpectrumMap, TvStation, UhfChannel, WfChannel, Width,
+    WirelessMic,
+};
+
+fn incumbents_for(map: SpectrumMap) -> IncumbentSet {
+    let mut set = IncumbentSet::default();
+    for ch in map.occupied_channels() {
+        set.tv.push(TvStation::strong(ch));
+    }
+    set
+}
+
+fn building5() -> SpectrumMap {
+    SpectrumMap::from_free([5, 6, 7, 8, 9, 12, 13, 14, 17, 26])
+}
+
+/// Records every frame kind this node receives, with timestamps.
+struct FrameLog {
+    log: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, String)>>>,
+}
+
+impl Behavior for FrameLog {
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+    fn on_frame(&mut self, frame: &Frame, ctx: &mut Ctx) {
+        let kind = match frame.kind {
+            FrameKind::Beacon { .. } => "beacon",
+            FrameKind::SwitchAnnounce { .. } => "switch",
+            FrameKind::Data { .. } => "data",
+            FrameKind::Chirp { .. } => "chirp",
+            FrameKind::Report { .. } => "report",
+            _ => "other",
+        };
+        self.log.borrow_mut().push((ctx.now(), kind.to_string()));
+    }
+}
+
+#[test]
+fn ap_beacons_every_100ms_with_backup_advertised() {
+    let map = building5();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let mut sim = Simulator::new(61);
+    let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    sim.add_node(
+        NodeConfig::on_channel(main)
+            .ap()
+            .in_ssid(1)
+            .with_incumbents(incumbents_for(map)),
+        Box::new(ApBehavior::new(ApConfig::default())),
+    );
+    sim.add_node(
+        NodeConfig::on_channel(main).with_incumbents(incumbents_for(map)),
+        Box::new(FrameLog { log: log.clone() }),
+    );
+    sim.run_until(SimTime::from_secs(1));
+    let log = log.borrow();
+    let beacons: Vec<SimTime> = log
+        .iter()
+        .filter(|(_, k)| k == "beacon")
+        .map(|(t, _)| *t)
+        .collect();
+    // ~10 beacons in the first second, spaced ~100 ms.
+    assert!(
+        (9..=11).contains(&beacons.len()),
+        "{} beacons",
+        beacons.len()
+    );
+    for w in beacons.windows(2) {
+        let gap = w[1].since(w[0]).as_secs_f64();
+        assert!((0.08..0.13).contains(&gap), "beacon gap {gap}");
+    }
+}
+
+#[test]
+fn client_associates_via_report_and_ap_learns_it() {
+    let map = building5();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let mut sim = Simulator::new(62);
+    let ap = sim.add_node(
+        NodeConfig::on_channel(main)
+            .ap()
+            .in_ssid(1)
+            .with_incumbents(incumbents_for(map)),
+        Box::new(ApBehavior::new(
+            ApConfig::default().saturating_downlink(500),
+        )),
+    );
+    let client = sim.add_node(
+        NodeConfig::on_channel(main)
+            .in_ssid(1)
+            .with_incumbents(incumbents_for(map)),
+        Box::new(ClientBehavior::new(ClientConfig::new(ap, 0))),
+    );
+    sim.run_until(SimTime::from_secs(3));
+    // The AP learned the client from its report and is sending it
+    // downlink data.
+    assert!(
+        sim.stats(client).rx_data_frames > 10,
+        "{:?}",
+        sim.stats(client)
+    );
+    // And the client's reports were acknowledged.
+    assert!(sim.stats(client).tx_acked_frames >= 2);
+}
+
+#[test]
+fn client_watchdog_fires_when_ap_goes_silent() {
+    // An AP that stops transmitting entirely (simulated by a bare Sink in
+    // its place): the client must declare disconnection within its
+    // watchdog timeout and retune to the fallback backup channel.
+    let map = building5();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let mut sim = Simulator::new(63);
+    let fake_ap: NodeId =
+        sim.add_node(NodeConfig::on_channel(main).ap().in_ssid(1), Box::new(Sink));
+    let ccfg = ClientConfig::new(fake_ap, 0);
+    let timeout = ccfg.disconnect_timeout;
+    let client = sim.add_node(
+        NodeConfig::on_channel(main)
+            .in_ssid(1)
+            .with_incumbents(incumbents_for(map)),
+        Box::new(ClientBehavior::new(ccfg)),
+    );
+    sim.run_until(SimTime::ZERO + timeout + SimDuration::from_millis(450));
+    let ch = sim.node_channel(client);
+    assert_ne!(ch, main, "client never disconnected");
+    assert_eq!(ch.width(), Width::W5, "backup must be 5 MHz, got {ch}");
+    assert!(
+        !ch.overlaps(main),
+        "fallback backup overlaps old main: {ch}"
+    );
+}
+
+#[test]
+fn client_follows_switch_announce() {
+    let map = building5();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let target = WfChannel::from_parts(13, Width::W10);
+
+    /// An AP stand-in that announces a switch at t = 1 s and then moves.
+    struct AnnouncingAp {
+        target: WfChannel,
+    }
+    impl Behavior for AnnouncingAp {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(SimDuration::from_millis(100), 1); // beacon tick
+            ctx.set_timer(SimDuration::from_secs(1), 2);
+        }
+        fn on_timer(&mut self, key: u64, ctx: &mut Ctx) {
+            match key {
+                1 => {
+                    ctx.send(Frame {
+                        src: ctx.id(),
+                        dst: None,
+                        kind: FrameKind::Beacon { backup: None },
+                    });
+                    ctx.set_timer(SimDuration::from_millis(100), 1);
+                }
+                2 => {
+                    let target = self.target;
+                    ctx.send(Frame {
+                        src: ctx.id(),
+                        dst: None,
+                        kind: FrameKind::SwitchAnnounce { target },
+                    });
+                    ctx.set_timer(SimDuration::from_millis(50), 3);
+                }
+                3 => ctx.set_channel(self.target),
+                _ => {}
+            }
+        }
+    }
+
+    let mut sim = Simulator::new(64);
+    let ap = sim.add_node(
+        NodeConfig::on_channel(main).ap().in_ssid(1),
+        Box::new(AnnouncingAp { target }),
+    );
+    let client = sim.add_node(
+        NodeConfig::on_channel(main)
+            .in_ssid(1)
+            .with_incumbents(incumbents_for(map)),
+        Box::new(ClientBehavior::new(ClientConfig::new(ap, 0))),
+    );
+    sim.run_until(SimTime::from_millis(1_500));
+    assert_eq!(sim.node_channel(client), target, "client did not follow");
+}
+
+#[test]
+fn client_rejects_switch_to_channel_blocked_at_client() {
+    // The announce orders the network onto a channel the client's own map
+    // blocks: the client must refuse and go to the backup instead
+    // (footnote 1 of §4.1 — handled by the disconnection mechanism).
+    let map = building5();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let blocked_target = WfChannel::from_parts(13, Width::W10);
+
+    struct AnnounceOnce {
+        target: WfChannel,
+    }
+    impl Behavior for AnnounceOnce {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(SimDuration::from_millis(200), 1);
+        }
+        fn on_timer(&mut self, _key: u64, ctx: &mut Ctx) {
+            let target = self.target;
+            ctx.send(Frame {
+                src: ctx.id(),
+                dst: None,
+                kind: FrameKind::SwitchAnnounce { target },
+            });
+        }
+    }
+
+    // Client's map additionally blocks channel 13 (inside the target).
+    let mut client_map = map;
+    client_map.set_occupied(UhfChannel::from_index(13));
+
+    let mut sim = Simulator::new(65);
+    let ap = sim.add_node(
+        NodeConfig::on_channel(main).ap().in_ssid(1),
+        Box::new(AnnounceOnce {
+            target: blocked_target,
+        }),
+    );
+    let client = sim.add_node(
+        NodeConfig::on_channel(main)
+            .in_ssid(1)
+            .with_incumbents(incumbents_for(client_map)),
+        Box::new(ClientBehavior::new(ClientConfig::new(ap, 0))),
+    );
+    sim.run_until(SimTime::from_secs(1));
+    let ch = sim.node_channel(client);
+    assert_ne!(ch, blocked_target, "client obeyed an inadmissible switch");
+    assert_eq!(ch.width(), Width::W5, "client should sit on a backup: {ch}");
+}
+
+#[test]
+fn ap_vacates_immediately_on_incumbent_and_goes_to_backup() {
+    let map = building5();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let mut inc = incumbents_for(map);
+    inc.mics.push(WirelessMic::new(
+        UhfChannel::from_index(7),
+        MicSchedule::scripted(vec![MicActivity {
+            start: SimTime::from_secs(1).as_nanos(),
+            end: SimTime::from_secs(30).as_nanos(),
+        }]),
+    ));
+    let mut sim = Simulator::new(66);
+    let ap = sim.add_node(
+        NodeConfig::on_channel(main)
+            .ap()
+            .in_ssid(1)
+            .with_incumbents(inc),
+        Box::new(ApBehavior::new(ApConfig::default())),
+    );
+    // Detection delay is 50 ms: shortly after, the AP must be off the
+    // incumbent channel and on a 5 MHz backup.
+    sim.run_until(SimTime::from_millis(1_200));
+    let ch = sim.node_channel(ap);
+    assert!(
+        !ch.contains(UhfChannel::from_index(7)),
+        "still on the mic: {ch}"
+    );
+    assert_eq!(
+        ch.width(),
+        Width::W5,
+        "should be chirping on a backup: {ch}"
+    );
+    assert_eq!(sim.stats(ap).incumbent_violations, 0);
+    // After the chirp-collect window it reassigns to the best remaining
+    // channel (the 10 MHz fragment).
+    sim.run_until(SimTime::from_secs(4));
+    assert_eq!(sim.node_channel(ap).width(), Width::W10);
+}
+
+#[test]
+fn unassociated_client_discovers_and_joins_via_j_sift() {
+    // A new client boots with no knowledge of the AP's (F, W): it runs
+    // incremental J-SIFT on its scanner, decodes a beacon on the
+    // candidate channel, learns the AP's id and associates — the §4.2.2
+    // bootstrap inside the live simulation.
+    let map = building5();
+    for (seed, ap_ch) in [
+        (81u64, WfChannel::from_parts(7, Width::W20)),
+        (82, WfChannel::from_parts(13, Width::W10)),
+        (83, WfChannel::from_parts(17, Width::W5)),
+    ] {
+        let mut sim = Simulator::new(seed);
+        let ap = sim.add_node(
+            NodeConfig::on_channel(ap_ch)
+                .ap()
+                .in_ssid(1)
+                .with_incumbents(incumbents_for(map)),
+            Box::new(ApBehavior::new(
+                ApConfig::default().saturating_downlink(800),
+            )),
+        );
+        // The client starts parked on an arbitrary free 5 MHz channel.
+        let park = WfChannel::from_parts(26, Width::W5);
+        let ccfg = ClientConfig::new(ap, 0).discovering();
+        let client = sim.add_node(
+            NodeConfig::on_channel(park)
+                .in_ssid(1)
+                .with_incumbents(incumbents_for(map)),
+            Box::new(ClientBehavior::new(ccfg)),
+        );
+        // Worst case on this 10-free-channel map: ~12 dwells × 120 ms
+        // ≈ 1.5 s; allow generous margin for decode retries.
+        sim.run_until(SimTime::from_secs(8));
+        // The adaptive AP may have moved the network to a better channel
+        // after association; the client must be wherever the AP is.
+        assert_eq!(
+            sim.node_channel(client),
+            sim.node_channel(ap),
+            "seed {seed}: client not on the AP's channel"
+        );
+        // Associated for real: the AP learned it and is sending data.
+        assert!(
+            sim.stats(client).rx_data_frames > 5,
+            "seed {seed}: no downlink after association: {:?}",
+            sim.stats(client)
+        );
+    }
+}
+
+#[test]
+fn discovery_gives_up_gracefully_without_an_ap() {
+    // No AP anywhere: the client keeps scanning (restarting passes) and
+    // never transmits data or panics.
+    let map = building5();
+    let mut sim = Simulator::new(84);
+    let ccfg = ClientConfig::new(0, 0).discovering();
+    let client = sim.add_node(
+        NodeConfig::on_channel(WfChannel::from_parts(26, Width::W5))
+            .in_ssid(1)
+            .with_incumbents(incumbents_for(map)),
+        Box::new(ClientBehavior::new(ccfg)),
+    );
+    sim.run_until(SimTime::from_secs(10));
+    assert_eq!(sim.stats(client).tx_acked_frames, 0);
+    assert_eq!(sim.stats(client).incumbent_violations, 0);
+}

@@ -1,0 +1,106 @@
+//! Mic storm: adversarial failure injection for the disconnection
+//! protocol. Wireless mics chase the network from channel to channel —
+//! including striking the *backup* channel — while we verify the two
+//! protocol invariants: zero transmissions over a live mic, and recovery
+//! whenever any channel remains.
+//!
+//! ```sh
+//! cargo run --release --example mic_storm [seed]
+//! ```
+
+use whitefi::driver::{run_whitefi, Scenario};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_repro::{building5_map, scripted_mic};
+use whitefi_spectrum::{IncumbentSet, WfChannel, Width};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(13);
+
+    let map = building5_map();
+    println!("map: {map}");
+    println!(
+        "free fragments: 20 MHz (TV 26–30), 10 MHz (TV 33–35), 5 MHz (TV 39), 5 MHz (TV 48)\n"
+    );
+
+    // The storm: mics strike, in order,
+    //   t=4s  the 20 MHz fragment centre (TV 28)       — main channel dies
+    //   t=8s  the 10 MHz fragment centre (TV 34)       — next refuge dies
+    //   t=12s TV 39 — which is the network's likely backup/5 MHz refuge
+    // leaving TV 48 as the only safe harbour, then releases everything.
+    let mut inc = IncumbentSet::default();
+    inc.mics.push(scripted_mic(
+        7,
+        SimTime::from_secs(4),
+        SimTime::from_secs(30),
+    ));
+    inc.mics.push(scripted_mic(
+        13,
+        SimTime::from_secs(8),
+        SimTime::from_secs(30),
+    ));
+    inc.mics.push(scripted_mic(
+        17,
+        SimTime::from_secs(12),
+        SimTime::from_secs(30),
+    ));
+
+    let mut scenario = Scenario::new(seed, map, 2);
+    scenario.warmup = SimDuration::from_secs(1);
+    scenario.duration = SimDuration::from_secs(39);
+    scenario.sample_interval = SimDuration::from_millis(500);
+    scenario.ap_extra_incumbents = Some(inc.clone());
+    for c in scenario.client_extra_incumbents.iter_mut() {
+        *c = Some(inc.clone());
+    }
+
+    let out = run_whitefi(&scenario, Some(WfChannel::from_parts(7, Width::W20)));
+
+    println!("  t(s)   AP channel        goodput(Mbps)");
+    let mut last = None;
+    for s in &out.samples {
+        let mbps = s.bytes_delta as f64 * 8.0 / 0.5 / 1e6;
+        if last != Some(s.ap_channel) {
+            println!(
+                "  {:5.1}  {:16} {:6.2}   <-- switch",
+                s.t.as_secs_f64(),
+                s.ap_channel.to_string(),
+                mbps
+            );
+        }
+        last = Some(s.ap_channel);
+    }
+
+    // Recovery accounting per phase.
+    let phase_bytes = |from: u64, to: u64| -> u64 {
+        out.samples
+            .iter()
+            .filter(|s| {
+                let t = s.t.as_secs_f64();
+                t > from as f64 && t <= to as f64
+            })
+            .map(|s| s.bytes_delta)
+            .sum()
+    };
+    println!("\nphase traffic:");
+    for (label, from, to) in [
+        ("clean start      [1–4s]", 1, 4),
+        ("after strike 1   [5–8s]", 5, 8),
+        ("after strike 2   [9–12s]", 9, 12),
+        ("after strike 3   [14–30s]", 14, 30),
+        ("mics released    [31–40s]", 31, 40),
+    ] {
+        println!("  {label}: {:.2} MB", phase_bytes(from, to) as f64 / 1e6);
+    }
+
+    println!("\nincumbent violations: {}", out.violations);
+    assert_eq!(
+        out.violations, 0,
+        "the network transmitted over a live microphone!"
+    );
+    let tail: u64 = phase_bytes(31, 40);
+    assert!(tail > 0, "network never recovered after the storm");
+    println!("=> survived a three-mic storm with zero violations and full recovery.");
+}

@@ -1,0 +1,87 @@
+//! Rural broadband: the motivating deployment for white spaces — long
+//! fragments, few incumbents, kilometre ranges. Contrasts the goodput a
+//! WhiteFi network extracts from a rural vs an urban spectrum map, and
+//! shows discovery getting dramatically cheaper where spectrum is wide
+//! (the Figure 9 effect).
+//!
+//! ```sh
+//! cargo run --release --example rural_broadband [seed]
+//! ```
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use whitefi::driver::{run_whitefi, Scenario};
+use whitefi::{baseline_discovery, j_sift_discovery, SyntheticOracle};
+use whitefi_phy::SimDuration;
+use whitefi_spectrum::{Locale, LocaleClass};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1848);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+
+    for class in [LocaleClass::Rural, LocaleClass::Urban] {
+        let locale = Locale::sample(class, &mut rng);
+        println!("== {} locale ==", class.label());
+        println!("map: {}", locale.map);
+        println!(
+            "free channels: {}, widest fragment: {} channels ({} MHz)",
+            locale.map.free_count(),
+            locale.map.widest_fragment(),
+            locale.map.widest_fragment() * 6
+        );
+
+        // Network throughput: 4 farmhouse clients, backlogged downlink.
+        let mut scenario = Scenario::new(seed ^ class.label().len() as u64, locale.map, 4);
+        scenario.warmup = SimDuration::from_secs(1);
+        scenario.duration = SimDuration::from_secs(5);
+        let out = run_whitefi(&scenario, None);
+        let final_ch = out.samples.last().unwrap().ap_channel;
+        println!(
+            "WhiteFi settles on {final_ch}: aggregate {:.2} Mbps across 4 clients",
+            out.aggregate_mbps
+        );
+
+        // Discovery cost for a new client joining this network.
+        let placements = locale.map.available_channels();
+        if placements.is_empty() {
+            println!("(no admissible channel — nothing to join)\n");
+            continue;
+        }
+        let mut trials_base = Vec::new();
+        let mut trials_j = Vec::new();
+        for t in 0..40 {
+            // A fresh random AP placement per trial, so the deterministic
+            // scan orders are averaged over positions.
+            let ap = placements[rng.gen_range(0..placements.len())];
+            let mut o = SyntheticOracle::new(ap, rand_chacha::ChaCha8Rng::seed_from_u64(seed + t));
+            trials_base.push(
+                baseline_discovery(&mut o, locale.map)
+                    .unwrap()
+                    .time
+                    .as_secs_f64(),
+            );
+            let mut o = SyntheticOracle::new(ap, rand_chacha::ChaCha8Rng::seed_from_u64(seed + t));
+            trials_j.push(
+                j_sift_discovery(&mut o, locale.map)
+                    .unwrap()
+                    .time
+                    .as_secs_f64(),
+            );
+        }
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "joining client discovery: non-SIFT baseline {:.2}s, J-SIFT {:.2}s ({:.1}x faster)\n",
+            mean(&trials_base),
+            mean(&trials_j),
+            mean(&trials_base) / mean(&trials_j)
+        );
+    }
+
+    println!("=> wide rural fragments mean wider channels (more Mbps), and the SIFT");
+    println!("   discovery advantage grows with contiguity (Figure 9): on shattered urban");
+    println!("   maps a single draw can even favour the exhaustive baseline, while rural");
+    println!("   spectrum — the 802.22/WhiteFi target regime — rewards J-SIFT heavily.");
+}

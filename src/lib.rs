@@ -1,0 +1,100 @@
+//! Workspace root for the WhiteFi reproduction: re-exports of all crates
+//! plus the scenario presets shared by the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
+
+pub use whitefi;
+pub use whitefi_audio as audio;
+pub use whitefi_mac as mac;
+pub use whitefi_phy as phy;
+pub use whitefi_spectrum as spectrum;
+
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_spectrum::{MicActivity, MicSchedule, SpectrumMap, UhfChannel, WirelessMic};
+
+/// The paper's Building 5 testbed spectrum map (§5.4.2): free TV channels
+/// 26–30, 33–35, 39 and 48 — "fragments of size 20 MHz, 10 MHz and two
+/// channels of 5 MHz".
+pub fn building5_map() -> SpectrumMap {
+    SpectrumMap::from_free([5, 6, 7, 8, 9, 12, 13, 14, 17, 26])
+}
+
+/// The §5.4.1 large-scale simulation map: "There are 17 free UHF
+/// channels, and the widest contiguous white space is 36 MHz" (six
+/// contiguous channels). Constructed to match both properties.
+pub fn campus_sim_map() -> SpectrumMap {
+    // Free: 6-channel run, a 4-channel run, a 3-channel run, two
+    // 1-channel slivers and a 2-channel run: 6+4+3+1+1+2 = 17 free.
+    SpectrumMap::from_free([
+        2, 3, 4, 5, 6, 7, // 36 MHz fragment
+        10, 11, 12, 13, // 24 MHz
+        16, 17, 18, // 18 MHz
+        21, // 6 MHz
+        24, // 6 MHz
+        27, 28, // 12 MHz
+    ])
+}
+
+/// A wireless microphone switching on at `on` and staying active until
+/// `off`, on the given UHF channel — the §5.3 disconnection stimulus.
+pub fn scripted_mic(channel: usize, on: SimTime, off: SimTime) -> WirelessMic {
+    WirelessMic::new(
+        UhfChannel::from_index(channel),
+        MicSchedule::scripted(vec![MicActivity {
+            start: on.as_nanos(),
+            end: off.as_nanos(),
+        }]),
+    )
+}
+
+/// Convenience: a `SimDuration` from fractional seconds (test/bench
+/// ergonomics; truncates to nanoseconds).
+pub fn secs_f(s: f64) -> SimDuration {
+    SimDuration::from_nanos((s * 1e9) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campus_map_matches_paper_description() {
+        let m = campus_sim_map();
+        assert_eq!(m.free_count(), 17);
+        assert_eq!(m.widest_fragment(), 6); // 36 MHz
+                                            // "there are multiple possibilities of selecting even 20 MHz wide
+                                            // channels for the AP".
+        let w20 = m
+            .available_channels()
+            .into_iter()
+            .filter(|c| c.width() == whitefi_spectrum::Width::W20)
+            .count();
+        assert!(w20 >= 2, "only {w20} 20 MHz placements");
+    }
+
+    #[test]
+    fn building5_fragments() {
+        let lens: Vec<usize> = building5_map()
+            .fragments()
+            .iter()
+            .map(|f| f.len())
+            .collect();
+        assert_eq!(lens, vec![5, 3, 1, 1]);
+    }
+
+    #[test]
+    fn scripted_mic_schedule() {
+        let mic = scripted_mic(9, SimTime::from_secs(5), SimTime::from_secs(9));
+        assert!(!mic.active_at(SimTime::from_secs(4).as_nanos()));
+        assert!(mic.active_at(SimTime::from_secs(6).as_nanos()));
+        assert!(!mic.active_at(SimTime::from_secs(9).as_nanos()));
+    }
+
+    #[test]
+    fn secs_f_conversion() {
+        assert_eq!(secs_f(1.5), SimDuration::from_millis(1500));
+    }
+}

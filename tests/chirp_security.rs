@@ -1,0 +1,113 @@
+//! The §4.3 fake-chirp attack: "An attacker can potentially hijack our
+//! system by sending fake chirps. However, the impact of this attack is
+//! limited. Once the AP's main radio switches to the backup channel, it
+//! will process the chirp packet only if it is encoded with the network's
+//! security key … the overhead of this attack is the extra time taken to
+//! switch across channels."
+
+use whitefi::{ApBehavior, ApConfig, ClientBehavior, ClientConfig};
+use whitefi_mac::{Behavior, Ctx, Frame, FrameKind, NodeConfig, Simulator};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_repro::building5_map;
+use whitefi_spectrum::{IncumbentSet, SpectrumMap, TvStation, WfChannel, Width};
+
+/// Broadcasts fake chirps (wrong key) on the victim's backup channel.
+struct FakeChirper {
+    interval: SimDuration,
+}
+
+impl Behavior for FakeChirper {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(self.interval, 0);
+    }
+    fn on_timer(&mut self, _key: u64, ctx: &mut Ctx) {
+        if ctx.queue_len() == 0 {
+            ctx.send(Frame {
+                src: ctx.id(),
+                dst: None,
+                kind: FrameKind::Chirp {
+                    map: SpectrumMap::all_occupied(), // poison payload
+                    slot: 3,
+                    key: 0xdead, // not the network's key
+                },
+            });
+        }
+        ctx.set_timer(self.interval, 0);
+    }
+}
+
+fn incumbents_for(map: SpectrumMap) -> IncumbentSet {
+    let mut set = IncumbentSet::default();
+    for ch in map.occupied_channels() {
+        set.tv.push(TvStation::strong(ch));
+    }
+    set
+}
+
+fn run_with_attacker(attack: bool, seed: u64) -> (f64, WfChannel) {
+    let map = building5_map();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let backup = whitefi::backup_candidates(map, Some(main))[0];
+
+    let mut sim = Simulator::new(seed);
+    let mut ap_cfg = ApConfig::default().saturating_downlink(1000);
+    ap_cfg.key = 0xc0ffee;
+    let ap = sim.add_node(
+        NodeConfig::on_channel(main)
+            .ap()
+            .in_ssid(1)
+            .with_incumbents(incumbents_for(map)),
+        Box::new(ApBehavior::new(ap_cfg)),
+    );
+    let mut ccfg = ClientConfig::new(ap, 0);
+    ccfg.key = 0xc0ffee;
+    let client = sim.add_node(
+        NodeConfig::on_channel(main)
+            .in_ssid(1)
+            .with_incumbents(incumbents_for(map)),
+        Box::new(ClientBehavior::new(ccfg)),
+    );
+    if attack {
+        sim.add_node(
+            NodeConfig::on_channel(backup),
+            Box::new(FakeChirper {
+                interval: SimDuration::from_millis(500),
+            }),
+        );
+    }
+    sim.run_until(SimTime::from_secs(2));
+    sim.reset_stats();
+    sim.run_until(SimTime::from_secs(20));
+    let bytes = sim.stats(client).rx_data_bytes + sim.stats(client).tx_acked_bytes;
+    let mbps = bytes as f64 * 8.0 / 18.0 / 1e6;
+    (mbps, sim.node_channel(ap))
+}
+
+#[test]
+fn fake_chirps_cost_time_but_cannot_steer_the_network() {
+    let (clean_mbps, _) = run_with_attacker(false, 51);
+    let (attacked_mbps, final_ch) = run_with_attacker(true, 51);
+
+    // The attack drags the AP's main radio to the backup channel on every
+    // 3 s scan — a real but bounded cost.
+    assert!(
+        attacked_mbps > 0.5 * clean_mbps,
+        "attack cost unbounded: {attacked_mbps} vs clean {clean_mbps}"
+    );
+    // The poisoned all-occupied map must NOT have been ingested: the
+    // network keeps operating on admissible spectrum (a hijacked AP
+    // believing the attacker's map would have gone silent / NoChannel).
+    assert!(
+        building5_map().admits(final_ch),
+        "network steered onto inadmissible spectrum: {final_ch}"
+    );
+    assert!(attacked_mbps > 0.5, "network died under fake chirps");
+}
+
+#[test]
+fn authentic_chirps_still_processed_under_matching_key() {
+    // Sanity: with matching keys the normal §5.3 recovery flow works
+    // (covered end-to-end elsewhere; here just the key plumbing).
+    let (mbps, _) = run_with_attacker(false, 52);
+    assert!(mbps > 1.0, "baseline network unhealthy: {mbps}");
+}

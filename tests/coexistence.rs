@@ -1,0 +1,130 @@
+//! Two WhiteFi networks sharing the same band — the multi-AP case the
+//! paper leaves as follow-on work, exercised here as an extension: each
+//! AP measures the *other* network as background (the SSID-exclusion rule
+//! of Equation 1) and the two should settle on disjoint spectrum when
+//! enough is available.
+
+use whitefi::{ApBehavior, ApConfig, ClientBehavior, ClientConfig};
+use whitefi_mac::{NodeConfig, NodeId, Simulator};
+use whitefi_phy::SimTime;
+use whitefi_repro::campus_sim_map;
+use whitefi_spectrum::{IncumbentSet, SpectrumMap, TvStation, WfChannel, Width};
+
+fn incumbents_for(map: SpectrumMap) -> IncumbentSet {
+    let mut set = IncumbentSet::default();
+    for ch in map.occupied_channels() {
+        set.tv.push(TvStation::strong(ch));
+    }
+    set
+}
+
+/// Builds one WhiteFi network (AP + `n_clients`) in `ssid` starting on
+/// `initial`; returns (ap, clients).
+fn add_network(
+    sim: &mut Simulator,
+    ssid: u32,
+    map: SpectrumMap,
+    initial: WfChannel,
+    n_clients: usize,
+) -> (NodeId, Vec<NodeId>) {
+    let ap_cfg = ApConfig::default().saturating_downlink(1000);
+    let ap = sim.add_node(
+        NodeConfig::on_channel(initial)
+            .ap()
+            .in_ssid(ssid)
+            .with_incumbents(incumbents_for(map)),
+        Box::new(ApBehavior::new(ap_cfg)),
+    );
+    let mut clients = Vec::new();
+    for i in 0..n_clients {
+        let ccfg = ClientConfig::new(ap, i as u8);
+        let id = sim.add_node(
+            NodeConfig::on_channel(initial)
+                .in_ssid(ssid)
+                .with_incumbents(incumbents_for(map)),
+            Box::new(ClientBehavior::new(ccfg)),
+        );
+        clients.push(id);
+    }
+    (ap, clients)
+}
+
+#[test]
+fn two_networks_separate_and_both_thrive() {
+    let map = campus_sim_map();
+    let mut sim = Simulator::new(31);
+    // Both networks boot on the SAME 20 MHz channel — worst case.
+    let start = WfChannel::from_parts(4, Width::W20);
+    let (ap_a, clients_a) = add_network(&mut sim, 1, map, start, 1);
+    let (ap_b, clients_b) = add_network(&mut sim, 2, map, start, 1);
+
+    sim.run_until(SimTime::from_secs(20));
+
+    let ch_a = sim.node_channel(ap_a);
+    let ch_b = sim.node_channel(ap_b);
+    // At least one network should have moved off the shared channel.
+    // (With B = 1 the fair-share floor 1/2 per channel means staying can
+    // be rational when no clean fragment fits both, but the campus map
+    // has room for two.)
+    assert!(
+        !ch_a.overlaps(ch_b) || ch_a != ch_b,
+        "networks still glued to the same channel: {ch_a} vs {ch_b}"
+    );
+
+    // Measure steady-state goodput for both networks.
+    sim.reset_stats();
+    let t0 = sim.now();
+    sim.run_until(SimTime::from_secs(26));
+    let span = sim.now().since(t0);
+    let g = |clients: &[NodeId]| -> f64 {
+        clients
+            .iter()
+            .map(|&c| {
+                let s = sim.stats(c);
+                (s.rx_data_bytes + s.tx_acked_bytes) as f64 * 8.0 / span.as_secs_f64() / 1e6
+            })
+            .sum()
+    };
+    let ga = g(&clients_a);
+    let gb = g(&clients_b);
+    assert!(ga > 1.0, "network A starved: {ga} Mbps");
+    assert!(gb > 1.0, "network B starved: {gb} Mbps");
+    // Rough parity: neither network monopolizes.
+    let ratio = ga.max(gb) / ga.min(gb);
+    assert!(ratio < 4.0, "grossly unfair coexistence: {ga} vs {gb}");
+    // No incumbent violations anywhere.
+    for n in 0..sim.node_count() {
+        assert_eq!(sim.stats(n).incumbent_violations, 0, "node {n}");
+    }
+}
+
+#[test]
+fn second_network_sees_first_as_background() {
+    // Network A saturates a 20 MHz channel. A later scanner (network B's
+    // AP position) must measure A's airtime and AP count on those
+    // channels — but exclude its own SSID if it shares one.
+    let map = campus_sim_map();
+    let mut sim = Simulator::new(32);
+    let ch_a = WfChannel::from_parts(4, Width::W20);
+    let (_ap_a, _clients_a) = add_network(&mut sim, 1, map, ch_a, 1);
+    sim.run_until(SimTime::from_secs(4));
+
+    let from = SimTime::from_secs(2);
+    let to = SimTime::from_secs(4);
+    for u in ch_a.spanned() {
+        // A foreign observer (no SSID filter) sees the traffic.
+        let busy = sim.medium().airtime_in_window(u, from, to);
+        assert!(busy > 0.3, "channel {} busy {busy}", u.index());
+        let aps = sim.medium().ap_count_in_window(u, from, to);
+        assert!(aps >= 1, "no AP counted on {}", u.index());
+        // Network A itself must NOT count its own traffic.
+        let own = sim
+            .medium()
+            .airtime_in_window_excluding(u, from, to, Some(1));
+        assert!(own < 0.05, "self-measured busy {own}");
+        let own_aps = sim
+            .medium()
+            .ap_count_in_window_excluding(u, from, to, Some(1));
+        assert_eq!(own_aps, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end integration tests: the full WhiteFi network (AP + clients +
+//! background + incumbents) driven through the discrete-event simulator.
+
+use whitefi::driver::{run_fixed, run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_repro::{building5_map, campus_sim_map, scripted_mic};
+use whitefi_spectrum::{IncumbentSet, SpectrumMap, UhfChannel, WfChannel, Width};
+
+fn quick(mut s: Scenario) -> Scenario {
+    s.warmup = SimDuration::from_secs(1);
+    s.duration = SimDuration::from_secs(3);
+    s
+}
+
+#[test]
+fn association_transfer_and_fairness() {
+    let s = quick(Scenario::new(11, campus_sim_map(), 3));
+    let out = run_whitefi(&s, None);
+    assert_eq!(out.per_client_mbps.len(), 3);
+    for (i, &mbps) in out.per_client_mbps.iter().enumerate() {
+        assert!(mbps > 0.1, "client {i} starved: {mbps} Mbps");
+    }
+    assert_eq!(out.violations, 0);
+}
+
+#[test]
+fn adaptive_beats_or_matches_bad_static_choice() {
+    // Pin the static network onto a channel shared with heavy background;
+    // the adaptive network must do better.
+    let mut s = quick(Scenario::new(12, campus_sim_map(), 2));
+    let loaded = WfChannel::from_parts(4, Width::W20);
+    for c in [2usize, 3, 4, 5, 6] {
+        s.background.push(BackgroundPair {
+            channel: WfChannel::from_parts(c, Width::W5),
+            traffic: BackgroundTraffic::Cbr {
+                interval: SimDuration::from_millis(3),
+            },
+        });
+    }
+    s.duration = SimDuration::from_secs(5);
+    let adaptive = run_whitefi(&s, Some(loaded));
+    let pinned = run_fixed(&s, loaded);
+    assert!(
+        adaptive.aggregate_mbps > 1.2 * pinned.aggregate_mbps,
+        "adaptive {} vs pinned {}",
+        adaptive.aggregate_mbps,
+        pinned.aggregate_mbps
+    );
+}
+
+#[test]
+fn mic_at_ap_forces_vacate_without_violations() {
+    // The mic lands at the AP itself (the involuntary-switch path that
+    // does not need chirping).
+    let mut s = quick(Scenario::new(13, building5_map(), 1));
+    let mut inc = IncumbentSet::default();
+    inc.mics.push(scripted_mic(
+        7,
+        SimTime::from_secs(2),
+        SimTime::from_secs(60),
+    ));
+    s.ap_extra_incumbents = Some(inc);
+    s.duration = SimDuration::from_secs(9);
+    let out = run_whitefi(&s, Some(WfChannel::from_parts(7, Width::W20)));
+    assert_eq!(out.violations, 0, "transmitted over the mic");
+    // The AP must end up off the blocked fragment…
+    let final_ch = out.samples.last().unwrap().ap_channel;
+    assert!(
+        !final_ch.contains(UhfChannel::from_index(7)),
+        "still on the mic channel: {final_ch}"
+    );
+    // …and traffic must flow again in the last second.
+    let tail_bytes: u64 = out
+        .samples
+        .iter()
+        .rev()
+        .take(10)
+        .map(|smp| smp.bytes_delta)
+        .sum();
+    assert!(tail_bytes > 0, "no traffic after recovery");
+}
+
+#[test]
+fn mic_at_client_recovers_via_chirping() {
+    let mut s = quick(Scenario::new(14, building5_map(), 1));
+    let mut inc = IncumbentSet::default();
+    inc.mics.push(scripted_mic(
+        7,
+        SimTime::from_secs(2),
+        SimTime::from_secs(60),
+    ));
+    s.client_extra_incumbents[0] = Some(inc);
+    s.duration = SimDuration::from_secs(10);
+    s.sample_interval = SimDuration::from_millis(100);
+    let out = run_whitefi(&s, Some(WfChannel::from_parts(7, Width::W20)));
+    assert_eq!(out.violations, 0);
+    // Recovery within the paper's 4 s bound (3 s backup scan + selection).
+    let onset = SimTime::from_secs(2);
+    let recovered = out
+        .samples
+        .iter()
+        .find(|smp| {
+            smp.t > onset
+                && !smp.ap_channel.contains(UhfChannel::from_index(7))
+                && smp.bytes_delta > 0
+        })
+        .expect("never recovered");
+    let lag = recovered.t.since(onset).as_secs_f64();
+    assert!(lag <= 4.5, "reconnection took {lag} s");
+}
+
+#[test]
+fn serial_mic_events_keep_network_alive() {
+    // Failure injection: mics strike the network's channels repeatedly;
+    // the network must keep moving and keep moving data.
+    let mut s = quick(Scenario::new(15, campus_sim_map(), 2));
+    let mut inc = IncumbentSet::default();
+    // Strike the two best fragments in sequence.
+    inc.mics.push(scripted_mic(
+        4,
+        SimTime::from_secs(2),
+        SimTime::from_secs(30),
+    ));
+    inc.mics.push(scripted_mic(
+        11,
+        SimTime::from_secs(5),
+        SimTime::from_secs(30),
+    ));
+    s.ap_extra_incumbents = Some(inc.clone());
+    for c in s.client_extra_incumbents.iter_mut() {
+        *c = Some(inc.clone());
+    }
+    s.duration = SimDuration::from_secs(14);
+    let out = run_whitefi(&s, None);
+    assert_eq!(out.violations, 0);
+    let tail_bytes: u64 = out
+        .samples
+        .iter()
+        .rev()
+        .take(20)
+        .map(|smp| smp.bytes_delta)
+        .sum();
+    assert!(tail_bytes > 0, "network died after serial mic events");
+}
+
+#[test]
+fn spatially_varied_clients_constrain_selection() {
+    // One client is blind to the widest fragment; the AP must not sit on
+    // it once reports arrive.
+    let base = campus_sim_map();
+    let mut s = quick(Scenario::new(16, base, 2));
+    let mut blocked = base;
+    for c in 2..=7 {
+        blocked.set_occupied(UhfChannel::from_index(c));
+    }
+    s.client_maps[1] = blocked;
+    s.duration = SimDuration::from_secs(6);
+    let out = run_whitefi(&s, None);
+    let final_ch = out.samples.last().unwrap().ap_channel;
+    assert!(
+        final_ch.low_index() > 7,
+        "AP stayed on a fragment blocked at client 1: {final_ch}"
+    );
+    // Both clients still served.
+    assert!(
+        out.per_client_mbps.iter().all(|&m| m > 0.1),
+        "{:?}",
+        out.per_client_mbps
+    );
+}
+
+#[test]
+fn fully_blocked_spectrum_moves_no_data_and_breaks_nothing() {
+    let mut s = quick(Scenario::new(17, SpectrumMap::all_occupied(), 1));
+    s.client_maps[0] = SpectrumMap::all_occupied();
+    s.duration = SimDuration::from_secs(2);
+    // There is no admissible channel: run pinned to an arbitrary channel
+    // whose span is occupied — a correct network transmits nothing… but a
+    // *static* baseline ignores incumbents, so use the adaptive path with
+    // an explicit initial channel instead.
+    let out = run_whitefi(&s, Some(WfChannel::from_parts(10, Width::W20)));
+    assert_eq!(
+        out.aggregate_mbps, 0.0,
+        "moved data over a fully occupied band"
+    );
+}

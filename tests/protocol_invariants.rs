@@ -1,0 +1,171 @@
+//! Protocol-invariant integration tests: the disconnection machinery
+//! under hostile conditions (occupied backup channels, lost
+//! announcements, overlapping-AP backup channels).
+
+use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
+use whitefi::{backup_candidates, choose_backup, choose_secondary_backup};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_repro::{building5_map, scripted_mic};
+use whitefi_spectrum::{IncumbentSet, UhfChannel, WfChannel, Width};
+
+#[test]
+fn backup_channel_hit_by_mic_falls_to_secondary() {
+    // The advertised backup for the Building-5 map (main on the 20 MHz
+    // fragment) is the first free 5 MHz channel outside it: index 12.
+    let map = building5_map();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let backup = choose_backup(map, Some(main)).unwrap();
+    assert_eq!(backup.center().index(), 12);
+
+    // Strike the main channel at t=3s AND the backup at t=3s: the
+    // network must recover on some other channel with zero violations.
+    let mut s = Scenario::new(21, map, 1);
+    s.warmup = SimDuration::from_secs(1);
+    s.duration = SimDuration::from_secs(14);
+    let mut inc = IncumbentSet::default();
+    inc.mics.push(scripted_mic(
+        7,
+        SimTime::from_secs(3),
+        SimTime::from_secs(60),
+    ));
+    inc.mics.push(scripted_mic(
+        12,
+        SimTime::from_secs(3),
+        SimTime::from_secs(60),
+    ));
+    s.ap_extra_incumbents = Some(inc.clone());
+    s.client_extra_incumbents[0] = Some(inc);
+    let out = run_whitefi(&s, Some(main));
+    assert_eq!(out.violations, 0);
+    let final_ch = out.samples.last().unwrap().ap_channel;
+    assert!(!final_ch.contains(UhfChannel::from_index(7)), "{final_ch}");
+    assert!(!final_ch.contains(UhfChannel::from_index(12)), "{final_ch}");
+    let tail: u64 = out
+        .samples
+        .iter()
+        .rev()
+        .take(20)
+        .map(|x| x.bytes_delta)
+        .sum();
+    assert!(tail > 0, "no traffic after double strike");
+}
+
+#[test]
+fn backup_overlapping_foreign_ap_still_works() {
+    // §4.3: "chirps contend for the channel using CSMA, just like data
+    // packets; as a result, it is unproblematic for a backup channel to
+    // overlap with another AP's main channel." Put a busy background
+    // pair right on the backup channel and run the recovery anyway.
+    let map = building5_map();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let backup = choose_backup(map, Some(main)).unwrap();
+    let mut s = Scenario::new(22, map, 1);
+    s.warmup = SimDuration::from_secs(1);
+    s.duration = SimDuration::from_secs(14);
+    s.background.push(BackgroundPair {
+        channel: backup,
+        traffic: BackgroundTraffic::Cbr {
+            interval: SimDuration::from_millis(15),
+        },
+    });
+    let mut inc = IncumbentSet::default();
+    inc.mics.push(scripted_mic(
+        7,
+        SimTime::from_secs(3),
+        SimTime::from_secs(60),
+    ));
+    s.client_extra_incumbents[0] = Some(inc);
+    let out = run_whitefi(&s, Some(main));
+    assert_eq!(out.violations, 0);
+    let tail: u64 = out
+        .samples
+        .iter()
+        .rev()
+        .take(20)
+        .map(|x| x.bytes_delta)
+        .sum();
+    assert!(tail > 0, "recovery failed with contended backup channel");
+}
+
+#[test]
+fn voluntary_switch_missed_announce_recovers_via_chirps() {
+    // Force the network to switch voluntarily by loading its fragment;
+    // even if a client misses the announcement (collisions), the
+    // watchdog + chirp + backup-scan loop must reconverge.
+    let map = building5_map();
+    let mut s = Scenario::new(23, map, 2);
+    s.warmup = SimDuration::from_secs(1);
+    s.duration = SimDuration::from_secs(16);
+    for c in [5usize, 6, 7, 8, 9] {
+        s.background.push(BackgroundPair {
+            channel: WfChannel::from_parts(c, Width::W5),
+            traffic: BackgroundTraffic::Scripted {
+                interval: SimDuration::from_millis(3),
+                windows: vec![(SimTime::from_secs(3), SimTime::from_secs(60))],
+            },
+        });
+    }
+    let out = run_whitefi(&s, Some(WfChannel::from_parts(7, Width::W20)));
+    assert_eq!(out.violations, 0);
+    // The network must have left the crushed fragment…
+    let final_ch = out.samples.last().unwrap().ap_channel;
+    assert!(
+        final_ch.low_index() > 9,
+        "still on crushed fragment: {final_ch}"
+    );
+    // …and both clients still see service at the end.
+    let tail: u64 = out
+        .samples
+        .iter()
+        .rev()
+        .take(20)
+        .map(|x| x.bytes_delta)
+        .sum();
+    assert!(tail > 0);
+}
+
+#[test]
+fn backup_selection_helpers_are_consistent() {
+    let map = building5_map();
+    let main = WfChannel::from_parts(7, Width::W20);
+    let cands = backup_candidates(map, Some(main));
+    assert!(!cands.is_empty());
+    let primary = choose_backup(map, Some(main)).unwrap();
+    assert_eq!(cands[0], primary);
+    let secondary = choose_secondary_backup(map, Some(main), primary).unwrap();
+    assert_ne!(primary, secondary);
+    assert!(cands.contains(&secondary));
+    // Every candidate is admissible and disjoint from main.
+    for c in cands {
+        assert!(map.admits(c));
+        assert!(!c.overlaps(main));
+        assert_eq!(c.width(), Width::W5);
+    }
+}
+
+#[test]
+fn sustained_network_throughput_is_stable() {
+    // Long steady-state run: goodput variance across 1 s windows must be
+    // modest (no silent stalls, no runaway oscillation between channels).
+    let mut s = Scenario::new(24, building5_map(), 2);
+    s.warmup = SimDuration::from_secs(2);
+    s.duration = SimDuration::from_secs(20);
+    s.sample_interval = SimDuration::from_secs(1);
+    let out = run_whitefi(&s, None);
+    let rates: Vec<f64> = out
+        .samples
+        .iter()
+        .map(|x| x.bytes_delta as f64 * 8.0 / 1e6)
+        .collect();
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    assert!(mean > 2.0, "steady-state mean {mean} Mbps too low");
+    let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(min > 0.4 * mean, "stall detected: min {min} vs mean {mean}");
+    // No channel flapping on clean spectrum.
+    let switches = out
+        .samples
+        .windows(2)
+        .filter(|w| w[0].ap_channel != w[1].ap_channel)
+        .count();
+    assert!(switches <= 1, "{switches} switches on clean spectrum");
+}
