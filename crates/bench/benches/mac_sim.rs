@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use whitefi::driver::{run_fixed, BackgroundPair, BackgroundTraffic, Scenario};
-use whitefi_phy::SimDuration;
+use whitefi_mac::{Frame, Medium};
+use whitefi_phy::{SimDuration, SimTime};
 use whitefi_spectrum::{SpectrumMap, WfChannel, Width};
 
 fn scenario(pairs: usize) -> Scenario {
@@ -40,5 +41,40 @@ fn bench_mac(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mac);
+/// A medium saturated with 60 concurrent transmissions across the whole
+/// UHF band — the regime where per-query cost dominates `plan()`.
+fn saturated_medium() -> Medium {
+    let mut m = Medium::new();
+    let t0 = SimTime::ZERO;
+    let t1 = t0 + SimDuration::from_secs(1);
+    for i in 0..60usize {
+        let ch = WfChannel::from_parts(i % 30, Width::W5);
+        // Half the load belongs to tracked networks 0..4, half is
+        // SSID-less background (always foreign to every scanner).
+        let ssid = if i % 2 == 0 { Some((i % 5) as u32) } else { None };
+        m.start(i, false, ssid, ch, t0, t1, Frame::data(i, (i + 1) % 60, 500), 1.0);
+    }
+    m
+}
+
+fn bench_carrier_sense(c: &mut Criterion) {
+    let m = saturated_medium();
+    let w20: Vec<WfChannel> = (2..=27).map(|i| WfChannel::from_parts(i, Width::W20)).collect();
+    c.bench_function("medium/carrier_sense_excl_src_26xW20", |b| {
+        b.iter(|| {
+            w20.iter()
+                .filter(|&&ch| m.carrier_sensed(ch, Some(0)))
+                .count()
+        })
+    });
+    c.bench_function("medium/carrier_sense_excl_ssid_26xW20", |b| {
+        b.iter(|| {
+            w20.iter()
+                .filter(|&&ch| m.carrier_sensed_excluding_ssid(ch, 3))
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_mac, bench_carrier_sense);
 criterion_main!(benches);

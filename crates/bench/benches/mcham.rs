@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use whitefi::{mcham, select_channel, NodeReport};
+use whitefi::{evaluate_all, mcham, select_channel, NodeReport};
 use whitefi_spectrum::{AirtimeVector, ChannelLoad, SpectrumMap, UhfChannel, WfChannel, Width};
 
 fn loaded_airtime(seed: u64) -> AirtimeVector {
@@ -16,6 +16,15 @@ fn bench_mcham(c: &mut Criterion) {
     let airtime = loaded_airtime(1);
     let cand = WfChannel::from_parts(10, Width::W20);
     c.bench_function("mcham/single_channel", |b| b.iter(|| mcham(&airtime, cand)));
+
+    // The assignment kernel: all 84 (F, W) candidates. Per-candidate
+    // products vs the shared-RhoTable fast path.
+    c.bench_function("mcham/per_candidate_84", |b| {
+        b.iter(|| WfChannel::all().map(|c| mcham(&airtime, c)).sum::<f64>())
+    });
+    c.bench_function("mcham/evaluate_all_84", |b| {
+        b.iter(|| evaluate_all(&airtime).iter().map(|(_, v)| v).sum::<f64>())
+    });
 
     let ap = NodeReport {
         map: SpectrumMap::all_free(),

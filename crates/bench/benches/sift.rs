@@ -26,6 +26,30 @@ fn bench_sift(c: &mut Criterion) {
             &trace,
             |b, trace| b.iter(|| sift.airtime_fraction(trace)),
         );
+        // Synthesis cost per trial: fresh allocation vs buffer reuse
+        // (the Table 1 / Figures 6-7 inner loop).
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_alloc", format!("{}MHz", width.mhz())),
+            &bursts,
+            |b, bursts| {
+                let synth = Synthesizer::new();
+                let mut rng = ChaCha8Rng::seed_from_u64(2);
+                b.iter(|| synth.synthesize(bursts, window, &mut rng))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_into_reused", format!("{}MHz", width.mhz())),
+            &bursts,
+            |b, bursts| {
+                let synth = Synthesizer::new();
+                let mut rng = ChaCha8Rng::seed_from_u64(2);
+                let mut buf = Vec::new();
+                b.iter(|| {
+                    synth.synthesize_into(bursts, window, &mut rng, &mut buf);
+                    buf.len()
+                })
+            },
+        );
     }
     group.finish();
 }

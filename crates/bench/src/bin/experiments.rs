@@ -1,17 +1,27 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments list               # show available experiment ids
-//! experiments all [--quick]      # run everything
-//! experiments fig11 table1 ...   # run selected experiments
+//! experiments list                     # show available experiment ids
+//! experiments all [--quick]            # run everything
+//! experiments fig11 table1 ...         # run selected experiments
+//! experiments all --jobs 8             # parallel trials + overlapped experiments
+//! experiments all --seed 42            # perturb every trial seed (default 0 = historical outputs)
 //! ```
 //!
-//! Results are printed as text tables and written as JSON to
-//! `results/<id>.json`.
+//! Results are printed as text tables and written atomically as JSON to
+//! `results/<id>.json`. A run summary (per-experiment wall time, trial
+//! counts, job counts) goes to `results/BENCH_experiments.json`.
+//!
+//! Determinism contract: for a fixed `--seed`, the JSON outputs are
+//! byte-identical for every `--jobs` value — each trial derives its RNG
+//! seed purely from (experiment id, trial index), never from scheduling.
 
 use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
-use whitefi_bench::registry;
+use whitefi_bench::{registry, ExperimentReport, RunCtx};
 
 /// Default chart axes per experiment for `--plot`.
 fn plot_axes(id: &str) -> Option<(&'static str, Vec<&'static str>)> {
@@ -27,46 +37,243 @@ fn plot_axes(id: &str) -> Option<(&'static str, Vec<&'static str>)> {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let plot = args.iter().any(|a| a == "--plot");
-    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+/// Writes `contents` to `path` atomically (temp file in the same
+/// directory, then rename) so readers never observe a half-written JSON.
+fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let p = Path::new(path);
+    let dir = p.parent().unwrap_or_else(|| Path::new("."));
+    let name = p
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, p)
+}
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [list | all | <id>...] [--quick] [--plot] [--jobs N] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    quick: bool,
+    plot: bool,
+    jobs: usize,
+    seed: u64,
+    selected: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let default_jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut opts = Options {
+        quick: false,
+        plot: false,
+        jobs: default_jobs,
+        seed: 0,
+        selected: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--quick" {
+            opts.quick = true;
+        } else if a == "--plot" {
+            opts.plot = true;
+        } else if a == "--jobs" || a == "--seed" {
+            i += 1;
+            let Some(v) = args.get(i) else {
+                eprintln!("{a} requires a value");
+                usage();
+            };
+            match (a.as_str(), v.parse::<u64>()) {
+                ("--jobs", Ok(n)) => opts.jobs = (n as usize).max(1),
+                ("--seed", Ok(s)) => opts.seed = s,
+                _ => {
+                    eprintln!("invalid value for {a}: {v}");
+                    usage();
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            match v.parse::<usize>() {
+                Ok(n) => opts.jobs = n.max(1),
+                Err(_) => {
+                    eprintln!("invalid value for --jobs: {v}");
+                    usage();
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            match v.parse::<u64>() {
+                Ok(s) => opts.seed = s,
+                Err(_) => {
+                    eprintln!("invalid value for --seed: {v}");
+                    usage();
+                }
+            }
+        } else if a.starts_with("--") {
+            eprintln!("unknown option: {a}");
+            usage();
+        } else {
+            opts.selected.push(a.clone());
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// One finished experiment, in registry order.
+struct Finished {
+    id: &'static str,
+    report: ExperimentReport,
+    wall_s: f64,
+    trials: u64,
+    jobs: usize,
+}
+
+fn main() {
+    let opts = parse_args();
     let registry = registry();
 
-    if selected.first().map(|s| s.as_str()) == Some("list") {
+    if opts.selected.first().map(|s| s.as_str()) == Some("list") {
         for (id, desc, _) in &registry {
             println!("{id:14} {desc}");
         }
         return;
     }
 
-    let run_all = selected.is_empty() || selected.iter().any(|s| s.as_str() == "all");
-    let mut ran = 0;
-    fs::create_dir_all("results").ok();
-    for (id, _desc, runner) in &registry {
-        if !run_all && !selected.iter().any(|s| s.as_str() == *id) {
-            continue;
+    let run_all = opts.selected.is_empty() || opts.selected.iter().any(|s| s == "all");
+    for sel in &opts.selected {
+        if sel != "all" && !registry.iter().any(|(id, ..)| id == sel) {
+            eprintln!("unknown experiment id: {sel}");
+            eprintln!("no matching experiments; try `experiments list`");
+            std::process::exit(1);
         }
-        let start = Instant::now();
-        let report = runner(quick);
-        let elapsed = start.elapsed();
-        println!("{}", report.render_text());
-        if plot {
-            if let Some((x, ys)) = plot_axes(id) {
-                println!("{}", report.render_ascii_chart(x, &ys));
+    }
+    let entries: Vec<_> = registry
+        .iter()
+        .filter(|(id, ..)| run_all || opts.selected.iter().any(|s| s == id))
+        .copied()
+        .collect();
+    if entries.is_empty() {
+        eprintln!("no matching experiments; try `experiments list`");
+        std::process::exit(1);
+    }
+
+    // Split the job budget: overlap whole experiments (outer) and give
+    // each the remaining slots for its own trials (inner). Single-shot
+    // experiments (e.g. fig14) parallelize only through the outer level.
+    let outer = if entries.len() > 1 {
+        opts.jobs.min(entries.len())
+    } else {
+        1
+    };
+    let inner = (opts.jobs / outer).max(1);
+
+    let total_start = Instant::now();
+    let finished: Vec<Finished> = if outer <= 1 {
+        entries
+            .iter()
+            .map(|&(id, _desc, runner)| {
+                let ctx = RunCtx::new(opts.quick, opts.jobs, opts.seed);
+                let start = Instant::now();
+                let report = runner(&ctx);
+                Finished {
+                    id,
+                    report,
+                    wall_s: start.elapsed().as_secs_f64(),
+                    trials: ctx.trials_run(),
+                    jobs: ctx.jobs(),
+                }
+            })
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let done = parking_lot::Mutex::new(Vec::with_capacity(entries.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..outer {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= entries.len() {
+                        break;
+                    }
+                    let (id, _desc, runner) = entries[k];
+                    let ctx = RunCtx::new(opts.quick, inner, opts.seed);
+                    let start = Instant::now();
+                    let report = runner(&ctx);
+                    done.lock().push((
+                        k,
+                        Finished {
+                            id,
+                            report,
+                            wall_s: start.elapsed().as_secs_f64(),
+                            trials: ctx.trials_run(),
+                            jobs: ctx.jobs(),
+                        },
+                    ));
+                });
+            }
+        });
+        let mut indexed = done.into_inner();
+        indexed.sort_by_key(|&(k, _)| k);
+        indexed.into_iter().map(|(_, f)| f).collect()
+    };
+    let total_wall_s = total_start.elapsed().as_secs_f64();
+
+    fs::create_dir_all("results").ok();
+    let mut failed = false;
+    for f in &finished {
+        println!("{}", f.report.render_text());
+        if opts.plot {
+            if let Some((x, ys)) = plot_axes(f.id) {
+                println!("{}", f.report.render_ascii_chart(x, &ys));
             }
         }
-        println!("({id} completed in {:.1}s)\n", elapsed.as_secs_f64());
-        let path = format!("results/{id}.json");
-        if let Err(e) = fs::write(&path, report.to_json()) {
+        println!("({} completed in {:.1}s)\n", f.id, f.wall_s);
+        if let Err(e) = f.report.validate() {
+            eprintln!("error: invalid report: {e}");
+            failed = true;
+        }
+        let path = format!("results/{}.json", f.id);
+        if let Err(e) = write_atomic(&path, &f.report.to_json()) {
             eprintln!("warning: could not write {path}: {e}");
         }
-        ran += 1;
     }
-    if ran == 0 {
-        eprintln!("no matching experiments; try `experiments list`");
+
+    // Run summary for perf tracking (wall time per experiment, trial
+    // counts, effective job counts).
+    let summary = serde_json::to_string_pretty(&serde_json::json!({
+        "jobs": opts.jobs,
+        "outer_overlap": outer,
+        "inner_jobs_per_experiment": inner,
+        "quick": opts.quick,
+        "seed": opts.seed,
+        "total_wall_s": (total_wall_s * 1e3).round() / 1e3,
+        "experiments": finished.iter().map(|f| serde_json::json!({
+            "id": f.id,
+            "wall_s": (f.wall_s * 1e3).round() / 1e3,
+            "trials": f.trials,
+            "jobs": f.jobs,
+        })).collect::<Vec<_>>(),
+    }))
+    .expect("summary serialization");
+    if let Err(e) = write_atomic("results/BENCH_experiments.json", &summary) {
+        eprintln!("warning: could not write results/BENCH_experiments.json: {e}");
+    }
+    println!(
+        "ran {} experiments in {total_wall_s:.1}s (jobs {}, overlap {outer}x{inner})",
+        finished.len(),
+        opts.jobs
+    );
+    if failed {
         std::process::exit(1);
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::experiments::fig10::{candidates, sweep_point};
 use crate::report::{mean, round4, ExperimentReport};
+use crate::runner::RunCtx;
 use rand::Rng;
 use serde_json::json;
 use whitefi::driver::{measure_airtime, BackgroundPair, BackgroundTraffic, Scenario};
@@ -97,7 +98,8 @@ pub fn narrowest_first_scans<O: ScanOracle>(oracle: &mut O, map: SpectrumMap) ->
 }
 
 /// Runs both ablations.
-pub fn run(quick: bool) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let quick = ctx.quick();
     let mut report = ExperimentReport::new(
         "ablation",
         "Design ablations: MCham combiner; J-SIFT pass order",
@@ -109,9 +111,12 @@ pub fn run(quick: bool) -> ExperimentReport {
     } else {
         &[3, 8, 14, 22, 30, 45]
     };
+    let fractions = ctx.map(delays.len(), |i| {
+        combiner_fractions(delays[i], ctx.seed(4400 + i as u64), quick)
+    });
     let mut sums = [0.0; 3];
     for (i, &d) in delays.iter().enumerate() {
-        let f = combiner_fractions(d, 4400 + i as u64, quick);
+        let f = fractions[i];
         for k in 0..3 {
             sums[k] += f[k] / delays.len() as f64;
         }
@@ -130,8 +135,10 @@ pub fn run(quick: bool) -> ExperimentReport {
     // --- J-SIFT pass order on the open band -----------------------------
     let map = SpectrumMap::all_free();
     let placements = map.available_channels();
+    // Trials share one RNG (placement draws feed oracle seeds), so the
+    // pass-order Monte Carlo stays sequential.
     let trials = if quick { 60 } else { 300 };
-    let mut rng = super::rng(4500);
+    let mut rng = super::rng(ctx.seed(4500));
     let mut widest = Vec::new();
     let mut narrowest = Vec::new();
     for _ in 0..trials {

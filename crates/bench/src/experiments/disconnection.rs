@@ -16,6 +16,7 @@
 //! between mic onset and the first post-recovery traffic.
 
 use crate::report::{round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi::driver::{run_whitefi, Scenario};
 use whitefi_phy::{SimDuration, SimTime};
@@ -61,16 +62,16 @@ pub fn one_trial(seed: u64) -> (f64, u64) {
 }
 
 /// Runs the disconnection experiment over several seeds.
-pub fn run(quick: bool) -> ExperimentReport {
-    let trials = if quick { 3 } else { 10 };
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let trials: usize = if ctx.quick() { 3 } else { 10 };
     let mut report = ExperimentReport::new(
         "disconnection",
         "Reconnection lag after a mic event at the client (s)",
         &["seed", "lag_s", "violations"],
     );
+    let results = ctx.map(trials, |seed| one_trial(ctx.seed(3000 + seed as u64)));
     let mut max_lag: f64 = 0.0;
-    for seed in 0..trials {
-        let (lag, violations) = one_trial(3000 + seed);
+    for (seed, &(lag, violations)) in results.iter().enumerate() {
         max_lag = max_lag.max(lag);
         report.push_row(&[
             ("seed", json!(seed)),

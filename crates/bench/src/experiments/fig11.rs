@@ -11,6 +11,7 @@
 //! always within 14% of the optimal value throughput OPT."
 
 use crate::report::{mean, round4, ExperimentReport};
+use crate::runner::RunCtx;
 use rand::Rng;
 use serde_json::json;
 use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario, StaticBaselines};
@@ -42,36 +43,48 @@ pub fn scenario(pairs: usize, seed: u64, quick: bool) -> Scenario {
     s
 }
 
-/// Measured per-client throughputs for one point:
+/// One simulated run at `(pairs, seed)`: per-client
+/// `(whitefi, opt5, opt10, opt20, opt)` in Mbps.
+pub fn one_run(pairs: usize, seed: u64, quick: bool) -> (f64, f64, f64, f64, f64) {
+    let s = scenario(pairs, seed, quick);
+    let n = s.client_maps.len() as f64;
+    let wf = run_whitefi(&s, None);
+    let base = StaticBaselines::measure(&s);
+    (
+        wf.aggregate_mbps / n,
+        base.opt5 / n,
+        base.opt10 / n,
+        base.opt20 / n,
+        base.opt / n,
+    )
+}
+
+/// Measured per-client throughputs for one point, averaged over seeds:
 /// `(whitefi, opt5, opt10, opt20, opt)` in Mbps per client.
 pub fn point(pairs: usize, seeds: &[u64], quick: bool) -> (f64, f64, f64, f64, f64) {
-    let mut w = Vec::new();
-    let mut o5 = Vec::new();
-    let mut o10 = Vec::new();
-    let mut o20 = Vec::new();
-    let mut o = Vec::new();
-    for &seed in seeds {
-        let s = scenario(pairs, seed, quick);
-        let n = s.client_maps.len() as f64;
-        let wf = run_whitefi(&s, None);
-        let base = StaticBaselines::measure(&s);
-        w.push(wf.aggregate_mbps / n);
-        o5.push(base.opt5 / n);
-        o10.push(base.opt10 / n);
-        o20.push(base.opt20 / n);
-        o.push(base.opt / n);
-    }
-    (mean(&w), mean(&o5), mean(&o10), mean(&o20), mean(&o))
+    mean_runs(&seeds.iter().map(|&s| one_run(pairs, s, quick)).collect::<Vec<_>>())
+}
+
+fn mean_runs(runs: &[(f64, f64, f64, f64, f64)]) -> (f64, f64, f64, f64, f64) {
+    let col = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| mean(&runs.iter().map(f).collect::<Vec<_>>());
+    (
+        col(|r| r.0),
+        col(|r| r.1),
+        col(|r| r.2),
+        col(|r| r.3),
+        col(|r| r.4),
+    )
 }
 
 /// Runs the background-traffic sweep.
-pub fn run(quick: bool) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let quick = ctx.quick();
     let (points, seeds): (&[usize], Vec<u64>) = if quick {
-        (&[0, 8, 17], vec![5000])
+        (&[0, 8, 17], vec![ctx.seed(5000)])
     } else {
         (
             &[0, 2, 5, 8, 10, 13, 17],
-            (0..5).map(|i| 5000 + i).collect(),
+            (0..5).map(|i| ctx.seed(5000 + i)).collect(),
         )
     };
     let mut report = ExperimentReport::new(
@@ -87,9 +100,14 @@ pub fn run(quick: bool) -> ExperimentReport {
             "wf_over_opt",
         ],
     );
+    // Fan every (point, seed) simulation out as its own work unit, then
+    // average per point in seed order (identical to the sequential sums).
+    let runs = ctx.map(points.len() * seeds.len(), |k| {
+        one_run(points[k / seeds.len()], seeds[k % seeds.len()], quick)
+    });
     let mut worst_frac: f64 = 1.0;
-    for &pairs in points {
-        let (w, o5, o10, o20, o) = point(pairs, &seeds, quick);
+    for (pi, &pairs) in points.iter().enumerate() {
+        let (w, o5, o10, o20, o) = mean_runs(&runs[pi * seeds.len()..(pi + 1) * seeds.len()]);
         let frac = if o > 0.0 { w / o } else { 1.0 };
         worst_frac = worst_frac.min(frac);
         report.push_row(&[

@@ -13,6 +13,7 @@
 //! cases. On the other hand, WhiteFi is near-optimal in all cases."
 
 use crate::report::{mean, round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario, StaticBaselines};
 use whitefi_phy::SimDuration;
@@ -47,42 +48,42 @@ pub fn scenario(p: f64, seed: u64, quick: bool) -> Scenario {
     s
 }
 
+/// One simulated run at `(p, seed)`:
+/// `(whitefi, opt, opt20, widest_remaining_fragment)`.
+pub fn one_run(p: f64, seed: u64, quick: bool) -> (f64, f64, f64, f64) {
+    let s = scenario(p, seed, quick);
+    let combined = s.combined_map();
+    if combined.available_channels().is_empty() {
+        // Fully blocked at this seed: zero throughput for everyone.
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    let widest = combined.widest_fragment() as f64;
+    let n = s.client_maps.len() as f64;
+    let w = run_whitefi(&s, None).aggregate_mbps / n;
+    let base = StaticBaselines::measure(&s);
+    (w, base.opt / n, base.opt20 / n, widest)
+}
+
 /// One sweep point averaged over seeds:
 /// `(whitefi, opt, opt20, widest_remaining_fragment)`.
 pub fn point(p: f64, seeds: &[u64], quick: bool) -> (f64, f64, f64, f64) {
-    let mut w = Vec::new();
-    let mut o = Vec::new();
-    let mut o20 = Vec::new();
-    let mut widest = Vec::new();
-    for &seed in seeds {
-        let s = scenario(p, seed, quick);
-        let combined = s.combined_map();
-        if combined.available_channels().is_empty() {
-            // Fully blocked at this seed: zero throughput for everyone.
-            w.push(0.0);
-            o.push(0.0);
-            o20.push(0.0);
-            widest.push(0.0);
-            continue;
-        }
-        widest.push(combined.widest_fragment() as f64);
-        let n = s.client_maps.len() as f64;
-        w.push(run_whitefi(&s, None).aggregate_mbps / n);
-        let base = StaticBaselines::measure(&s);
-        o.push(base.opt / n);
-        o20.push(base.opt20 / n);
-    }
-    (mean(&w), mean(&o), mean(&o20), mean(&widest))
+    mean_runs(&seeds.iter().map(|&s| one_run(p, s, quick)).collect::<Vec<_>>())
+}
+
+fn mean_runs(runs: &[(f64, f64, f64, f64)]) -> (f64, f64, f64, f64) {
+    let col = |f: fn(&(f64, f64, f64, f64)) -> f64| mean(&runs.iter().map(f).collect::<Vec<_>>());
+    (col(|r| r.0), col(|r| r.1), col(|r| r.2), col(|r| r.3))
 }
 
 /// Runs the spatial-variation sweep.
-pub fn run(quick: bool) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let quick = ctx.quick();
     let (ps, seeds): (&[f64], Vec<u64>) = if quick {
-        (&[0.0, 0.05, 0.12], vec![6000])
+        (&[0.0, 0.05, 0.12], vec![ctx.seed(6000)])
     } else {
         (
             &[0.0, 0.01, 0.03, 0.05, 0.08, 0.11, 0.14],
-            (0..5).map(|i| 6000 + i).collect(),
+            (0..5).map(|i| ctx.seed(6000 + i)).collect(),
         )
     };
     let mut report = ExperimentReport::new(
@@ -90,10 +91,13 @@ pub fn run(quick: bool) -> ExperimentReport {
         "Per-client throughput (Mbps) vs spatial flip probability P",
         &["p", "whitefi", "opt", "opt20", "widest_fragment"],
     );
+    let runs = ctx.map(ps.len() * seeds.len(), |k| {
+        one_run(ps[k / seeds.len()], seeds[k % seeds.len()], quick)
+    });
     let mut first = None;
     let mut last = None;
-    for &p in ps {
-        let (w, o, o20, widest) = point(p, &seeds, quick);
+    for (pi, &p) in ps.iter().enumerate() {
+        let (w, o, o20, widest) = mean_runs(&runs[pi * seeds.len()..(pi + 1) * seeds.len()]);
         if first.is_none() {
             first = Some(w);
         }

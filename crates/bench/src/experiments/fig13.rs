@@ -16,6 +16,7 @@
 //! background traffic."
 
 use crate::report::{mean, round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario, StaticBaselines};
 use whitefi_phy::SimDuration;
@@ -94,30 +95,32 @@ pub fn scenario(pt: ChurnPoint, seed: u64, quick: bool) -> Scenario {
     s
 }
 
+/// One simulated run at `(pt, seed)`: `(whitefi, opt, opt20, opt5)`.
+pub fn one_run(pt: ChurnPoint, seed: u64, quick: bool) -> (f64, f64, f64, f64) {
+    let s = scenario(pt, seed, quick);
+    let n = s.client_maps.len() as f64;
+    let w = run_whitefi(&s, None).aggregate_mbps / n;
+    let base = StaticBaselines::measure(&s);
+    (w, base.opt / n, base.opt20 / n, base.opt5 / n)
+}
+
 /// One churn point averaged over seeds: `(whitefi, opt, opt20, opt5)`.
 pub fn point(pt: ChurnPoint, seeds: &[u64], quick: bool) -> (f64, f64, f64, f64) {
-    let mut w = Vec::new();
-    let mut o = Vec::new();
-    let mut o20 = Vec::new();
-    let mut o5 = Vec::new();
-    for &seed in seeds {
-        let s = scenario(pt, seed, quick);
-        let n = s.client_maps.len() as f64;
-        w.push(run_whitefi(&s, None).aggregate_mbps / n);
-        let base = StaticBaselines::measure(&s);
-        o.push(base.opt / n);
-        o20.push(base.opt20 / n);
-        o5.push(base.opt5 / n);
-    }
-    (mean(&w), mean(&o), mean(&o20), mean(&o5))
+    mean_runs(&seeds.iter().map(|&s| one_run(pt, s, quick)).collect::<Vec<_>>())
+}
+
+fn mean_runs(runs: &[(f64, f64, f64, f64)]) -> (f64, f64, f64, f64) {
+    let col = |f: fn(&(f64, f64, f64, f64)) -> f64| mean(&runs.iter().map(f).collect::<Vec<_>>());
+    (col(|r| r.0), col(|r| r.1), col(|r| r.2), col(|r| r.3))
 }
 
 /// Runs the churn sweep.
-pub fn run(quick: bool) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let quick = ctx.quick();
     let seeds: Vec<u64> = if quick {
-        vec![8000]
+        vec![ctx.seed(8000)]
     } else {
-        (0..2).map(|i| 8000 + i).collect()
+        (0..2).map(|i| ctx.seed(8000 + i)).collect()
     };
     let sweep: &[ChurnPoint] = if quick {
         &[SWEEP[0], SWEEP[2], SWEEP[5]]
@@ -129,8 +132,11 @@ pub fn run(quick: bool) -> ExperimentReport {
         "Per-client throughput (Mbps) vs background churn",
         &["churn", "whitefi", "opt", "opt20", "opt5", "wf_over_opt"],
     );
-    for pt in sweep {
-        let (w, o, o20, o5) = point(*pt, &seeds, quick);
+    let runs = ctx.map(sweep.len() * seeds.len(), |k| {
+        one_run(sweep[k / seeds.len()], seeds[k % seeds.len()], quick)
+    });
+    for (pi, pt) in sweep.iter().enumerate() {
+        let (w, o, o20, o5) = mean_runs(&runs[pi * seeds.len()..(pi + 1) * seeds.len()]);
         report.push_row(&[
             ("churn", json!(pt.label)),
             ("whitefi", round4(w)),

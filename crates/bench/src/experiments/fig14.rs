@@ -18,6 +18,7 @@
 //! is the target; `--full` runs the paper's 250 s):
 
 use crate::report::{round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
 use whitefi_phy::{SimDuration, SimTime};
@@ -87,10 +88,11 @@ pub fn dominant_width(samples: &[whitefi::driver::Sample], from: u64, to: u64) -
     Some([Width::W5, Width::W10, Width::W20][best])
 }
 
-/// Runs the scripted prototype trace.
-pub fn run(quick: bool) -> ExperimentReport {
-    let stretch = if quick { 1 } else { 5 };
-    let s = scenario(9000, stretch);
+/// Runs the scripted prototype trace. Single-shot: the `experiments`
+/// binary overlaps it with other experiments rather than splitting it.
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let stretch = if ctx.quick() { 1 } else { 5 };
+    let s = scenario(ctx.seed(9000), stretch);
     let out = run_whitefi(&s, Some(WfChannel::from_parts(7, Width::W20)));
     let [p1, p2, p3, p4, p5] = phases(stretch);
 

@@ -9,26 +9,28 @@
 //! more contiguous spectrum than urban areas".
 
 use crate::report::ExperimentReport;
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_spectrum::{fragment_histogram, Locale, LocaleClass, NUM_UHF_CHANNELS};
 
 /// Runs the fragmentation histogram for all three locale classes.
-pub fn run(quick: bool) -> ExperimentReport {
-    let locales_per_class = if quick { 10 } else { 40 };
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let locales_per_class = if ctx.quick() { 10 } else { 40 };
     let mut report = ExperimentReport::new(
         "fig2",
         "Contiguous free-fragment width histogram by locale class",
         &["fragment_width"],
     );
-    let mut hists = Vec::new();
-    for (i, class) in LocaleClass::ALL.iter().enumerate() {
-        let mut rng = super::rng(2000 + i as u64);
-        let maps: Vec<_> = Locale::sample_many(*class, locales_per_class, &mut rng)
+    // Locale draws within a class share one RNG, so the unit is the class.
+    let hists = ctx.map(LocaleClass::ALL.len(), |i| {
+        let class = LocaleClass::ALL[i];
+        let mut rng = super::rng(ctx.seed(2000 + i as u64));
+        let maps: Vec<_> = Locale::sample_many(class, locales_per_class, &mut rng)
             .into_iter()
             .map(|l| l.map)
             .collect();
-        hists.push((class.label(), fragment_histogram(maps.iter())));
-    }
+        (class.label(), fragment_histogram(maps.iter()))
+    });
     let max_width = hists
         .iter()
         .flat_map(|(_, h)| (1..=NUM_UHF_CHANNELS).filter(|&w| h[w] > 0))
@@ -79,7 +81,7 @@ mod tests {
 
     #[test]
     fn histogram_shape_matches_paper() {
-        let r = run(false);
+        let r = run(&RunCtx::sequential(false));
         assert!(!r.rows.is_empty());
         // Every class reaches a ≥4-channel fragment; rural reaches ≥10.
         for note in &r.notes {

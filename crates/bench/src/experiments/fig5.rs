@@ -9,6 +9,7 @@
 //! decimated traces themselves go into the JSON output for plotting).
 
 use crate::report::{round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_phy::synth::{data_ack_exchange, SAMPLE_NS};
 use whitefi_phy::{PhyTiming, Sift, SimDuration, SimTime, Synthesizer};
@@ -39,7 +40,7 @@ pub fn trace_for(width: Width, seed: u64) -> (f64, f64, f64, f64, Vec<f32>) {
 }
 
 /// Runs the Figure 5 trace synthesis and timing measurement.
-pub fn run(_quick: bool) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig5",
         "Data-ACK exchange timing per width (132 B at 6 Mbps-equivalent)",
@@ -57,9 +58,12 @@ pub fn run(_quick: bool) -> ExperimentReport {
         (Width::W10, 1200.0),
         (Width::W5, 2500.0),
     ];
+    let traces = ctx.map(paper_windows.len(), |i| {
+        trace_for(paper_windows[i].0, ctx.seed(500 + i as u64))
+    });
     let mut exchanges = Vec::new();
     for (i, (width, paper_window)) in paper_windows.iter().enumerate() {
-        let (data_us, gap_us, ack_us, _w, trace) = trace_for(*width, 500 + i as u64);
+        let (data_us, gap_us, ack_us, _w, ref trace) = traces[i];
         let timing = PhyTiming::for_width(*width);
         let exchange_us = timing.exchange_duration(FIG5_BYTES).as_micros() as f64;
         exchanges.push(exchange_us);
@@ -107,7 +111,7 @@ mod tests {
 
     #[test]
     fn report_contains_three_rows_and_fits_paper_axes() {
-        let r = run(true);
+        let r = run(&RunCtx::sequential(true));
         assert_eq!(r.rows.len(), 3);
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::experiments::table1::{cbr_schedule, PACKET_BYTES, RATES_KBPS};
 use crate::report::{mean, round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_phy::synth::SAMPLE_NS;
 use whitefi_phy::{PhyTiming, Sift, Synthesizer};
@@ -20,10 +21,12 @@ use whitefi_spectrum::Width;
 pub fn measured_busy_secs(width: Width, rate_kbps: u64, count: usize, seed: u64) -> f64 {
     let (bursts, window) = cbr_schedule(width, rate_kbps, count);
     let mut rng = super::rng(seed);
-    let trace = Synthesizer::new().synthesize(&bursts, window, &mut rng);
-    let sift = Sift::default();
-    let busy_samples: usize = sift.extract_bursts(&trace).iter().map(|b| b.len).sum();
-    busy_samples as f64 * SAMPLE_NS as f64 / 1e9
+    super::with_trace_buf(|trace| {
+        Synthesizer::new().synthesize_into(&bursts, window, &mut rng, trace);
+        let sift = Sift::default();
+        let busy_samples: usize = sift.extract_bursts(trace).iter().map(|b| b.len).sum();
+        busy_samples as f64 * SAMPLE_NS as f64 / 1e9
+    })
 }
 
 /// Ground-truth busy seconds of the same workload.
@@ -34,25 +37,31 @@ pub fn true_busy_secs(width: Width, count: usize) -> f64 {
 }
 
 /// Runs the airtime-accuracy grid.
-pub fn run(quick: bool) -> ExperimentReport {
-    let count = if quick { 40 } else { 110 };
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let count = if ctx.quick() { 40 } else { 110 };
     let mut report = ExperimentReport::new(
         "fig6",
         "SIFT-measured total airtime (s) per width x offered load",
         &["width_mhz", "truth_s"],
     );
+    let widths = [Width::W5, Width::W10, Width::W20];
+    let measured = ctx.map(widths.len() * RATES_KBPS.len(), |k| {
+        let wi = k / RATES_KBPS.len();
+        let rate = RATES_KBPS[k % RATES_KBPS.len()];
+        measured_busy_secs(widths[wi], rate, count, ctx.seed(600 + wi as u64 * 17 + rate))
+    });
     let mut per_width_means = Vec::new();
-    for (wi, width) in [Width::W5, Width::W10, Width::W20].iter().enumerate() {
+    for (wi, width) in widths.iter().enumerate() {
         let truth = true_busy_secs(*width, count);
         let mut pairs: Vec<(&str, serde_json::Value)> = vec![
             ("width_mhz", json!(width.mhz())),
             ("truth_s", round4(truth)),
         ];
         let mut cells = Vec::new();
-        for rate in RATES_KBPS {
-            let m = measured_busy_secs(*width, rate, count, 600 + wi as u64 * 17 + rate);
+        for (ri, rate) in RATES_KBPS.iter().enumerate() {
+            let m = measured[wi * RATES_KBPS.len() + ri];
             cells.push(m);
-            let col = format!("{:.3}M", rate as f64 / 1000.0);
+            let col = format!("{:.3}M", *rate as f64 / 1000.0);
             pairs.push((Box::leak(col.into_boxed_str()), round4(m)));
         }
         let spread = (cells.iter().cloned().fold(f64::MIN, f64::max)

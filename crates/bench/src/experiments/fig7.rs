@@ -13,6 +13,7 @@
 //! extremely low at around 35%."
 
 use crate::report::{round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_phy::attenuation::{amplitude_after, NoiseModel, TX_REFERENCE_AMPLITUDE};
 use whitefi_phy::synth::data_ack_exchange;
@@ -31,13 +32,15 @@ pub fn sift_fraction(attenuation_db: f64, packets: usize, seed: u64) -> f64 {
     }
     let window = SimDuration::from_nanos(t.as_nanos() + 1_000_000);
     let mut rng = super::rng(seed);
-    let trace = Synthesizer::new().synthesize(&bursts, window, &mut rng);
-    let found = Sift::default()
-        .detect(&trace)
-        .into_iter()
-        .filter(|d| d.kind == DetectionKind::DataAck && d.width == Width::W20)
-        .count();
-    found.min(packets) as f64 / packets as f64
+    super::with_trace_buf(|trace| {
+        Synthesizer::new().synthesize_into(&bursts, window, &mut rng, trace);
+        let found = Sift::default()
+            .detect(trace)
+            .into_iter()
+            .filter(|d| d.kind == DetectionKind::DataAck && d.width == Width::W20)
+            .count();
+        found.min(packets) as f64 / packets as f64
+    })
 }
 
 /// Sniffer decode fraction (Monte Carlo over the decode model).
@@ -54,20 +57,29 @@ pub fn sniffer_fraction(attenuation_db: f64, packets: usize, seed: u64) -> f64 {
 }
 
 /// Runs the attenuation sweep.
-pub fn run(quick: bool) -> ExperimentReport {
-    let packets = if quick { 60 } else { 200 };
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let packets = if ctx.quick() { 60 } else { 200 };
     let mut report = ExperimentReport::new(
         "fig7",
         "Packet detection fraction vs attenuation (20 MHz, 1000 B)",
         &["attenuation_db", "sift", "sniffer"],
     );
+    let dbs: Vec<u64> = (80..=106).step_by(2).collect();
+    let fractions = ctx.map(dbs.len(), |i| {
+        let db2 = dbs[i];
+        (
+            sift_fraction(db2 as f64, packets, ctx.seed(700 + db2)),
+            sniffer_fraction(db2 as f64, packets * 5, ctx.seed(800 + db2)),
+        )
+    });
+    // Cliff/crossover detection needs the previous point, so the scan
+    // over the collected results stays sequential.
     let mut cliff_db = None;
     let mut crossover_db = None;
     let mut prev = (1.0f64, 1.0f64);
-    for db2 in (80..=106).step_by(2) {
+    for (i, &db2) in dbs.iter().enumerate() {
         let db = db2 as f64;
-        let s = sift_fraction(db, packets, 700 + db2 as u64);
-        let p = sniffer_fraction(db, packets * 5, 800 + db2 as u64);
+        let (s, p) = fractions[i];
         report.push_row(&[
             ("attenuation_db", json!(db)),
             ("sift", round4(s)),

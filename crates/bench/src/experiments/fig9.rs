@@ -9,6 +9,7 @@
 //! the time taken by the baseline algorithm."
 
 use crate::report::{mean, round4, ExperimentReport};
+use crate::runner::RunCtx;
 use rand::Rng;
 use serde_json::json;
 use whitefi::{baseline_discovery, j_sift_discovery, l_sift_discovery, SyntheticOracle};
@@ -54,15 +55,20 @@ pub fn mean_times(class: LocaleClass, locales: usize, trials: usize, seed: u64) 
 }
 
 /// Runs the locale discovery comparison.
-pub fn run(quick: bool) -> ExperimentReport {
-    let (locales, trials) = if quick { (5, 5) } else { (10, 10) };
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let (locales, trials) = if ctx.quick() { (5, 5) } else { (10, 10) };
     let mut report = ExperimentReport::new(
         "fig9",
         "Mean AP discovery time by locale class (100 ms dwell)",
         &["locale", "baseline_s", "l_sift_s", "j_sift_s", "j_speedup"],
     );
+    // Locale draws within a class share one RNG, so the parallel unit is
+    // the locale class.
+    let per_class = ctx.map(LocaleClass::ALL.len(), |i| {
+        mean_times(LocaleClass::ALL[i], locales, trials, ctx.seed(1100 + i as u64))
+    });
     for (i, class) in LocaleClass::ALL.iter().enumerate() {
-        let (b, l, j) = mean_times(*class, locales, trials, 1100 + i as u64);
+        let (b, l, j) = per_class[i];
         report.push_row(&[
             ("locale", json!(class.label())),
             ("baseline_s", round4(b)),

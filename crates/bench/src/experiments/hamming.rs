@@ -7,6 +7,7 @@
 //! to 7."
 
 use crate::report::{mean, round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_spectrum::{median, pairwise_hamming, BuildingSampler, SpectrumMap};
 
@@ -25,17 +26,15 @@ pub fn one_draw_median(seed: u64) -> f64 {
 }
 
 /// Runs the campus spatial-variation measurement.
-pub fn run(quick: bool) -> ExperimentReport {
-    let draws = if quick { 30 } else { 300 };
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let draws = if ctx.quick() { 30 } else { 300 };
     let mut report = ExperimentReport::new(
         "hamming",
         "Pairwise Hamming distance over 9 campus buildings",
         &["draw_group", "median_hamming"],
     );
-    let medians: Vec<f64> = (0..draws)
-        .map(|i| one_draw_median(1200 + i as u64))
-        .collect();
-    for (i, chunk) in medians.chunks(draws / 5).enumerate() {
+    let medians = ctx.map(draws, |i| one_draw_median(ctx.seed(1200 + i as u64)));
+    for (i, chunk) in medians.chunks((draws / 5).max(1)).enumerate() {
         report.push_row(&[
             ("draw_group", json!(i)),
             ("median_hamming", round4(mean(chunk))),

@@ -21,8 +21,20 @@ pub mod table1;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
 
 /// Deterministic RNG for experiment `id`/replica.
 pub(crate) fn rng(seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Runs `f` with a per-thread reusable trace buffer, so the synthesis
+/// loops (Table 1, Figures 6/7) stop allocating a fresh ~100k-sample
+/// `Vec` per trial. Safe with the parallel trial runner: each worker
+/// thread owns its own buffer.
+pub(crate) fn with_trace_buf<T>(f: impl FnOnce(&mut Vec<f32>) -> T) -> T {
+    thread_local! {
+        static BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    }
+    BUF.with(|b| f(&mut b.borrow_mut()))
 }

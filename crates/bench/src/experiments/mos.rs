@@ -12,11 +12,13 @@
 //! see `DESIGN.md` §2).
 
 use crate::report::{round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_audio::{paper_workload, Interference, MosModel, AUDIBLE_MOS_DELTA};
 
-/// Runs the MOS degradation sweep.
-pub fn run(_quick: bool) -> ExperimentReport {
+/// Runs the MOS degradation sweep. Deterministic closed-form model:
+/// nothing to parallelize.
+pub fn run(_ctx: &RunCtx) -> ExperimentReport {
     let model = MosModel::calibrated();
     let mut report = ExperimentReport::new(
         "mos",
@@ -64,7 +66,7 @@ mod tests {
 
     #[test]
     fn every_swept_point_at_minus30_or_louder_is_audible() {
-        let r = run(true);
+        let r = run(&RunCtx::sequential(true));
         for row in &r.rows {
             let power = row["power_dbm"].as_f64().unwrap();
             let interval = row["interval_ms"].as_f64().unwrap();

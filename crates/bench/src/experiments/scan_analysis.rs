@@ -7,6 +7,7 @@
 //! L-SIFT when NC is greater than about 10 UHF channels."
 
 use crate::report::{mean, round4, ExperimentReport};
+use crate::runner::RunCtx;
 use rand::Rng;
 use serde_json::json;
 use whitefi::{
@@ -37,8 +38,8 @@ pub fn monte_carlo(nc: usize, trials: usize, seed: u64) -> (f64, f64) {
 }
 
 /// Runs the closed-form vs Monte-Carlo comparison.
-pub fn run(quick: bool) -> ExperimentReport {
-    let trials = if quick { 100 } else { 500 };
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let trials = if ctx.quick() { 100 } else { 500 };
     let mut report = ExperimentReport::new(
         "scan_analysis",
         "Expected scans: closed form vs Monte Carlo (NW = 3)",
@@ -51,8 +52,12 @@ pub fn run(quick: bool) -> ExperimentReport {
             "baseline_theory",
         ],
     );
-    for nc in [2usize, 5, 8, 10, 12, 15, 20, 25, 30] {
-        let (l, j) = monte_carlo(nc, trials, 1300 + nc as u64);
+    let ncs = [2usize, 5, 8, 10, 12, 15, 20, 25, 30];
+    let measured = ctx.map(ncs.len(), |i| {
+        monte_carlo(ncs[i], trials, ctx.seed(1300 + ncs[i] as u64))
+    });
+    for (i, &nc) in ncs.iter().enumerate() {
+        let (l, j) = measured[i];
         report.push_row(&[
             ("nc", json!(nc)),
             ("l_theory", round4(expected_scans_l_sift(nc))),

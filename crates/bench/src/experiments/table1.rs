@@ -14,6 +14,7 @@
 //! occasionally fail, reproducing the table's slightly lower 5 MHz rates.
 
 use crate::report::{median, round4, ExperimentReport};
+use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_phy::synth::{data_ack_exchange, duration_to_samples, Burst};
 use whitefi_phy::{DetectionKind, PhyTiming, Sift, SimDuration, SimTime, Synthesizer};
@@ -45,44 +46,61 @@ pub fn cbr_schedule(width: Width, rate_kbps: u64, count: usize) -> (Vec<Burst>, 
 pub fn detection_rate(width: Width, rate_kbps: u64, count: usize, seed: u64) -> f64 {
     let (bursts, window) = cbr_schedule(width, rate_kbps, count);
     let mut rng = super::rng(seed);
-    let trace = Synthesizer::new().synthesize(&bursts, window, &mut rng);
-    let sift = Sift::default();
     let expected_len =
         duration_to_samples(PhyTiming::for_width(width).frame_duration(PACKET_BYTES));
-    let detected = sift
-        .detect(&trace)
-        .into_iter()
-        .filter(|d| {
-            d.width == width
-                && d.kind == DetectionKind::DataAck
-                && (d.first_len as f64 - expected_len).abs() <= expected_len * 0.05
-        })
-        .count();
-    detected.min(count) as f64 / count as f64
+    super::with_trace_buf(|trace| {
+        Synthesizer::new().synthesize_into(&bursts, window, &mut rng, trace);
+        let sift = Sift::default();
+        let detected = sift
+            .detect(trace)
+            .into_iter()
+            .filter(|d| {
+                d.width == width
+                    && d.kind == DetectionKind::DataAck
+                    && (d.first_len as f64 - expected_len).abs() <= expected_len * 0.05
+            })
+            .count();
+        detected.min(count) as f64 / count as f64
+    })
 }
 
 /// Runs the full Table 1 grid.
-pub fn run(quick: bool) -> ExperimentReport {
-    let (runs, count) = if quick { (3, 40) } else { (10, 110) };
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let (runs, count) = if ctx.quick() { (3, 40) } else { (10, 110) };
     let mut report = ExperimentReport::new(
         "table1",
         "SIFT packet detection rate (median over runs)",
         &["width_mhz"],
     );
+    let widths = [Width::W5, Width::W10, Width::W20];
+    // One parallel work unit per (width, rate) cell; each cell's trial
+    // seeds depend only on its grid position, never on scheduling.
+    let cells = ctx.map(widths.len() * RATES_KBPS.len(), |k| {
+        let width = widths[k / RATES_KBPS.len()];
+        let ri = k % RATES_KBPS.len();
+        let rates: Vec<f64> = (0..runs)
+            .map(|r| {
+                detection_rate(
+                    width,
+                    RATES_KBPS[ri],
+                    count,
+                    ctx.seed(1000 + r as u64 * 31 + ri as u64),
+                )
+            })
+            .collect();
+        median(&rates)
+    });
     let mut min_rate: f64 = 1.0;
     let mut w5_mean = 0.0;
     let mut wide_mean = 0.0;
-    for width in [Width::W5, Width::W10, Width::W20] {
+    for (wi, width) in widths.iter().enumerate() {
         let mut pairs: Vec<(&str, serde_json::Value)> = Vec::new();
         let label = format!("{}", width.mhz());
         pairs.push(("width_mhz", json!(label)));
         for (ri, rate) in RATES_KBPS.iter().enumerate() {
-            let rates: Vec<f64> = (0..runs)
-                .map(|r| detection_rate(width, *rate, count, 1000 + r as u64 * 31 + ri as u64))
-                .collect();
-            let med = median(&rates);
+            let med = cells[wi * RATES_KBPS.len() + ri];
             min_rate = min_rate.min(med);
-            if width == Width::W5 {
+            if *width == Width::W5 {
                 w5_mean += med / RATES_KBPS.len() as f64;
             } else {
                 wide_mean += med / (2.0 * RATES_KBPS.len() as f64);
@@ -128,7 +146,7 @@ mod tests {
 
     #[test]
     fn quick_report_has_three_width_rows() {
-        let r = run(true);
+        let r = run(&RunCtx::sequential(true));
         assert_eq!(r.rows.len(), 3);
         assert_eq!(r.columns.len(), 6);
     }

@@ -1,10 +1,13 @@
 //! Experiment harness regenerating every table and figure of the paper.
 //!
-//! Each experiment module exposes `run(quick) -> ExperimentReport`; the
+//! Each experiment module exposes `run(&RunCtx) -> ExperimentReport`; the
 //! `experiments` binary executes them by id, prints the rows the paper
 //! reports, and writes machine-readable JSON under `results/`. The
-//! criterion benches in `benches/` exercise the hot kernels (SIFT,
-//! discovery, MCham, the MAC simulator) on the same workloads.
+//! [`runner::RunCtx`] carries the quick/full switch plus a deterministic
+//! work pool, so trials fan out across cores (`--jobs N`) while the
+//! output stays byte-identical to a sequential run. The criterion
+//! benches in `benches/` exercise the hot kernels (SIFT, discovery,
+//! MCham, the MAC simulator) on the same workloads.
 //!
 //! Reproduction targets are *shapes*, not absolute numbers: who wins, by
 //! roughly what factor, and where crossovers fall (see `EXPERIMENTS.md`).
@@ -13,11 +16,17 @@
 
 pub mod experiments;
 pub mod report;
+pub mod runner;
 
 pub use report::ExperimentReport;
+pub use runner::{RunCtx, Runner};
 
 /// One registry entry: `(id, description, runner)`.
-pub type ExperimentEntry = (&'static str, &'static str, fn(bool) -> ExperimentReport);
+pub type ExperimentEntry = (
+    &'static str,
+    &'static str,
+    fn(&RunCtx) -> ExperimentReport,
+);
 
 /// Registry of all experiments.
 pub fn registry() -> Vec<ExperimentEntry> {

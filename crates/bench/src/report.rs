@@ -109,6 +109,26 @@ impl ExperimentReport {
         out
     }
 
+    /// Checks the report for unusable output: no rows, an empty row
+    /// object, or any null cell. `round4(f64::NAN)` / infinities
+    /// serialize as `Value::Null`, so this also catches NaN results.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rows.is_empty() {
+            return Err(format!("{}: report has no rows", self.id));
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.is_empty() {
+                return Err(format!("{}: row {i} is empty", self.id));
+            }
+            for (k, v) in row {
+                if v.is_null() {
+                    return Err(format!("{}: row {i} column {k:?} is null (NaN/inf?)", self.id));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(&json!({
@@ -268,6 +288,18 @@ mod tests {
         assert!(empty
             .render_ascii_chart("x", &["y"])
             .contains("no numeric data"));
+    }
+
+    #[test]
+    fn validate_flags_bad_reports() {
+        let empty = ExperimentReport::new("e", "empty", &["x"]);
+        assert!(empty.validate().is_err());
+        let mut ok = ExperimentReport::new("ok", "fine", &["x"]);
+        ok.push_row(&[("x", json!(1.0))]);
+        assert!(ok.validate().is_ok());
+        let mut nan = ExperimentReport::new("n", "nan", &["x"]);
+        nan.push_row(&[("x", round4(f64::NAN))]);
+        assert!(nan.validate().is_err());
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub struct Medium {
     /// (union of overlapping transmissions — exact, via active counts).
     busy_total: [SimDuration; NUM_UHF_CHANNELS],
     active_count: [u32; NUM_UHF_CHANNELS],
+    /// Active transmissions per channel broken down by SSID (association
+    /// list; a channel rarely carries more than a handful of networks).
+    /// Lets SSID-excluded carrier sense answer from counters instead of
+    /// scanning every active transmission.
+    ssid_active: Vec<Vec<(u32, u32)>>,
     last_change: [SimTime; NUM_UHF_CHANNELS],
     next_id: u64,
 }
@@ -89,6 +94,7 @@ impl Medium {
             history_horizon: SimDuration::from_secs(3),
             busy_total: [SimDuration::ZERO; NUM_UHF_CHANNELS],
             active_count: [0; NUM_UHF_CHANNELS],
+            ssid_active: vec![Vec::new(); NUM_UHF_CHANNELS],
             last_change: [SimTime::ZERO; NUM_UHF_CHANNELS],
             next_id: 0,
         }
@@ -112,6 +118,13 @@ impl Medium {
         for ch in channel.spanned() {
             self.accrue(ch, start);
             self.active_count[ch.index()] += 1;
+            if let Some(ssid) = ssid {
+                let counts = &mut self.ssid_active[ch.index()];
+                match counts.iter_mut().find(|(s, _)| *s == ssid) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((ssid, 1)),
+                }
+            }
         }
         self.active.push(Transmission {
             id,
@@ -138,6 +151,17 @@ impl Medium {
         for ch in tx.channel.spanned() {
             self.accrue(ch, now);
             self.active_count[ch.index()] -= 1;
+            if let Some(ssid) = tx.ssid {
+                let counts = &mut self.ssid_active[ch.index()];
+                let k = counts
+                    .iter()
+                    .position(|(s, _)| *s == ssid)
+                    .expect("finishing transmission with untracked ssid");
+                counts[k].1 -= 1;
+                if counts[k].1 == 0 {
+                    counts.swap_remove(k);
+                }
+            }
         }
         self.history.push_back(tx);
         self.prune(now);
@@ -169,13 +193,49 @@ impl Medium {
         &self.active
     }
 
+    /// Whether any transmission is on the air anywhere in `channel`'s
+    /// span, from the per-channel counters: O(span), no scan of the
+    /// active list.
+    pub fn any_active_on(&self, channel: WfChannel) -> bool {
+        channel.spanned().any(|c| self.active_count[c.index()] > 0)
+    }
+
+    /// Active transmissions of `ssid` spanning UHF channel index `i`.
+    fn ssid_count(&self, i: usize, ssid: u32) -> u32 {
+        self.ssid_active[i]
+            .iter()
+            .find(|(s, _)| *s == ssid)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
     /// Whether any active transmission's span intersects `channel`
     /// (optionally excluding one transmitter — a node does not sense its
     /// own signal as foreign carrier).
     pub fn carrier_sensed(&self, channel: WfChannel, exclude_src: Option<NodeId>) -> bool {
-        self.active
-            .iter()
-            .any(|t| Some(t.src) != exclude_src && t.overlaps_channel(channel))
+        match exclude_src {
+            // No exclusion: the counters answer exactly.
+            None => self.any_active_on(channel),
+            Some(src) => {
+                // Counter fast path for the common idle case; the scan
+                // below only runs while something is actually on the air.
+                self.any_active_on(channel)
+                    && self
+                        .active
+                        .iter()
+                        .any(|t| t.src != src && t.overlaps_channel(channel))
+            }
+        }
+    }
+
+    /// Whether any active transmission from a *different* network
+    /// intersects `channel` — carrier sense for scanner measurements
+    /// that must ignore the measuring network's own traffic. Answered
+    /// entirely from the per-(channel, SSID) counters: O(span).
+    pub fn carrier_sensed_excluding_ssid(&self, channel: WfChannel, ssid: u32) -> bool {
+        channel
+            .spanned()
+            .any(|c| self.active_count[c.index()] > self.ssid_count(c.index(), ssid))
     }
 
     /// Cumulative busy time on `ch` since simulation start, as of `now`.
@@ -208,7 +268,14 @@ impl Medium {
     ) -> f64 {
         assert!(to > from, "empty airtime window");
         let mut busy = 0u64;
-        for t in self.history.iter().chain(self.active.iter()) {
+        // Only active transmissions spanning `ch` can contribute; the
+        // counter skips the scan entirely when there are none.
+        let active: &[Transmission] = if self.active_count[ch.index()] > 0 {
+            &self.active
+        } else {
+            &[]
+        };
+        for t in self.history.iter().chain(active.iter()) {
             if !t.channel.contains(ch) || !t.overlaps_window(from, to) {
                 continue;
             }
@@ -239,7 +306,12 @@ impl Medium {
         exclude_ssid: Option<u32>,
     ) -> u32 {
         let mut seen: Vec<NodeId> = Vec::new();
-        for t in self.history.iter().chain(self.active.iter()) {
+        let active: &[Transmission] = if self.active_count[ch.index()] > 0 {
+            &self.active
+        } else {
+            &[]
+        };
+        for t in self.history.iter().chain(active.iter()) {
             if t.src_is_ap
                 && t.channel.contains(ch)
                 && t.overlaps_window(from, to)
@@ -363,6 +435,75 @@ mod tests {
         assert!(!m.carrier_sensed(ch(10, Width::W20), Some(0)));
         // …but senses others.
         assert!(m.carrier_sensed(ch(10, Width::W20), Some(5)));
+    }
+
+    #[test]
+    fn any_active_on_tracks_counters() {
+        let mut m = Medium::new();
+        let tx20 = ch(10, Width::W20); // spans 8..=12
+        assert!(!m.any_active_on(tx20));
+        let id = m.start(
+            0,
+            false,
+            None,
+            tx20,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            frame(),
+            1000.0,
+        );
+        assert!(m.any_active_on(ch(12, Width::W5)));
+        assert!(!m.any_active_on(ch(13, Width::W5)));
+        m.finish(id, SimTime::from_millis(1));
+        assert!(!m.any_active_on(tx20));
+    }
+
+    #[test]
+    fn ssid_excluded_sensing_ignores_own_network_only() {
+        let mut m = Medium::new();
+        let c = ch(10, Width::W5);
+        // Our own network (SSID 7) is transmitting.
+        let own = m.start(
+            0,
+            true,
+            Some(7),
+            c,
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+            frame(),
+            1000.0,
+        );
+        assert!(m.carrier_sensed(c, None));
+        assert!(!m.carrier_sensed_excluding_ssid(c, 7));
+        // A foreign network joins: now it is sensed even excluding 7.
+        let other = m.start(
+            1,
+            true,
+            Some(9),
+            c,
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+            frame(),
+            1000.0,
+        );
+        assert!(m.carrier_sensed_excluding_ssid(c, 7));
+        // SSID-less traffic (background) is foreign to every network.
+        m.finish(other, SimTime::from_millis(2));
+        assert!(!m.carrier_sensed_excluding_ssid(c, 7));
+        let bg = m.start(
+            2,
+            false,
+            None,
+            c,
+            SimTime::from_millis(2),
+            SimTime::from_millis(3),
+            frame(),
+            1000.0,
+        );
+        assert!(m.carrier_sensed_excluding_ssid(c, 7));
+        m.finish(bg, SimTime::from_millis(3));
+        m.finish(own, SimTime::from_millis(3));
+        assert!(!m.carrier_sensed(c, None));
     }
 
     #[test]

@@ -279,6 +279,12 @@ impl Core {
 
     fn senses_carrier(&self, n: NodeId) -> bool {
         let ch = self.nodes[n].channel;
+        // Counter fast path: in a saturated simulation most plan() calls
+        // happen while the node's span is idle, and the per-channel
+        // active counts answer that without scanning the active list.
+        if !self.medium.any_active_on(ch) {
+            return false;
+        }
         self.medium
             .active()
             .iter()

@@ -145,8 +145,31 @@ impl Synthesizer {
         window: SimDuration,
         rng: &mut R,
     ) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.synthesize_into(bursts, window, rng, &mut out);
+        out
+    }
+
+    /// [`Self::synthesize`] into a caller-owned buffer, bit-identical
+    /// under the same RNG state. `out` is cleared and refilled; hot loops
+    /// that synthesize thousands of windows reuse its allocation (the f64
+    /// accumulation scratch is a thread-local, also reused).
+    pub fn synthesize_into<R: Rng + ?Sized>(
+        &self,
+        bursts: &[Burst],
+        window: SimDuration,
+        rng: &mut R,
+        out: &mut Vec<f32>,
+    ) {
+        use std::cell::RefCell;
+        thread_local! {
+            static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+        }
         let n = (window.as_nanos() / SAMPLE_NS) as usize;
-        let mut samples = vec![0f64; n];
+        SCRATCH.with(|scratch| {
+        let mut samples = scratch.borrow_mut();
+        samples.clear();
+        samples.resize(n, 0f64);
         for b in bursts {
             let start = (b.start.as_nanos() / SAMPLE_NS) as usize;
             let end_ns = b.start.as_nanos() + b.duration.as_nanos();
@@ -193,10 +216,12 @@ impl Synthesizer {
             }
         }
         // Additive receiver noise everywhere.
-        samples
-            .into_iter()
-            .map(|s| (s + self.noise.sample(rng)) as f32)
-            .collect()
+        out.clear();
+        out.reserve(n);
+        for &s in samples.iter() {
+            out.push((s + self.noise.sample(rng)) as f32);
+        }
+        });
     }
 }
 
@@ -366,6 +391,25 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let trace = synth.synthesize(&[burst], SimDuration::from_micros(1024), &mut rng);
         assert!((trace[5] - 1000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn synthesize_into_matches_synthesize() {
+        let synth = Synthesizer::new();
+        let ex = data_ack_exchange(SimTime::from_micros(50), Width::W5, 132, 900.0);
+        let window = SimDuration::from_millis(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let a = synth.synthesize(&ex, window, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut b = vec![1.0f32; 7]; // dirty, wrongly-sized buffer
+        synth.synthesize_into(&ex, window, &mut rng, &mut b);
+        assert_eq!(a, b);
+        // Reusing the buffer for a different window stays exact.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let c = synth.synthesize(&ex, SimDuration::from_millis(2), &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        synth.synthesize_into(&ex, SimDuration::from_millis(2), &mut rng, &mut b);
+        assert_eq!(c, b);
     }
 
     #[test]

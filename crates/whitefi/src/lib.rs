@@ -47,6 +47,6 @@ pub use driver::{
     run_fixed, run_whitefi, BackgroundTraffic, Scenario, ScenarioOutcome, StaticBaselines,
 };
 pub use mcham::{
-    mcham, mcham_with, objective_score, select_channel, select_channel_with, Combiner, NodeReport,
-    Objective,
+    evaluate_all, mcham, mcham_with, objective_score, select_channel, select_channel_with,
+    Combiner, NodeReport, Objective, RhoTable,
 };

@@ -18,7 +18,7 @@
 //! weighting its own (downlink) view by the number of clients.
 
 use serde::{Deserialize, Serialize};
-use whitefi_spectrum::{AirtimeVector, SpectrumMap, WfChannel};
+use whitefi_spectrum::{AirtimeVector, SpectrumMap, UhfChannel, WfChannel, NUM_UHF_CHANNELS};
 
 /// One node's contribution to channel selection: its spectrum map and its
 /// measured airtime vector (the contents of the client control message).
@@ -35,6 +35,62 @@ pub struct NodeReport {
 pub fn mcham(airtime: &AirtimeVector, channel: WfChannel) -> f64 {
     let product: f64 = channel.spanned().map(|c| airtime.rho(c)).product();
     channel.width().capacity_factor() * product
+}
+
+/// Precomputed per-UHF-channel shares `ρ(c)` for one airtime vector,
+/// with log-share prefix sums so the Equation-2 product over any spanned
+/// range costs O(1) instead of O(span).
+///
+/// Scoring all 84 `(F, W)` candidates touches each UHF channel up to 9
+/// times through [`mcham`]; building this table once touches each
+/// exactly once. `ρ(c) = max(1 − A_c, 1/(B_c + 1))` is strictly
+/// positive, so the logs are always finite. Single-channel (5 MHz)
+/// products use the stored share directly and stay bit-exact; wider
+/// spans go through `exp(Σ ln ρ)` and may drift from the direct product
+/// by a few ulps — far below the 1e-12 selection tie-break epsilon.
+#[derive(Debug, Clone)]
+pub struct RhoTable {
+    rho: [f64; NUM_UHF_CHANNELS],
+    log_prefix: [f64; NUM_UHF_CHANNELS + 1],
+}
+
+impl RhoTable {
+    /// Builds the table from one node's airtime measurements.
+    pub fn new(airtime: &AirtimeVector) -> Self {
+        let mut rho = [0.0; NUM_UHF_CHANNELS];
+        let mut log_prefix = [0.0; NUM_UHF_CHANNELS + 1];
+        for (i, r) in rho.iter_mut().enumerate() {
+            *r = airtime.rho(UhfChannel::from_index(i));
+            log_prefix[i + 1] = log_prefix[i] + r.ln();
+        }
+        Self { rho, log_prefix }
+    }
+
+    /// The precomputed share of one UHF channel.
+    pub fn rho(&self, c: UhfChannel) -> f64 {
+        self.rho[c.index()]
+    }
+
+    /// MCham of `channel` (Equation 2) from the precomputed shares.
+    pub fn mcham(&self, channel: WfChannel) -> f64 {
+        let lo = channel.low_index();
+        let hi = channel.high_index();
+        let product = if lo == hi {
+            self.rho[lo]
+        } else {
+            (self.log_prefix[hi + 1] - self.log_prefix[lo]).exp()
+        };
+        channel.width().capacity_factor() * product
+    }
+}
+
+/// Scores every admissible `(F, W)` candidate (84 on 30 UHF channels)
+/// against one airtime vector, sharing a single [`RhoTable`]. Equivalent
+/// to calling [`mcham`] per candidate, at roughly a third of the
+/// per-channel work.
+pub fn evaluate_all(airtime: &AirtimeVector) -> Vec<(WfChannel, f64)> {
+    let table = RhoTable::new(airtime);
+    WfChannel::all().map(|c| (c, table.mcham(c))).collect()
 }
 
 /// How per-channel shares are combined into a whole-channel share.
@@ -106,6 +162,10 @@ pub fn objective_score(
 }
 
 /// [`select_channel`] under an arbitrary objective.
+///
+/// Builds one [`RhoTable`] per node up front, then scores every
+/// candidate from the tables, so a selection over N nodes and 84
+/// candidates does N·30 share computations instead of N·84·span.
 pub fn select_channel_with(
     objective: Objective,
     ap: &NodeReport,
@@ -113,9 +173,28 @@ pub fn select_channel_with(
 ) -> Option<(WfChannel, f64)> {
     let combined =
         SpectrumMap::union_all(std::iter::once(ap.map).chain(clients.iter().map(|c| c.map)));
+    let ap_table = RhoTable::new(&ap.airtime);
+    let client_tables: Vec<RhoTable> = clients.iter().map(|c| RhoTable::new(&c.airtime)).collect();
+    let n = clients.len().max(1) as f64;
     let mut best: Option<(WfChannel, f64)> = None;
     for cand in combined.available_channels() {
-        let score = objective_score(objective, ap, clients, cand);
+        let ap_m = ap_table.mcham(cand);
+        let score = match objective {
+            Objective::Aggregate => {
+                n * ap_m + client_tables.iter().map(|t| t.mcham(cand)).sum::<f64>()
+            }
+            Objective::ProportionalFair => {
+                let mut sum = ap_m.max(1e-9).ln();
+                for t in &client_tables {
+                    sum += t.mcham(cand).max(1e-9).ln();
+                }
+                sum
+            }
+            Objective::MaxMin => client_tables
+                .iter()
+                .map(|t| t.mcham(cand))
+                .fold(ap_m, f64::min),
+        };
         let better = match best {
             None => true,
             Some((b, s)) => {
@@ -153,26 +232,7 @@ pub fn selection_score(ap: &NodeReport, clients: &[NodeReport], channel: WfChann
 /// channel, so repeated evaluations of an unchanged environment pick the
 /// same channel.
 pub fn select_channel(ap: &NodeReport, clients: &[NodeReport]) -> Option<(WfChannel, f64)> {
-    let combined =
-        SpectrumMap::union_all(std::iter::once(ap.map).chain(clients.iter().map(|c| c.map)));
-    let mut best: Option<(WfChannel, f64)> = None;
-    for cand in combined.available_channels() {
-        let score = selection_score(ap, clients, cand);
-        let better = match best {
-            None => true,
-            Some((b, s)) => {
-                score > s + 1e-12
-                    || ((score - s).abs() <= 1e-12
-                        && (cand.width() > b.width()
-                            || (cand.width() == b.width()
-                                && cand.center().index() < b.center().index())))
-            }
-        };
-        if better {
-            best = Some((cand, score));
-        }
-    }
-    best
+    select_channel_with(Objective::Aggregate, ap, clients)
 }
 
 #[cfg(test)]
@@ -365,6 +425,41 @@ mod tests {
             select_channel(&ap, &[]),
             select_channel_with(Objective::Aggregate, &ap, &[])
         );
+    }
+
+    #[test]
+    fn rho_table_matches_direct_mcham() {
+        let mut airtime = AirtimeVector::idle();
+        airtime.set_load(UhfChannel::from_index(8), ChannelLoad::new(0.9, 1));
+        airtime.set_load(UhfChannel::from_index(12), ChannelLoad::new(0.2, 3));
+        airtime.set_load(UhfChannel::from_index(13), ChannelLoad::new(0.7, 1));
+        let table = RhoTable::new(&airtime);
+        for c in WfChannel::all() {
+            let slow = mcham(&airtime, c);
+            let fast = table.mcham(c);
+            assert!(
+                (fast - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+                "{c}: {fast} vs {slow}"
+            );
+        }
+        // Single-channel (5 MHz) entries are bit-exact.
+        for i in 0..NUM_UHF_CHANNELS {
+            let c5 = ch(i, Width::W5);
+            assert_eq!(table.mcham(c5), mcham(&airtime, c5));
+            assert_eq!(table.rho(UhfChannel::from_index(i)), airtime.rho(UhfChannel::from_index(i)));
+        }
+    }
+
+    #[test]
+    fn evaluate_all_covers_every_candidate_exactly_on_idle_spectrum() {
+        let airtime = AirtimeVector::idle();
+        let all = evaluate_all(&airtime);
+        assert_eq!(all.len(), WfChannel::all().count());
+        for (c, v) in &all {
+            // ln 1 = 0 and exp 0 = 1 are exact, so idle spectrum matches
+            // the direct product bit-for-bit.
+            assert_eq!(*v, mcham(&airtime, *c), "{c}");
+        }
     }
 
     #[test]

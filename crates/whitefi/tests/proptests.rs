@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use whitefi::{
-    backup_candidates, baseline_discovery, j_sift_discovery, l_sift_discovery, mcham,
-    select_channel, NodeReport, SyntheticOracle,
+    backup_candidates, baseline_discovery, evaluate_all, j_sift_discovery, l_sift_discovery,
+    mcham, select_channel, NodeReport, SyntheticOracle,
 };
 use whitefi_spectrum::{
     AirtimeVector, ChannelLoad, SpectrumMap, UhfChannel, WfChannel, Width, NUM_UHF_CHANNELS,
@@ -54,6 +54,21 @@ proptest! {
             prop_assert!(
                 mcham(&heavier, cand) <= mcham(&airtime, cand) + 1e-12,
                 "{cand} improved under extra load"
+            );
+        }
+    }
+
+    /// The shared-table fast path scores every candidate like the direct
+    /// per-candidate product (within log/exp rounding).
+    #[test]
+    fn evaluate_all_matches_mcham(airtime in arb_airtime()) {
+        let fast = evaluate_all(&airtime);
+        prop_assert_eq!(fast.len(), WfChannel::all().count());
+        for (cand, v) in fast {
+            let slow = mcham(&airtime, cand);
+            prop_assert!(
+                (v - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+                "{}: fast {} vs slow {}", cand, v, slow
             );
         }
     }

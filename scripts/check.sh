@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a quick sequential experiment sweep.
+# Run from the repository root: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+cargo test --workspace -q
+cargo run --release -p whitefi-bench --bin experiments -- all --quick --jobs 1
