@@ -1,9 +1,10 @@
 //! Criterion benches for the discrete-event MAC simulator: events per
 //! simulated second under the Figure 11-style workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use whitefi::driver::{run_fixed, BackgroundPair, BackgroundTraffic, Scenario};
-use whitefi_mac::{Frame, Medium};
+use whitefi_mac::traffic::Sink;
+use whitefi_mac::{global_event_totals, Frame, Medium, NodeConfig, Simulator};
 use whitefi_phy::{SimDuration, SimTime};
 use whitefi_spectrum::{SpectrumMap, WfChannel, Width};
 
@@ -39,6 +40,70 @@ fn bench_mac(c: &mut Criterion) {
         b.iter(|| whitefi::driver::run_whitefi(&s, None))
     });
     group.finish();
+
+    // Saturated fig13-style load: 34 background pairs packing the band.
+    // One warm run counts handled events so criterion can report the
+    // headline events-per-second figure for the whole event core.
+    let s34 = scenario(34);
+    let before = global_event_totals();
+    run_fixed(&s34, WfChannel::from_parts(15, Width::W20));
+    let events_per_run = global_event_totals().delta_since(before).handled;
+    let mut group = c.benchmark_group("mac_sim_saturated");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events_per_run));
+    group.bench_function("fixed_1s_34_pairs_events", |b| {
+        b.iter(|| run_fixed(&s34, WfChannel::from_parts(15, Width::W20)))
+    });
+    group.finish();
+}
+
+/// A static 73-node topology: 25 nodes share the delivery channel, the
+/// rest sit elsewhere in the band — the shape of a fig13 churn run.
+fn fanout_sim() -> (Simulator, WfChannel) {
+    let main = WfChannel::from_parts(15, Width::W20);
+    let mut sim = Simulator::new(7);
+    for i in 0..73usize {
+        let ch = if i % 3 == 0 {
+            main
+        } else {
+            WfChannel::from_parts(i % 30, Width::W5)
+        };
+        // Spread positions so roughly half the co-channel nodes are in
+        // range of node 0 and the reachability filter does real work.
+        let mut cfg = NodeConfig::on_channel(ch).at((i as f64) * 16.0, 0.0);
+        cfg.range = 600.0;
+        sim.add_node(cfg, Box::new(Sink));
+    }
+    (sim, main)
+}
+
+fn bench_delivery_fanout(c: &mut Criterion) {
+    let (sim, main) = fanout_sim();
+    // Old shape: scan every node, test channel equality + range.
+    c.bench_function("sim/fanout_full_scan_73", |b| {
+        b.iter(|| {
+            (0..sim.node_count())
+                .filter(|&m| m != 0 && sim.node_channel(m) == main && sim.reaches(0, m))
+                .count()
+        })
+    });
+    // New shape: walk the per-(F, W) index, test range only.
+    c.bench_function("sim/fanout_channel_index_73", |b| {
+        b.iter(|| {
+            sim.nodes_on_channel(main)
+                .iter()
+                .filter(|&&m| m != 0 && sim.reaches(0, m))
+                .count()
+        })
+    });
+    // The geometric check the bitsets replaced, for scale.
+    c.bench_function("sim/fanout_full_scan_geometric_73", |b| {
+        b.iter(|| {
+            (0..sim.node_count())
+                .filter(|&m| m != 0 && sim.node_channel(m) == main && sim.reaches_geometric(0, m))
+                .count()
+        })
+    });
 }
 
 /// A medium saturated with 60 concurrent transmissions across the whole
@@ -51,15 +116,30 @@ fn saturated_medium() -> Medium {
         let ch = WfChannel::from_parts(i % 30, Width::W5);
         // Half the load belongs to tracked networks 0..4, half is
         // SSID-less background (always foreign to every scanner).
-        let ssid = if i % 2 == 0 { Some((i % 5) as u32) } else { None };
-        m.start(i, false, ssid, ch, t0, t1, Frame::data(i, (i + 1) % 60, 500), 1.0);
+        let ssid = if i % 2 == 0 {
+            Some((i % 5) as u32)
+        } else {
+            None
+        };
+        m.start(
+            i,
+            false,
+            ssid,
+            ch,
+            t0,
+            t1,
+            Frame::data(i, (i + 1) % 60, 500),
+            1.0,
+        );
     }
     m
 }
 
 fn bench_carrier_sense(c: &mut Criterion) {
     let m = saturated_medium();
-    let w20: Vec<WfChannel> = (2..=27).map(|i| WfChannel::from_parts(i, Width::W20)).collect();
+    let w20: Vec<WfChannel> = (2..=27)
+        .map(|i| WfChannel::from_parts(i, Width::W20))
+        .collect();
     c.bench_function("medium/carrier_sense_excl_src_26xW20", |b| {
         b.iter(|| {
             w20.iter()
@@ -76,5 +156,10 @@ fn bench_carrier_sense(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mac, bench_carrier_sense);
+criterion_group!(
+    benches,
+    bench_mac,
+    bench_carrier_sense,
+    bench_delivery_fanout
+);
 criterion_main!(benches);

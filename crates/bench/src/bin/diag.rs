@@ -3,22 +3,58 @@
 //! scores so sweep shapes can be inspected without re-running the full
 //! harness.
 //!
+//! Seeds route through the same [`RunCtx`] derivation the `experiments`
+//! binary uses, so every scenario printed here is byte-for-byte the one
+//! `experiments <id> --jobs 1` runs (trial 0 for multi-trial sweeps).
+//!
 //! ```text
-//! diag fig14   # channel timeline + phase-1 airtime/MCham breakdown
-//! diag fig10   # MCham vs throughput across the intensity sweep
-//! diag fig12   # adaptive run switch log under spatial variation
+//! diag fig14              # channel timeline + phase-1 airtime/MCham breakdown
+//! diag fig10              # MCham vs throughput across the intensity sweep
+//! diag fig12              # adaptive run switch log under spatial variation
+//! diag fig12 --full       # the full-length (non-quick) variant
+//! diag fig14 --seed 42    # perturbed seeds, same derivation as experiments
 //! ```
 
 use whitefi::driver::{measure_airtime, run_whitefi};
 use whitefi::mcham;
-use whitefi_bench::experiments::{fig12, fig14};
+use whitefi_bench::experiments::{fig10, fig12, fig14};
+use whitefi_bench::RunCtx;
 use whitefi_phy::SimDuration;
 use whitefi_spectrum::{UhfChannel, WfChannel, Width};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = String::new();
+    let mut quick = true;
+    let mut seed = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => quick = false,
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed requires an integer value");
+                    std::process::exit(2);
+                });
+            }
+            a if !a.starts_with("--") => which = a.to_string(),
+            a => {
+                eprintln!("unknown option: {a}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Same construction as `experiments <id> --jobs 1`: trial seeds are
+    // pure functions of (experiment base, trial index, user seed).
+    let ctx = RunCtx::new(quick, 1, seed);
+
     if which == "fig14" {
-        let s = fig14::scenario(9100, 1);
+        let stretch = if ctx.quick() { 1 } else { 5 };
+        let s = fig14::scenario(ctx.seed(9000), stretch);
         // Airtime the AP would measure during phase 1 (bg on 5..=8).
         let out = run_whitefi(&s, Some(WfChannel::from_parts(7, Width::W20)));
         for smp in out.samples.iter().step_by(4) {
@@ -40,15 +76,16 @@ fn main() {
             println!("mcham {lbl} = {:.3}", mcham(&air, c));
         }
     } else if which == "fig10" {
-        for delay in [3u64, 8, 14, 20, 30, 40, 50, 60, 80] {
-            let (m, t) = whitefi_bench::experiments::fig10::sweep_point(delay, 40 + delay, true);
+        let delays = fig10::delays(ctx.quick());
+        for (i, &delay) in delays.iter().enumerate() {
+            let (m, t) = fig10::sweep_point(delay, ctx.seed(4000 + i as u64), ctx.quick());
             println!(
                 "delay {delay:3}ms  mcham [{:.2} {:.2} {:.2}]  tput [{:.2} {:.2} {:.2}]",
                 m[0], m[1], m[2], t[0], t[1], t[2]
             );
         }
     } else if which == "fig12" {
-        let s = fig12::scenario(0.05, 7001, true);
+        let s = fig12::scenario(0.05, ctx.seed(6000), ctx.quick());
         let out = run_whitefi(&s, None);
         let mut last = None;
         for smp in &out.samples {
@@ -63,6 +100,7 @@ fn main() {
             out.aggregate_mbps, out.violations
         );
     } else {
-        eprintln!("usage: diag fig14|fig10|fig12");
+        eprintln!("usage: diag fig14|fig10|fig12 [--quick|--full] [--seed S]");
+        std::process::exit(2);
     }
 }

@@ -22,6 +22,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use whitefi_bench::{registry, ExperimentReport, RunCtx};
+use whitefi_mac::{global_event_totals, EventCounters};
 
 /// Default chart axes per experiment for `--plot`.
 fn plot_axes(id: &str) -> Option<(&'static str, Vec<&'static str>)> {
@@ -56,9 +57,7 @@ fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: experiments [list | all | <id>...] [--quick] [--plot] [--jobs N] [--seed S]"
-    );
+    eprintln!("usage: experiments [list | all | <id>...] [--quick] [--plot] [--jobs N] [--seed S]");
     std::process::exit(2);
 }
 
@@ -137,6 +136,10 @@ struct Finished {
     wall_s: f64,
     trials: u64,
     jobs: usize,
+    /// Simulator event-class counters accumulated while this experiment
+    /// ran (delta of the process-wide totals). Exact when experiments
+    /// run one at a time; approximate attribution when they overlap.
+    events: EventCounters,
 }
 
 fn main() {
@@ -184,6 +187,7 @@ fn main() {
             .iter()
             .map(|&(id, _desc, runner)| {
                 let ctx = RunCtx::new(opts.quick, opts.jobs, opts.seed);
+                let before = global_event_totals();
                 let start = Instant::now();
                 let report = runner(&ctx);
                 Finished {
@@ -192,6 +196,7 @@ fn main() {
                     wall_s: start.elapsed().as_secs_f64(),
                     trials: ctx.trials_run(),
                     jobs: ctx.jobs(),
+                    events: global_event_totals().delta_since(before),
                 }
             })
             .collect()
@@ -207,6 +212,7 @@ fn main() {
                     }
                     let (id, _desc, runner) = entries[k];
                     let ctx = RunCtx::new(opts.quick, inner, opts.seed);
+                    let before = global_event_totals();
                     let start = Instant::now();
                     let report = runner(&ctx);
                     done.lock().push((
@@ -217,6 +223,7 @@ fn main() {
                             wall_s: start.elapsed().as_secs_f64(),
                             trials: ctx.trials_run(),
                             jobs: ctx.jobs(),
+                            events: global_event_totals().delta_since(before),
                         },
                     ));
                 });
@@ -257,11 +264,27 @@ fn main() {
         "quick": opts.quick,
         "seed": opts.seed,
         "total_wall_s": (total_wall_s * 1e3).round() / 1e3,
+        // Counter deltas are read from process-wide totals; with outer
+        // overlap > 1 concurrent experiments bleed into each other's
+        // windows and attribution is only approximate.
+        "event_attribution": if outer > 1 { "overlapped" } else { "exclusive" },
         "experiments": finished.iter().map(|f| serde_json::json!({
             "id": f.id,
             "wall_s": (f.wall_s * 1e3).round() / 1e3,
             "trials": f.trials,
             "jobs": f.jobs,
+            "events": {
+                "scheduled": f.events.scheduled,
+                "handled": f.events.handled,
+                "stale_tentative": f.events.stale_tentative,
+                "stale_ack_timeout": f.events.stale_ack_timeout,
+                "lazy_elided": f.events.lazy_elided,
+            },
+            "events_per_sec": if f.wall_s > 0.0 {
+                (f.events.handled as f64 / f.wall_s).round()
+            } else {
+                0.0
+            },
         })).collect::<Vec<_>>(),
     }))
     .expect("summary serialization");

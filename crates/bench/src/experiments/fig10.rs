@@ -82,14 +82,20 @@ fn argmax(xs: &[f64; 3]) -> usize {
     best
 }
 
-/// Runs the Figure 10 sweep.
-pub fn run(ctx: &RunCtx) -> ExperimentReport {
-    let quick = ctx.quick();
-    let delays: &[u64] = if quick {
+/// The background-intensity sweep grid (inter-frame delays, ms). Shared
+/// with `diag` so its spot checks reproduce the exact sweep points.
+pub fn delays(quick: bool) -> &'static [u64] {
+    if quick {
         &[4, 14, 30]
     } else {
         &[2, 6, 10, 14, 18, 22, 26, 30, 40, 50]
-    };
+    }
+}
+
+/// Runs the Figure 10 sweep.
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let quick = ctx.quick();
+    let delays: &[u64] = delays(quick);
     let mut report = ExperimentReport::new(
         "fig10",
         "MCham and throughput of 5/10/20 MHz channels vs background intensity",

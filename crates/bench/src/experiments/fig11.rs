@@ -62,11 +62,17 @@ pub fn one_run(pairs: usize, seed: u64, quick: bool) -> (f64, f64, f64, f64, f64
 /// Measured per-client throughputs for one point, averaged over seeds:
 /// `(whitefi, opt5, opt10, opt20, opt)` in Mbps per client.
 pub fn point(pairs: usize, seeds: &[u64], quick: bool) -> (f64, f64, f64, f64, f64) {
-    mean_runs(&seeds.iter().map(|&s| one_run(pairs, s, quick)).collect::<Vec<_>>())
+    mean_runs(
+        &seeds
+            .iter()
+            .map(|&s| one_run(pairs, s, quick))
+            .collect::<Vec<_>>(),
+    )
 }
 
 fn mean_runs(runs: &[(f64, f64, f64, f64, f64)]) -> (f64, f64, f64, f64, f64) {
-    let col = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| mean(&runs.iter().map(f).collect::<Vec<_>>());
+    let col =
+        |f: fn(&(f64, f64, f64, f64, f64)) -> f64| mean(&runs.iter().map(f).collect::<Vec<_>>());
     (
         col(|r| r.0),
         col(|r| r.1),

@@ -67,7 +67,12 @@ pub fn one_run(p: f64, seed: u64, quick: bool) -> (f64, f64, f64, f64) {
 /// One sweep point averaged over seeds:
 /// `(whitefi, opt, opt20, widest_remaining_fragment)`.
 pub fn point(p: f64, seeds: &[u64], quick: bool) -> (f64, f64, f64, f64) {
-    mean_runs(&seeds.iter().map(|&s| one_run(p, s, quick)).collect::<Vec<_>>())
+    mean_runs(
+        &seeds
+            .iter()
+            .map(|&s| one_run(p, s, quick))
+            .collect::<Vec<_>>(),
+    )
 }
 
 fn mean_runs(runs: &[(f64, f64, f64, f64)]) -> (f64, f64, f64, f64) {

@@ -106,7 +106,12 @@ pub fn one_run(pt: ChurnPoint, seed: u64, quick: bool) -> (f64, f64, f64, f64) {
 
 /// One churn point averaged over seeds: `(whitefi, opt, opt20, opt5)`.
 pub fn point(pt: ChurnPoint, seeds: &[u64], quick: bool) -> (f64, f64, f64, f64) {
-    mean_runs(&seeds.iter().map(|&s| one_run(pt, s, quick)).collect::<Vec<_>>())
+    mean_runs(
+        &seeds
+            .iter()
+            .map(|&s| one_run(pt, s, quick))
+            .collect::<Vec<_>>(),
+    )
 }
 
 fn mean_runs(runs: &[(f64, f64, f64, f64)]) -> (f64, f64, f64, f64) {

@@ -48,7 +48,12 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let measured = ctx.map(widths.len() * RATES_KBPS.len(), |k| {
         let wi = k / RATES_KBPS.len();
         let rate = RATES_KBPS[k % RATES_KBPS.len()];
-        measured_busy_secs(widths[wi], rate, count, ctx.seed(600 + wi as u64 * 17 + rate))
+        measured_busy_secs(
+            widths[wi],
+            rate,
+            count,
+            ctx.seed(600 + wi as u64 * 17 + rate),
+        )
     });
     let mut per_width_means = Vec::new();
     for (wi, width) in widths.iter().enumerate() {

@@ -65,7 +65,12 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
     // Locale draws within a class share one RNG, so the parallel unit is
     // the locale class.
     let per_class = ctx.map(LocaleClass::ALL.len(), |i| {
-        mean_times(LocaleClass::ALL[i], locales, trials, ctx.seed(1100 + i as u64))
+        mean_times(
+            LocaleClass::ALL[i],
+            locales,
+            trials,
+            ctx.seed(1100 + i as u64),
+        )
     });
     for (i, class) in LocaleClass::ALL.iter().enumerate() {
         let (b, l, j) = per_class[i];

@@ -22,11 +22,7 @@ pub use report::ExperimentReport;
 pub use runner::{RunCtx, Runner};
 
 /// One registry entry: `(id, description, runner)`.
-pub type ExperimentEntry = (
-    &'static str,
-    &'static str,
-    fn(&RunCtx) -> ExperimentReport,
-);
+pub type ExperimentEntry = (&'static str, &'static str, fn(&RunCtx) -> ExperimentReport);
 
 /// Registry of all experiments.
 pub fn registry() -> Vec<ExperimentEntry> {

@@ -122,7 +122,10 @@ impl ExperimentReport {
             }
             for (k, v) in row {
                 if v.is_null() {
-                    return Err(format!("{}: row {i} column {k:?} is null (NaN/inf?)", self.id));
+                    return Err(format!(
+                        "{}: row {i} column {k:?} is null (NaN/inf?)",
+                        self.id
+                    ));
                 }
             }
         }

@@ -48,3 +48,28 @@ fn user_seed_perturbs_trial_seeds() {
     // And deterministically: same (base, user seed) -> same trial seed.
     assert_eq!(ctx.seed(1000), RunCtx::new(true, 4, 7).seed(1000));
 }
+
+/// A driver-based experiment (full `run_whitefi` network sims, the
+/// fig11 seeding scheme) is byte-equal between `--jobs 1` and
+/// `--jobs 4` — the event-core fast paths (reachability bitsets,
+/// channel indexes, timer slots, windowed history) must not leak
+/// scheduling into results.
+#[test]
+fn driver_trials_parallel_match_sequential() {
+    use whitefi_bench::experiments::fig11;
+
+    let run = |jobs: usize| {
+        let ctx = RunCtx::new(true, jobs, 0);
+        ctx.map(4, |k| {
+            let s = fig11::scenario(k * 4, ctx.seed(5000 + k as u64), true);
+            let out = whitefi::driver::run_whitefi(&s, None);
+            // Exact f64 equality on purpose: the contract is bit-level.
+            (out.aggregate_mbps, out.per_client_mbps, out.violations)
+        })
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "driver trials diverged between --jobs 1 and --jobs 4"
+    );
+}

@@ -43,7 +43,7 @@ pub mod traffic;
 pub use analysis::{bianchi_saturation_goodput_mbps, bianchi_tau, single_flow_goodput_mbps};
 pub use frames::{Frame, FrameKind, NodeId};
 pub use medium::{Medium, Transmission};
-pub use sim::{Behavior, Ctx, NodeConfig, Simulator};
+pub use sim::{global_event_totals, Behavior, Ctx, EventCounters, NodeConfig, Simulator};
 pub use stats::NodeStats;
-pub use trace::{export as export_trace, render_tcpdump, TraceRecord};
+pub use trace::{export as export_trace, export_recent, render_tcpdump, TraceRecord};
 pub use traffic::{CbrSender, MarkovOnOffSender, SaturatingSender, ScriptedCbrSender};

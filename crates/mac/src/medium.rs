@@ -60,11 +60,22 @@ impl Transmission {
 
 /// The medium: active transmissions plus a pruned history for windowed
 /// airtime queries (the scanning radio's view).
+///
+/// `history` is ordered by nondecreasing `end` time: transmissions are
+/// appended by [`Medium::finish`] at their end time, and the event loop
+/// finishes them in time order. Windowed queries exploit this to scan
+/// backwards from the newest entry and stop at the first one that ended
+/// at or before the window start, instead of walking the whole horizon.
 #[derive(Debug)]
 pub struct Medium {
     active: Vec<Transmission>,
     history: VecDeque<Transmission>,
-    /// How much history to retain for scanner queries.
+    /// How much history to retain for scanner queries. Drivers may
+    /// tighten this when no scanner will ever look back (fixed-channel
+    /// baseline runs keep only enough for interference checks), making
+    /// trace retention pay-as-you-go; queries never reach past their
+    /// window, so shrinking the horizon below the longest query window
+    /// actually issued is the only way it can change results.
     pub history_horizon: SimDuration,
     /// Cumulative busy time per UHF channel since simulation start
     /// (union of overlapping transmissions — exact, via active counts).
@@ -141,6 +152,10 @@ impl Medium {
     }
 
     /// Finishes a transmission, moving it to history. Returns it.
+    ///
+    /// Callers must finish transmissions in nondecreasing order of their
+    /// `end` times (the discrete-event loop does: `TxEnd` fires at
+    /// `end`); windowed queries rely on the resulting history order.
     pub fn finish(&mut self, id: u64, now: SimTime) -> Transmission {
         let idx = self
             .active
@@ -163,9 +178,22 @@ impl Medium {
                 }
             }
         }
+        debug_assert!(
+            self.history.back().is_none_or(|p| p.end <= tx.end),
+            "history must stay sorted by end time"
+        );
         self.history.push_back(tx);
         self.prune(now);
         tx
+    }
+
+    /// History entries whose `[start, end)` span can overlap a window
+    /// starting at `from`, newest first. Because `history` is sorted by
+    /// nondecreasing `end`, the backwards scan stops at the first entry
+    /// that ended at or before `from` — O(entries in the window) rather
+    /// than O(entries in the horizon).
+    fn recent_history(&self, from: SimTime) -> impl Iterator<Item = &Transmission> {
+        self.history.iter().rev().take_while(move |t| t.end > from)
     }
 
     fn accrue(&mut self, ch: UhfChannel, now: SimTime) {
@@ -275,7 +303,9 @@ impl Medium {
         } else {
             &[]
         };
-        for t in self.history.iter().chain(active.iter()) {
+        // Summation order differs from a forward scan, but the busy
+        // accumulator is an integer, so the result is order-independent.
+        for t in self.recent_history(from).chain(active.iter()) {
             if !t.channel.contains(ch) || !t.overlaps_window(from, to) {
                 continue;
             }
@@ -311,7 +341,9 @@ impl Medium {
         } else {
             &[]
         };
-        for t in self.history.iter().chain(active.iter()) {
+        // Distinct-transmitter counting is order-independent, so the
+        // backwards history scan needs no reordering.
+        for t in self.recent_history(from).chain(active.iter()) {
             if t.src_is_ap
                 && t.channel.contains(ch)
                 && t.overlaps_window(from, to)
@@ -327,24 +359,42 @@ impl Medium {
     /// All transmissions (active or recent) overlapping `[from, to)`, as
     /// scanner-visible bursts. Feed these to
     /// [`whitefi_phy::Scanner::capture`] for signal-level SIFT.
+    ///
+    /// Output order is oldest-first history, then active in start order —
+    /// consumers like the AP's chirp scan take the *first* matching
+    /// burst, so the backwards history scan is reversed before returning.
     pub fn visible_bursts(&self, from: SimTime, to: SimTime) -> Vec<VisibleBurst> {
-        self.history
-            .iter()
-            .chain(self.active.iter())
+        let mut out: Vec<VisibleBurst> = self
+            .recent_history(from)
             .filter(|t| t.overlaps_window(from, to))
             .map(|t| t.to_visible())
-            .collect()
+            .collect();
+        out.reverse();
+        out.extend(
+            self.active
+                .iter()
+                .filter(|t| t.overlaps_window(from, to))
+                .map(|t| t.to_visible()),
+        );
+        out
     }
 
     /// Raw transmissions (history + active) overlapping `[from, to)`,
-    /// for trace export.
+    /// for trace export. Same output order as [`Medium::visible_bursts`].
     pub fn visible_window_transmissions(&self, from: SimTime, to: SimTime) -> Vec<Transmission> {
-        self.history
-            .iter()
-            .chain(self.active.iter())
+        let mut out: Vec<Transmission> = self
+            .recent_history(from)
             .filter(|t| t.overlaps_window(from, to))
             .copied()
-            .collect()
+            .collect();
+        out.reverse();
+        out.extend(
+            self.active
+                .iter()
+                .filter(|t| t.overlaps_window(from, to))
+                .copied(),
+        );
+        out
     }
 
     /// Transmissions in history plus active, overlapping the window and
@@ -356,14 +406,34 @@ impl Medium {
         to: SimTime,
         exclude_id: u64,
     ) -> Vec<Transmission> {
-        self.history
-            .iter()
-            .chain(self.active.iter())
-            .filter(|t| {
-                t.id != exclude_id && t.overlaps_channel(channel) && t.overlaps_window(from, to)
-            })
-            .copied()
-            .collect()
+        let keep = |t: &&Transmission| {
+            t.id != exclude_id && t.overlaps_channel(channel) && t.overlaps_window(from, to)
+        };
+        let mut out: Vec<Transmission> = self.recent_history(from).filter(keep).copied().collect();
+        out.reverse();
+        out.extend(self.active.iter().filter(keep).copied());
+        out
+    }
+
+    /// Appends to `out` the source node of every transmission (history +
+    /// active) that intersects `channel` and overlaps `[from, to)`,
+    /// excluding transmission `exclude_id`. Allocation-free variant of
+    /// [`Medium::interferers`] for the delivery hot path, which only
+    /// needs the transmitter identities (order-insensitive: the caller
+    /// asks "is any interferer in range of this receiver").
+    pub fn interferer_sources_into(
+        &self,
+        channel: WfChannel,
+        from: SimTime,
+        to: SimTime,
+        exclude_id: u64,
+        out: &mut Vec<NodeId>,
+    ) {
+        for t in self.recent_history(from).chain(self.active.iter()) {
+            if t.id != exclude_id && t.overlaps_channel(channel) && t.overlaps_window(from, to) {
+                out.push(t.src);
+            }
+        }
     }
 }
 
@@ -653,6 +723,50 @@ mod tests {
         let ints = m.interferers(c, SimTime::ZERO, SimTime::from_millis(2), a);
         assert_eq!(ints.len(), 1);
         assert_eq!(ints[0].src, 1);
+    }
+
+    #[test]
+    fn windowed_queries_backscan_matches_full_scan_order() {
+        let mut m = Medium::new();
+        let c = ch(5, Width::W5);
+        // Five sequential finished transmissions plus one active; a
+        // window covering only the last three history entries must
+        // return them oldest-first, then the active one.
+        for k in 0..5u64 {
+            let id = m.start(
+                k as NodeId,
+                false,
+                None,
+                c,
+                SimTime::from_millis(10 * k),
+                SimTime::from_millis(10 * k + 5),
+                frame(),
+                1000.0,
+            );
+            m.finish(id, SimTime::from_millis(10 * k + 5));
+        }
+        m.start(
+            9,
+            false,
+            None,
+            c,
+            SimTime::from_millis(50),
+            SimTime::from_millis(60),
+            frame(),
+            1000.0,
+        );
+        let from = SimTime::from_millis(21);
+        let to = SimTime::from_millis(100);
+        let txs = m.visible_window_transmissions(from, to);
+        let srcs: Vec<NodeId> = txs.iter().map(|t| t.src).collect();
+        assert_eq!(srcs, vec![2, 3, 4, 9]);
+        let mut collected = Vec::new();
+        m.interferer_sources_into(c, from, to, u64::MAX, &mut collected);
+        collected.sort_unstable();
+        assert_eq!(collected, vec![2, 3, 4, 9]);
+        // Airtime over [21, 40): tail of tx2 (4 ms) + tx3 (5 ms).
+        let f = m.airtime_in_window(UhfChannel::from_index(5), from, SimTime::from_millis(40));
+        assert!((f - 9.0 / 19.0).abs() < 1e-9);
     }
 
     #[test]

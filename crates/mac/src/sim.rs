@@ -29,12 +29,72 @@ use crate::stats::NodeStats;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use whitefi_phy::{PhyTiming, SimDuration, SimTime};
-use whitefi_spectrum::{IncumbentSet, SpectrumMap, UhfChannel, WfChannel};
+use whitefi_spectrum::{IncumbentSet, SpectrumMap, UhfChannel, WfChannel, Width, NUM_UHF_CHANNELS};
 
 /// Scanner sensitivity used for incumbent detection, dBm. The KNOWS
 /// scanner detects TV at −114 dBm and mics at −110 dBm (§3).
 pub const SCANNER_SENSITIVITY_DBM: f64 = -114.0;
+
+/// Cheap per-class event-loop counters.
+///
+/// `scheduled` counts logical schedules — including timer schedules
+/// whose heap push was elided by the per-node timer slots; `handled`
+/// counts events popped and dispatched; the `stale_*` counters count
+/// gen-checked timer pops that had nothing to do; `lazy_elided` counts
+/// heap pushes the timer slots avoided. Counters never influence
+/// simulation behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// Events scheduled (logical; includes elided heap pushes).
+    pub scheduled: u64,
+    /// Events popped from the queue and handled.
+    pub handled: u64,
+    /// `TentativeTx` pops that were stale (superseded or gen-checked).
+    pub stale_tentative: u64,
+    /// `AckTimeout` pops that were stale (superseded or gen-checked).
+    pub stale_ack_timeout: u64,
+    /// Heap pushes elided by the per-node lazy timer slots.
+    pub lazy_elided: u64,
+}
+
+impl EventCounters {
+    /// Counter-wise difference `self - earlier`, for attributing a
+    /// workload between two snapshots of the same monotone counters.
+    pub fn delta_since(&self, earlier: EventCounters) -> EventCounters {
+        EventCounters {
+            scheduled: self.scheduled.wrapping_sub(earlier.scheduled),
+            handled: self.handled.wrapping_sub(earlier.handled),
+            stale_tentative: self.stale_tentative.wrapping_sub(earlier.stale_tentative),
+            stale_ack_timeout: self
+                .stale_ack_timeout
+                .wrapping_sub(earlier.stale_ack_timeout),
+            lazy_elided: self.lazy_elided.wrapping_sub(earlier.lazy_elided),
+        }
+    }
+}
+
+static GLOBAL_SCHEDULED: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_HANDLED: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_STALE_TENTATIVE: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_STALE_ACK: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_LAZY_ELIDED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide totals of every [`Simulator`]'s event counters, flushed
+/// when each simulator is dropped. Monotone: snapshot before and after
+/// a workload and use [`EventCounters::delta_since`] to attribute it.
+/// When simulations run concurrently the attribution is approximate —
+/// the totals are shared by all threads.
+pub fn global_event_totals() -> EventCounters {
+    EventCounters {
+        scheduled: GLOBAL_SCHEDULED.load(Ordering::Relaxed),
+        handled: GLOBAL_HANDLED.load(Ordering::Relaxed),
+        stale_tentative: GLOBAL_STALE_TENTATIVE.load(Ordering::Relaxed),
+        stale_ack_timeout: GLOBAL_STALE_ACK.load(Ordering::Relaxed),
+        lazy_elided: GLOBAL_LAZY_ELIDED.load(Ordering::Relaxed),
+    }
+}
 
 /// DCF contention parameters.
 #[derive(Debug, Clone, Copy)]
@@ -207,15 +267,45 @@ struct Node {
     pending_since: SimTime,
     /// Slots of the current deferral.
     pending_slots: u64,
+    /// This node's transmissions currently on the air (mirrors the
+    /// medium's active list, so half-duplex checks are O(1)).
+    active_tx: u32,
+    /// Live `TentativeTx` timer, if armed (lazy heap cancellation: the
+    /// slot is overwritten on re-arm instead of enqueueing a fresh heap
+    /// entry when one with an earlier key is already in flight).
+    tent_slot: Option<TimerKey>,
+    /// This node's `TentativeTx` keys currently in the heap, strictly
+    /// decreasing bottom-to-top (the top is the next of this class to
+    /// pop for this node).
+    tent_stack: Vec<(SimTime, u64)>,
+    /// Live `AckTimeout` timer, if armed.
+    ack_slot: Option<TimerKey>,
+    /// This node's `AckTimeout` keys currently in the heap.
+    ack_stack: Vec<(SimTime, u64)>,
+}
+
+/// Key of a lazily cancelled per-node timer: the eagerly assigned heap
+/// ordering key plus the CSMA generation the timer was armed for. The
+/// `(time, seq)` pair is fixed at schedule time — re-surfacing a live
+/// timer after a superseded pop reuses it, so every event fires at
+/// exactly the ordering key an eager implementation would have used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimerKey {
+    time: SimTime,
+    seq: u64,
+    gen: u64,
 }
 
 #[allow(clippy::large_enum_variant)] // ForcedTx carries a Frame; events are transient
 #[derive(Debug, Clone)]
 enum Ev {
     Start { node: NodeId },
-    TentativeTx { node: NodeId, gen: u64 },
+    // Timer-slot events carry their own heap `seq` so the handler can
+    // tell a live entry from a superseded one; the armed generation
+    // lives in the node's slot, not the event.
+    TentativeTx { node: NodeId, seq: u64 },
     TxEnd { id: u64 },
-    AckTimeout { node: NodeId, gen: u64 },
+    AckTimeout { node: NodeId, seq: u64 },
     ForcedTx { node: NodeId, frame: Frame },
     Timer { node: NodeId, key: u64 },
     IncumbentCheck { node: NodeId },
@@ -256,17 +346,203 @@ pub struct Core {
     pub medium: Medium,
     rng: ChaCha8Rng,
     params: MacParams,
+    counters: EventCounters,
+    /// `reach[i]` is a bitset over node ids: bit `j` set iff node `i`'s
+    /// transmissions reach node `j`. Positions and ranges never change
+    /// after `add_node`, so the float range predicate is evaluated once
+    /// per pair (with the exact same expression the query would use —
+    /// no `d² ≤ r²` rewrite that could flip at rounding boundaries).
+    reach: Vec<Vec<u64>>,
+    /// Node ids currently tuned to each exact `(F, W)` channel, sorted
+    /// ascending: the delivery fan-out index. Ascending order fixes the
+    /// behaviour dispatch order to match a full id-order scan.
+    on_channel: Vec<Vec<NodeId>>,
+    /// Node ids whose current channel spans each UHF channel, for the
+    /// deferral-invalidation sweep on transmission start.
+    span_members: Vec<Vec<NodeId>>,
+    /// Reusable scratch buffers for the per-transmission hot paths.
+    delivery_buf: Vec<NodeId>,
+    interferer_buf: Vec<NodeId>,
+    invalidate_buf: Vec<NodeId>,
 }
 
 impl Core {
     fn schedule(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now, "scheduling into the past");
+        self.counters.scheduled += 1;
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Queued { time: at, seq, ev });
     }
 
+    /// Arms node `n`'s tentative-transmit timer. The heap ordering key
+    /// `(at, seq)` is assigned eagerly — identical to a plain
+    /// `schedule` — but the entry is only pushed if no earlier-keyed
+    /// entry of this class is already in the heap for this node; the
+    /// pop handler re-surfaces the live key from the slot when the
+    /// earlier entry turns out to be superseded.
+    fn schedule_tentative(&mut self, n: NodeId, at: SimTime, gen: u64) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.counters.scheduled += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.nodes[n].tent_slot = Some(TimerKey { time: at, seq, gen });
+        let key = (at, seq);
+        if self.nodes[n].tent_stack.last().is_none_or(|&top| key < top) {
+            self.nodes[n].tent_stack.push(key);
+            self.queue.push(Queued {
+                time: at,
+                seq,
+                ev: Ev::TentativeTx { node: n, seq },
+            });
+        } else {
+            self.counters.lazy_elided += 1;
+        }
+    }
+
+    /// After popping a superseded `TentativeTx` entry for node `n`,
+    /// re-surface the live slot key if it is not already in the heap.
+    /// The stored `(time, seq)` is reused verbatim, so the live event
+    /// still fires at exactly its eagerly assigned position.
+    fn requeue_tentative(&mut self, n: NodeId) {
+        let Some(k) = self.nodes[n].tent_slot else {
+            return;
+        };
+        let key = (k.time, k.seq);
+        if self.nodes[n].tent_stack.last().is_none_or(|&top| key < top) {
+            self.nodes[n].tent_stack.push(key);
+            self.queue.push(Queued {
+                time: k.time,
+                seq: k.seq,
+                ev: Ev::TentativeTx {
+                    node: n,
+                    seq: k.seq,
+                },
+            });
+        }
+    }
+
+    /// Arms node `n`'s ACK-timeout timer (same lazy-slot discipline as
+    /// [`Core::schedule_tentative`]).
+    fn schedule_ack(&mut self, n: NodeId, at: SimTime, gen: u64) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.counters.scheduled += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.nodes[n].ack_slot = Some(TimerKey { time: at, seq, gen });
+        let key = (at, seq);
+        if self.nodes[n].ack_stack.last().is_none_or(|&top| key < top) {
+            self.nodes[n].ack_stack.push(key);
+            self.queue.push(Queued {
+                time: at,
+                seq,
+                ev: Ev::AckTimeout { node: n, seq },
+            });
+        } else {
+            self.counters.lazy_elided += 1;
+        }
+    }
+
+    /// [`Core::requeue_tentative`], for the ACK-timeout class.
+    fn requeue_ack(&mut self, n: NodeId) {
+        let Some(k) = self.nodes[n].ack_slot else {
+            return;
+        };
+        let key = (k.time, k.seq);
+        if self.nodes[n].ack_stack.last().is_none_or(|&top| key < top) {
+            self.nodes[n].ack_stack.push(key);
+            self.queue.push(Queued {
+                time: k.time,
+                seq: k.seq,
+                ev: Ev::AckTimeout {
+                    node: n,
+                    seq: k.seq,
+                },
+            });
+        }
+    }
+
+    /// Index of an exact `(F, W)` channel in the `on_channel` table.
+    fn chan_slot(channel: WfChannel) -> usize {
+        let w = match channel.width() {
+            Width::W5 => 0,
+            Width::W10 => 1,
+            Width::W20 => 2,
+        };
+        w * NUM_UHF_CHANNELS + channel.center().index()
+    }
+
+    /// Nodes currently tuned to exactly `channel`, ascending by id.
+    fn nodes_on(&self, channel: WfChannel) -> &[NodeId] {
+        &self.on_channel[Self::chan_slot(channel)]
+    }
+
+    /// Registers a freshly added node in the channel indexes and
+    /// extends the reachability bitsets.
+    fn register_node(&mut self, id: NodeId) {
+        let channel = self.nodes[id].channel;
+        self.on_channel[Self::chan_slot(channel)].push(id);
+        for u in channel.spanned() {
+            self.span_members[u.index()].push(id);
+        }
+        debug_assert_eq!(self.reach.len(), id);
+        let word = id / 64;
+        let bit = 1u64 << (id % 64);
+        for i in 0..id {
+            let hit = self.in_range_geom(i, id);
+            let row = &mut self.reach[i];
+            if row.len() <= word {
+                row.resize(word + 1, 0);
+            }
+            if hit {
+                row[word] |= bit;
+            }
+        }
+        let mut row = vec![0u64; word + 1];
+        for j in 0..=id {
+            if self.in_range_geom(id, j) {
+                row[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+        self.reach.push(row);
+    }
+
+    /// Moves node `n` between the `(F, W)` and UHF-span indexes when it
+    /// retunes, keeping both sorted ascending.
+    fn retune(&mut self, n: NodeId, new: WfChannel) {
+        let old = self.nodes[n].channel;
+        if old != new {
+            let s = Self::chan_slot(old);
+            if let Ok(i) = self.on_channel[s].binary_search(&n) {
+                self.on_channel[s].remove(i);
+            }
+            let s = Self::chan_slot(new);
+            if let Err(i) = self.on_channel[s].binary_search(&n) {
+                self.on_channel[s].insert(i, n);
+            }
+            for u in old.spanned() {
+                let list = &mut self.span_members[u.index()];
+                if let Ok(i) = list.binary_search(&n) {
+                    list.remove(i);
+                }
+            }
+            for u in new.spanned() {
+                let list = &mut self.span_members[u.index()];
+                if let Err(i) = list.binary_search(&n) {
+                    list.insert(i, n);
+                }
+            }
+        }
+        self.nodes[n].channel = new;
+    }
+
     fn in_range(&self, from: NodeId, to: NodeId) -> bool {
+        self.reach[from][to / 64] & (1u64 << (to % 64)) != 0
+    }
+
+    /// The underlying float range predicate, evaluated once per node
+    /// pair at `add_node` time to fill the `reach` bitsets.
+    fn in_range_geom(&self, from: NodeId, to: NodeId) -> bool {
         let a = self.nodes[from].cfg.pos;
         let b = self.nodes[to].cfg.pos;
         let d2 = (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2);
@@ -274,7 +550,7 @@ impl Core {
     }
 
     fn is_transmitting(&self, n: NodeId) -> bool {
-        self.medium.active().iter().any(|t| t.src == n)
+        self.nodes[n].active_tx > 0
     }
 
     fn senses_carrier(&self, n: NodeId) -> bool {
@@ -322,7 +598,7 @@ impl Core {
         node.state = CsmaState::Pending;
         node.pending_since = self.now;
         node.pending_slots = slots;
-        self.schedule(at, Ev::TentativeTx { node: n, gen });
+        self.schedule_tentative(n, at, gen);
     }
 
     fn start_transmission(&mut self, n: NodeId, frame: Frame, from_queue: bool) {
@@ -349,6 +625,7 @@ impl Core {
             .start(n, is_ap, ssid, channel, self.now, end, frame, amplitude);
         let node = &mut self.nodes[n];
         node.stats.tx_attempts += 1;
+        node.active_tx += 1;
         if violates {
             node.stats.incumbent_violations += 1;
         }
@@ -360,13 +637,19 @@ impl Core {
 
         // Invalidate deferrals of overlapping in-range nodes: the medium
         // just went busy for them. Freeze each node's remaining backoff
-        // slots (DCF decrements only during idle time).
-        for m in 0..self.nodes.len() {
-            if m != n
-                && self.nodes[m].state == CsmaState::Pending
-                && self.nodes[m].channel.overlaps(channel)
-                && self.in_range(n, m)
-            {
+        // slots (DCF decrements only during idle time). Candidates come
+        // from the per-UHF span index — membership in any list of the
+        // transmission's span is exactly the old `overlaps` check. A
+        // node spanning several of those UHF channels appears in several
+        // lists, but the first pass flips it out of `Pending`, making
+        // reprocessing a no-op.
+        let mut cands = std::mem::take(&mut self.invalidate_buf);
+        cands.clear();
+        for u in channel.spanned() {
+            cands.extend_from_slice(&self.span_members[u.index()]);
+        }
+        for &m in &cands {
+            if m != n && self.nodes[m].state == CsmaState::Pending && self.in_range(n, m) {
                 let timing = self.params.contention_timing(self.nodes[m].channel.width());
                 let elapsed = self.now.saturating_since(self.nodes[m].pending_since);
                 let idle_after_difs = elapsed.as_nanos().saturating_sub(timing.difs().as_nanos());
@@ -377,6 +660,7 @@ impl Core {
                 node.state = CsmaState::Idle;
             }
         }
+        self.invalidate_buf = cands;
     }
 
     fn enqueue(&mut self, n: NodeId, frame: Frame) {
@@ -471,8 +755,8 @@ impl Ctx<'_> {
     /// and the queue re-planned on the new channel; an in-flight ACK wait
     /// will time out naturally (the ACK arrives on the old channel).
     pub fn set_channel(&mut self, channel: WfChannel) {
+        self.core.retune(self.node, channel);
         let node = &mut self.core.nodes[self.node];
-        node.channel = channel;
         node.slots_left = None;
         node.gen += 1;
         if matches!(node.state, CsmaState::Pending | CsmaState::WaitAck) {
@@ -536,6 +820,13 @@ impl Simulator {
                 medium: Medium::new(),
                 rng: ChaCha8Rng::seed_from_u64(seed),
                 params: MacParams::default(),
+                counters: EventCounters::default(),
+                reach: Vec::new(),
+                on_channel: vec![Vec::new(); 3 * NUM_UHF_CHANNELS],
+                span_members: vec![Vec::new(); NUM_UHF_CHANNELS],
+                delivery_buf: Vec::new(),
+                interferer_buf: Vec::new(),
+                invalidate_buf: Vec::new(),
             },
             behaviors: Vec::new(),
         }
@@ -570,7 +861,13 @@ impl Simulator {
             slots_left: None,
             pending_since: SimTime::ZERO,
             pending_slots: 0,
+            active_tx: 0,
+            tent_slot: None,
+            tent_stack: Vec::new(),
+            ack_slot: None,
+            ack_stack: Vec::new(),
         });
+        self.core.register_node(id);
         self.behaviors.push(Some(behavior));
         let now = self.core.now;
         self.core.schedule(now, Ev::Start { node: id });
@@ -591,6 +888,36 @@ impl Simulator {
     /// Read access to the medium (for scanner-style drivers).
     pub fn medium(&self) -> &Medium {
         &self.core.medium
+    }
+
+    /// Mutable access to the medium, so drivers can configure retention
+    /// (e.g. tightening [`Medium::history_horizon`] for runs that never
+    /// issue scanner queries) before events start flowing.
+    pub fn medium_mut(&mut self) -> &mut Medium {
+        &mut self.core.medium
+    }
+
+    /// Event-loop counters accumulated by this simulator so far.
+    pub fn event_counters(&self) -> EventCounters {
+        self.core.counters
+    }
+
+    /// Whether `from`'s transmissions reach `to`, answered from the
+    /// precomputed reachability bitsets the hot paths use.
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.core.in_range(from, to)
+    }
+
+    /// The same reachability predicate recomputed from node positions —
+    /// the brute-force reference for verifying the precomputed bitsets.
+    pub fn reaches_geometric(&self, from: NodeId, to: NodeId) -> bool {
+        self.core.in_range_geom(from, to)
+    }
+
+    /// Nodes currently tuned to exactly `channel`, ascending by id —
+    /// the delivery fan-out index.
+    pub fn nodes_on_channel(&self, channel: WfChannel) -> &[NodeId] {
+        self.core.nodes_on(channel)
     }
 
     /// Stats of node `n`.
@@ -628,6 +955,7 @@ impl Simulator {
             }
             let q = self.core.queue.pop().expect("peeked");
             self.core.now = q.time;
+            self.core.counters.handled += 1;
             self.handle(q.ev);
         }
         self.core.now = end;
@@ -668,10 +996,29 @@ impl Simulator {
                     self.dispatch(node, |b, ctx| b.on_incumbent_change(map, ctx));
                 }
             }
-            Ev::TentativeTx { node, gen } => {
+            Ev::TentativeTx { node, seq } => {
+                // Timer slot: the popped heap entry is live only if it
+                // matches the key assigned at the latest schedule.
+                let popped = (self.core.now, seq);
+                let top = self.core.nodes[node].tent_stack.pop();
+                debug_assert_eq!(top, Some(popped), "tentative timer stack out of sync");
+                let gen = match self.core.nodes[node].tent_slot {
+                    Some(k) if (k.time, k.seq) == popped => {
+                        self.core.nodes[node].tent_slot = None;
+                        k.gen
+                    }
+                    _ => {
+                        // Superseded entry: surface the live timer (if
+                        // any) and drop this one.
+                        self.core.requeue_tentative(node);
+                        self.core.counters.stale_tentative += 1;
+                        return;
+                    }
+                };
                 if self.core.nodes[node].gen != gen
                     || self.core.nodes[node].state != CsmaState::Pending
                 {
+                    self.core.counters.stale_tentative += 1;
                     return;
                 }
                 if self.core.senses_carrier(node) || self.core.is_transmitting(node) {
@@ -693,10 +1040,25 @@ impl Simulator {
                 }
                 self.core.start_transmission(node, frame, false);
             }
-            Ev::AckTimeout { node, gen } => {
+            Ev::AckTimeout { node, seq } => {
+                let popped = (self.core.now, seq);
+                let top = self.core.nodes[node].ack_stack.pop();
+                debug_assert_eq!(top, Some(popped), "ack timer stack out of sync");
+                let gen = match self.core.nodes[node].ack_slot {
+                    Some(k) if (k.time, k.seq) == popped => {
+                        self.core.nodes[node].ack_slot = None;
+                        k.gen
+                    }
+                    _ => {
+                        self.core.requeue_ack(node);
+                        self.core.counters.stale_ack_timeout += 1;
+                        return;
+                    }
+                };
                 if self.core.nodes[node].gen != gen
                     || self.core.nodes[node].state != CsmaState::WaitAck
                 {
+                    self.core.counters.stale_ack_timeout += 1;
                     return;
                 }
                 let retry_limit = self.core.params.retry_limit;
@@ -730,15 +1092,31 @@ impl Simulator {
         let now = self.core.now;
         let tx = self.core.medium.finish(id, now);
         let src = tx.src;
+        self.core.nodes[src].active_tx -= 1;
 
         // --- Receiver side ---------------------------------------------
+        // Candidates come from the per-(F, W) channel index (exact width
+        // and centre match, ascending id — the same set and order a full
+        // scan would produce), and the interferer set is collected once
+        // per transmission instead of once per candidate: the medium
+        // cannot change inside this loop.
+        let mut cands = std::mem::take(&mut self.core.delivery_buf);
+        cands.clear();
+        cands.extend_from_slice(self.core.nodes_on(tx.channel));
+        let mut interferer_srcs = std::mem::take(&mut self.core.interferer_buf);
+        interferer_srcs.clear();
+        if cands.iter().any(|&m| m != src) {
+            self.core.medium.interferer_sources_into(
+                tx.channel,
+                tx.start,
+                tx.end,
+                id,
+                &mut interferer_srcs,
+            );
+        }
         let mut deliveries: Vec<NodeId> = Vec::new();
-        for m in 0..self.core.nodes.len() {
+        for &m in &cands {
             if m == src {
-                continue;
-            }
-            // Exact (F, W) match: different width or centre ⇒ dropped.
-            if self.core.nodes[m].channel != tx.channel {
                 continue;
             }
             if !self.core.in_range(src, m) {
@@ -749,18 +1127,15 @@ impl Simulator {
             }
             // Interference: any other transmission overlapping this one in
             // time whose span intersects the receiver's channel.
-            let interfered = self
-                .core
-                .medium
-                .interferers(tx.channel, tx.start, tx.end, id)
-                .iter()
-                .any(|t| self.core.in_range(t.src, m));
+            let interfered = interferer_srcs.iter().any(|&s| self.core.in_range(s, m));
             if interfered {
                 self.core.nodes[m].stats.rx_collisions += 1;
                 continue;
             }
             deliveries.push(m);
         }
+        self.core.delivery_buf = cands;
+        self.core.interferer_buf = interferer_srcs;
 
         // Beacon ⇒ CTS-to-self one SIFS later, regardless of receivers.
         if matches!(tx.frame.kind, FrameKind::Beacon { .. }) {
@@ -846,8 +1221,7 @@ impl Simulator {
                 let gen = node.gen;
                 let timing = PhyTiming::for_width(tx.channel.width());
                 let deadline = now + timing.sifs() + timing.ack_duration() + timing.slot();
-                self.core
-                    .schedule(deadline, Ev::AckTimeout { node: src, gen });
+                self.core.schedule_ack(src, deadline, gen);
             } else {
                 // Broadcast: done on first transmission. The queue is
                 // empty only if the behaviour cleared it while the frame
@@ -863,11 +1237,25 @@ impl Simulator {
         }
 
         // --- Medium possibly idle: re-plan waiting nodes -----------------
+        // (Kept as a plain field sweep: two loads per node, and restricting
+        // it to provably affected nodes buys little for the added proof
+        // burden — the expensive per-node work was the scans above.)
         for m in 0..self.core.nodes.len() {
             if self.core.nodes[m].wants_tx && self.core.nodes[m].state == CsmaState::Idle {
                 self.core.plan(m);
             }
         }
+    }
+}
+
+impl Drop for Simulator {
+    fn drop(&mut self) {
+        let c = self.core.counters;
+        GLOBAL_SCHEDULED.fetch_add(c.scheduled, Ordering::Relaxed);
+        GLOBAL_HANDLED.fetch_add(c.handled, Ordering::Relaxed);
+        GLOBAL_STALE_TENTATIVE.fetch_add(c.stale_tentative, Ordering::Relaxed);
+        GLOBAL_STALE_ACK.fetch_add(c.stale_ack_timeout, Ordering::Relaxed);
+        GLOBAL_LAZY_ELIDED.fetch_add(c.lazy_elided, Ordering::Relaxed);
     }
 }
 
@@ -1265,6 +1653,62 @@ mod tests {
         assert_eq!(sim.node_channel(n), c0);
         sim.run_until(SimTime::from_millis(6));
         assert_eq!(sim.node_channel(n), c1);
+    }
+
+    #[test]
+    fn channel_index_matches_full_scan() {
+        struct Hop {
+            target: WfChannel,
+        }
+        impl Behavior for Hop {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimDuration::from_millis(1), 7);
+            }
+            fn on_timer(&mut self, _key: u64, ctx: &mut Ctx) {
+                ctx.set_channel(self.target);
+            }
+        }
+        let mut sim = Simulator::new(4);
+        let a = ch(10, Width::W20);
+        let b = ch(12, Width::W5);
+        sim.add_node(NodeConfig::on_channel(a), Box::new(Sink));
+        sim.add_node(NodeConfig::on_channel(b), Box::new(Sink));
+        sim.add_node(NodeConfig::on_channel(a), Box::new(Hop { target: b }));
+        sim.add_node(NodeConfig::on_channel(a), Box::new(Sink));
+        // Before and after the retune, the index must equal a full scan
+        // over current node channels, in ascending id order.
+        for _ in 0..2 {
+            for chx in [a, b] {
+                let scan: Vec<NodeId> = (0..sim.node_count())
+                    .filter(|&m| sim.node_channel(m) == chx)
+                    .collect();
+                assert_eq!(sim.nodes_on_channel(chx), scan.as_slice());
+            }
+            sim.run_until(sim.now() + SimDuration::from_millis(5));
+        }
+        assert_eq!(sim.nodes_on_channel(b), [1usize, 2].as_slice());
+    }
+
+    #[test]
+    fn event_counters_track_traffic() {
+        let mut sim = Simulator::new(1);
+        let c = ch(10, Width::W20);
+        let rx = sim.add_node(NodeConfig::on_channel(c), Box::new(Sink));
+        sim.add_node(
+            NodeConfig::on_channel(c),
+            Box::new(Blaster {
+                dst: rx,
+                bytes: 1000,
+                remaining: 20,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let ev = sim.event_counters();
+        assert!(ev.handled > 0);
+        // Every pop reuses a key from exactly one logical schedule, so
+        // pops can never outnumber schedules.
+        assert!(ev.scheduled >= ev.handled);
+        assert_eq!(sim.stats(rx).rx_data_frames, 20);
     }
 
     #[test]

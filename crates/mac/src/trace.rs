@@ -1,11 +1,19 @@
 //! Frame-level trace export — the simulator's analogue of the smoltcp
 //! examples' `--pcap` option: every frame the medium carried, rendered as
 //! `tcpdump`-style lines or exported as structured records for tooling.
+//!
+//! Trace recording is pay-as-you-go: the medium retains finished
+//! transmissions only up to [`Medium::history_horizon`], so a driver
+//! that never exports a trace (or only ever exports a short trailing
+//! window — see [`export_recent`]) can tighten the horizon and the
+//! per-event retention cost shrinks with it. The WhiteFi driver does
+//! exactly this for fixed-channel baseline runs, which issue no scanner
+//! queries at all.
 
 use crate::frames::FrameKind;
 use crate::medium::{Medium, Transmission};
 use serde::{Deserialize, Serialize};
-use whitefi_phy::SimTime;
+use whitefi_phy::{SimDuration, SimTime};
 
 /// One exported trace record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +72,14 @@ pub fn export(medium: &Medium, from: SimTime, to: SimTime) -> Vec<TraceRecord> {
         .collect();
     records.sort_by(|a, b| a.t_start_s.partial_cmp(&b.t_start_s).unwrap());
     records
+}
+
+/// Exports the trailing `window` of traffic ending at `now` — the
+/// windowed view a scan consumer needs, without assuming the medium
+/// retained anything older.
+pub fn export_recent(medium: &Medium, now: SimTime, window: SimDuration) -> Vec<TraceRecord> {
+    let from = SimTime::ZERO + now.saturating_since(SimTime::ZERO + window);
+    export(medium, from, now)
 }
 
 /// Renders records as `tcpdump`-style lines.
@@ -128,6 +144,28 @@ mod tests {
         assert!(text.contains("DATA 500B"));
         assert!(text.contains("ACK 14B"));
         assert!(text.contains("(ch31, 20MHz)"));
+    }
+
+    #[test]
+    fn export_recent_is_trailing_window() {
+        let c = WfChannel::from_parts(10, Width::W20);
+        let mut sim = Simulator::new(3);
+        let rx = sim.add_node(NodeConfig::on_channel(c), Box::new(Sink));
+        sim.add_node(
+            NodeConfig::on_channel(c),
+            Box::new(SaturatingSender {
+                dst: rx,
+                bytes: 500,
+                pipeline: 1,
+            }),
+        );
+        sim.run_until(SimTime::from_millis(50));
+        let now = sim.now();
+        let window = whitefi_phy::SimDuration::from_millis(10);
+        let recent = export_recent(sim.medium(), now, window);
+        let manual = export(sim.medium(), now - window, now);
+        assert!(!recent.is_empty());
+        assert_eq!(recent, manual);
     }
 
     #[test]

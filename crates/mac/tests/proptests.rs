@@ -129,4 +129,52 @@ proptest! {
             prop_assert_eq!(sim.stats(n).incumbent_violations, 0);
         }
     }
+
+    /// The precomputed reachability bitsets agree with the brute-force
+    /// geometric range predicate for every ordered pair, across random
+    /// topologies (positions and per-node ranges).
+    #[test]
+    fn reachability_sets_match_bruteforce(
+        nodes in prop::collection::vec(
+            (-500.0f64..500.0, -500.0f64..500.0, 10.0f64..800.0),
+            2..40,
+        ),
+    ) {
+        let c = channel_for(15, Width::W10);
+        let mut sim = Simulator::new(1);
+        for &(x, y, range) in &nodes {
+            let mut cfg = NodeConfig::on_channel(c).at(x, y);
+            cfg.range = range;
+            sim.add_node(cfg, Box::new(Sink));
+        }
+        for a in 0..sim.node_count() {
+            for b in 0..sim.node_count() {
+                prop_assert_eq!(
+                    sim.reaches(a, b),
+                    sim.reaches_geometric(a, b),
+                    "bitset and geometry disagree for ({}, {})", a, b
+                );
+            }
+        }
+    }
+}
+
+/// Exact range boundary: the bitsets must preserve the original
+/// `sqrt(d²) <= range` comparison, including the equality case.
+#[test]
+fn reachability_exact_boundary() {
+    let c = channel_for(15, Width::W10);
+    let mut sim = Simulator::new(1);
+    for &(x, range) in &[(0.0f64, 100.0f64), (100.0, 100.0), (201.0, 100.0)] {
+        let mut cfg = NodeConfig::on_channel(c).at(x, 0.0);
+        cfg.range = range;
+        sim.add_node(cfg, Box::new(Sink));
+    }
+    // d(0,1) == 100 == range: reachable on the exact boundary.
+    assert!(sim.reaches(0, 1));
+    assert!(sim.reaches(1, 0));
+    // d(1,2) == 101 > range: just outside.
+    assert!(!sim.reaches(1, 2));
+    assert!(!sim.reaches(2, 1));
+    assert_eq!(sim.reaches(0, 2), sim.reaches_geometric(0, 2));
 }

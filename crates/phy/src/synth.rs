@@ -167,60 +167,60 @@ impl Synthesizer {
         }
         let n = (window.as_nanos() / SAMPLE_NS) as usize;
         SCRATCH.with(|scratch| {
-        let mut samples = scratch.borrow_mut();
-        samples.clear();
-        samples.resize(n, 0f64);
-        for b in bursts {
-            let start = (b.start.as_nanos() / SAMPLE_NS) as usize;
-            let end_ns = b.start.as_nanos() + b.duration.as_nanos();
-            let end = (end_ns / SAMPLE_NS) as usize; // exclusive
-            let start = start.min(n);
-            let end = end.min(n);
-            if start >= end {
-                continue;
-            }
-            let len = end - start;
-            // Per-burst head droop for 5 MHz frames. The droop is a
-            // power-ramp artifact of initiating a transmission from an
-            // idle chain, so it affects data/beacon/chirp frames; an ACK
-            // or CTS follows one SIFS behind with the chain still warm.
-            let initiating = matches!(
-                b.kind,
-                BurstKind::Data | BurstKind::Beacon | BurstKind::Chirp
-            );
-            let head_len =
-                if b.width == Width::W5 && initiating && self.config.w5_head_fraction > 0.0 {
-                    (len as f64 * self.config.w5_head_fraction) as usize
+            let mut samples = scratch.borrow_mut();
+            samples.clear();
+            samples.resize(n, 0f64);
+            for b in bursts {
+                let start = (b.start.as_nanos() / SAMPLE_NS) as usize;
+                let end_ns = b.start.as_nanos() + b.duration.as_nanos();
+                let end = (end_ns / SAMPLE_NS) as usize; // exclusive
+                let start = start.min(n);
+                let end = end.min(n);
+                if start >= end {
+                    continue;
+                }
+                let len = end - start;
+                // Per-burst head droop for 5 MHz frames. The droop is a
+                // power-ramp artifact of initiating a transmission from an
+                // idle chain, so it affects data/beacon/chirp frames; an ACK
+                // or CTS follows one SIFS behind with the chain still warm.
+                let initiating = matches!(
+                    b.kind,
+                    BurstKind::Data | BurstKind::Beacon | BurstKind::Chirp
+                );
+                let head_len =
+                    if b.width == Width::W5 && initiating && self.config.w5_head_fraction > 0.0 {
+                        (len as f64 * self.config.w5_head_fraction) as usize
+                    } else {
+                        0
+                    };
+                let head_factor = if head_len > 0 {
+                    let g = {
+                        // Box–Muller standard normal.
+                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                    };
+                    (self.config.w5_head_mean + g * self.config.w5_head_sd).clamp(0.02, 1.0)
                 } else {
-                    0
+                    1.0
                 };
-            let head_factor = if head_len > 0 {
-                let g = {
-                    // Box–Muller standard normal.
-                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                    let u2: f64 = rng.gen_range(0.0..1.0);
-                    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-                };
-                (self.config.w5_head_mean + g * self.config.w5_head_sd).clamp(0.02, 1.0)
-            } else {
-                1.0
-            };
-            for (i, s) in samples[start..end].iter_mut().enumerate() {
-                let ripple = if self.config.ripple_low == self.config.ripple_high {
-                    self.config.ripple_low
-                } else {
-                    rng.gen_range(self.config.ripple_low..self.config.ripple_high)
-                };
-                let head = if i < head_len { head_factor } else { 1.0 };
-                *s += b.amplitude * ripple * head;
+                for (i, s) in samples[start..end].iter_mut().enumerate() {
+                    let ripple = if self.config.ripple_low == self.config.ripple_high {
+                        self.config.ripple_low
+                    } else {
+                        rng.gen_range(self.config.ripple_low..self.config.ripple_high)
+                    };
+                    let head = if i < head_len { head_factor } else { 1.0 };
+                    *s += b.amplitude * ripple * head;
+                }
             }
-        }
-        // Additive receiver noise everywhere.
-        out.clear();
-        out.reserve(n);
-        for &s in samples.iter() {
-            out.push((s + self.noise.sample(rng)) as f32);
-        }
+            // Additive receiver noise everywhere.
+            out.clear();
+            out.reserve(n);
+            for &s in samples.iter() {
+                out.push((s + self.noise.sample(rng)) as f32);
+            }
         });
     }
 }

@@ -397,15 +397,25 @@ impl Behavior for ApBehavior {
         self.last_eval = ctx.now();
         self.refresh_backup(ctx);
         ctx.set_timer(SimDuration::ZERO, keys::BEACON);
-        ctx.set_timer(self.cfg.scan_dwell, keys::SCAN);
+        // The SCAN and BACKUP_SCAN arms feed channel re-selection and
+        // backup maintenance, which fixed-channel runs never consult:
+        // their handlers draw no RNG and only update airtime/backup
+        // state that `reassess` reads behind the same `adaptive` gate.
+        if self.cfg.adaptive {
+            ctx.set_timer(self.cfg.scan_dwell, keys::SCAN);
+        }
         // Random phase: co-located APs must not re-evaluate in lockstep,
-        // or they herd onto the same channels forever.
+        // or they herd onto the same channels forever. The REASSESS timer
+        // (and its jitter draw) stays armed even in fixed mode: its RNG
+        // draws are part of the shared seeded stream.
         let jitter = SimDuration::from_nanos(rand::Rng::gen_range(
             ctx.rng(),
             0..self.cfg.reassess_interval.as_nanos().max(1),
         ));
         ctx.set_timer(self.cfg.reassess_interval + jitter, keys::REASSESS);
-        ctx.set_timer(self.cfg.backup_scan_interval, keys::BACKUP_SCAN);
+        if self.cfg.adaptive {
+            ctx.set_timer(self.cfg.backup_scan_interval, keys::BACKUP_SCAN);
+        }
         if let Some(interval) = self.cfg.downlink_interval {
             ctx.set_timer(interval, keys::PUMP);
         } else if self.cfg.downlink_bytes.is_some() {

@@ -63,6 +63,12 @@ pub struct ClientConfig {
     /// How the client starts: pre-associated on the AP's channel, or
     /// running J-SIFT discovery with its scanner (§4.2.2).
     pub start: ClientStart,
+    /// Whether the background airtime scanner runs. Fixed-channel
+    /// baseline drivers disable it: the scan handler draws no RNG and
+    /// only feeds per-channel airtime into reports, which nothing reads
+    /// when the AP never re-selects channels. Report frames stay a
+    /// constant 64 bytes on air either way.
+    pub scan_enabled: bool,
     /// Dwell per discovery step (long enough to catch one 100 ms-period
     /// beacon).
     pub discovery_dwell: SimDuration,
@@ -96,6 +102,7 @@ impl ClientConfig {
             uplink_interval: None,
             key: 0,
             start: ClientStart::Associated,
+            scan_enabled: true,
             discovery_dwell: SimDuration::from_millis(120),
         }
     }
@@ -231,7 +238,9 @@ impl Behavior for ClientBehavior {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.last_heard = ctx.now();
         ctx.set_timer(self.cfg.report_interval, keys::REPORT);
-        ctx.set_timer(self.cfg.scan_dwell, keys::SCAN);
+        if self.cfg.scan_enabled {
+            ctx.set_timer(self.cfg.scan_dwell, keys::SCAN);
+        }
         ctx.set_timer(self.cfg.disconnect_timeout, keys::WATCHDOG);
         if let Some(interval) = self.cfg.uplink_interval {
             ctx.set_timer(interval, keys::PUMP);

@@ -174,6 +174,14 @@ struct BuiltNetwork {
 
 fn build(scenario: &Scenario, initial: WfChannel, adaptive: bool) -> BuiltNetwork {
     let mut sim = Simulator::new(scenario.seed);
+    if !adaptive {
+        // Fixed-channel runs issue no scanner queries (SCAN/BACKUP_SCAN
+        // timers are disabled below), so the only history consumer left
+        // is the carrier-sense interferer check, which never looks back
+        // further than one frame duration (≲ 8 ms at W5). 300 ms keeps a
+        // wide margin while making trace retention pay-as-you-go.
+        sim.medium_mut().history_horizon = SimDuration::from_millis(300);
+    }
 
     let mut ap_cfg = scenario.ap_config.clone();
     ap_cfg.adaptive = adaptive;
@@ -203,9 +211,11 @@ fn build(scenario: &Scenario, initial: WfChannel, adaptive: bool) -> BuiltNetwor
             ccfg = ccfg.saturating_uplink(bytes);
         }
         // Fixed-channel baselines must not run the disconnection
-        // protocol either (they model a dumb static network).
+        // protocol either (they model a dumb static network), and their
+        // airtime scanner output is never consulted.
         if !adaptive {
             ccfg.disconnect_timeout = SimDuration::from_secs(1_000_000);
+            ccfg.scan_enabled = false;
         }
         let id = sim.add_node(node_cfg, Box::new(ClientBehavior::new(ccfg)));
         clients.push(id);

@@ -446,7 +446,10 @@ mod tests {
         for i in 0..NUM_UHF_CHANNELS {
             let c5 = ch(i, Width::W5);
             assert_eq!(table.mcham(c5), mcham(&airtime, c5));
-            assert_eq!(table.rho(UhfChannel::from_index(i)), airtime.rho(UhfChannel::from_index(i)));
+            assert_eq!(
+                table.rho(UhfChannel::from_index(i)),
+                airtime.rho(UhfChannel::from_index(i))
+            );
         }
     }
 

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use whitefi::{
-    backup_candidates, baseline_discovery, evaluate_all, j_sift_discovery, l_sift_discovery,
-    mcham, select_channel, NodeReport, SyntheticOracle,
+    backup_candidates, baseline_discovery, evaluate_all, j_sift_discovery, l_sift_discovery, mcham,
+    select_channel, NodeReport, SyntheticOracle,
 };
 use whitefi_spectrum::{
     AirtimeVector, ChannelLoad, SpectrumMap, UhfChannel, WfChannel, Width, NUM_UHF_CHANNELS,

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Compares two experiment-runner summaries (results/BENCH_experiments.json
+# from two runs) and flags wall-time regressions.
+#
+#   scripts/bench_compare.sh BASELINE.json CANDIDATE.json [--threshold PCT]
+#
+# Exits 1 if any experiment present in both runs regressed by more than
+# the threshold (default 20%). Experiments present in only one run are
+# reported but do not fail the comparison.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 BASELINE.json CANDIDATE.json [--threshold PCT]" >&2
+    exit 2
+fi
+
+BASE="$1"
+CAND="$2"
+THRESHOLD=20
+if [ "${3:-}" = "--threshold" ]; then
+    THRESHOLD="${4:?--threshold requires a value}"
+fi
+
+python3 - "$BASE" "$CAND" "$THRESHOLD" <<'PY'
+import json
+import sys
+
+base_path, cand_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {e["id"]: e for e in data.get("experiments", [])}, data
+
+base, base_doc = load(base_path)
+cand, cand_doc = load(cand_path)
+
+if base_doc.get("quick") != cand_doc.get("quick"):
+    print(
+        f"warning: comparing a quick={base_doc.get('quick')} run against "
+        f"quick={cand_doc.get('quick')} — wall times are not comparable",
+        file=sys.stderr,
+    )
+
+print(f"{'experiment':14} {'base_s':>10} {'cand_s':>10} {'delta':>8}")
+regressions = []
+for exp_id in base:
+    if exp_id not in cand:
+        print(f"{exp_id:14} {base[exp_id]['wall_s']:>10.3f} {'absent':>10} {'--':>8}")
+        continue
+    b = base[exp_id]["wall_s"]
+    c = cand[exp_id]["wall_s"]
+    delta = (c - b) / b * 100.0 if b > 0 else 0.0
+    flag = ""
+    if delta > threshold:
+        flag = "  <-- REGRESSION"
+        regressions.append((exp_id, b, c, delta))
+    print(f"{exp_id:14} {b:>10.3f} {c:>10.3f} {delta:>+7.1f}%{flag}")
+for exp_id in cand:
+    if exp_id not in base:
+        print(f"{exp_id:14} {'absent':>10} {cand[exp_id]['wall_s']:>10.3f} {'--':>8}")
+
+bt = base_doc.get("total_wall_s")
+ct = cand_doc.get("total_wall_s")
+if bt and ct:
+    print(f"{'total':14} {bt:>10.3f} {ct:>10.3f} {((ct - bt) / bt * 100.0):>+7.1f}%")
+
+if regressions:
+    print(
+        f"\n{len(regressions)} experiment(s) regressed by more than "
+        f"{threshold:.0f}%:",
+        file=sys.stderr,
+    )
+    for exp_id, b, c, delta in regressions:
+        print(f"  {exp_id}: {b:.3f}s -> {c:.3f}s ({delta:+.1f}%)", file=sys.stderr)
+    sys.exit(1)
+print("\nno wall-time regressions above threshold")
+PY

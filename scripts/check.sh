@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a quick sequential experiment sweep.
+# Tier-1 gate plus lint gates and a quick sequential experiment sweep.
 # Run from the repository root: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --workspace --release
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo run --release -p whitefi-bench --bin experiments -- all --quick --jobs 1
