@@ -1,0 +1,49 @@
+//! Criterion bench for the spectral-slice pruning of fixed-channel
+//! baseline runs: `run_fixed` (pruned) against `run_fixed_unpruned`
+//! (every background pair simulated) on the Figure 11 workload, for
+//! narrow and wide candidates. The pruned/full gap is the work the OPT
+//! sweep no longer does; the differential tests pin the two to exactly
+//! equal outcomes, so this gap is free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whitefi::driver::{run_fixed, run_fixed_unpruned, Scenario, StaticBaselines};
+use whitefi_bench::experiments::fig11;
+use whitefi_phy::SimDuration;
+use whitefi_spectrum::Width;
+
+/// A fig11-shaped scenario (17 pairs over the campus map) shortened to
+/// a 1 s measurement so the bench iterates quickly.
+fn scenario() -> Scenario {
+    let mut s = fig11::scenario(17, 42, true);
+    s.warmup = SimDuration::from_millis(200);
+    s.duration = SimDuration::from_secs(1);
+    s
+}
+
+fn fixed_run_pruned_vs_full(c: &mut Criterion) {
+    let s = scenario();
+    let cands = StaticBaselines::candidates(&s);
+    let narrow = *cands
+        .iter()
+        .find(|c| c.width() == Width::W5)
+        .expect("campus map admits a W5 channel");
+    let wide = *cands
+        .iter()
+        .find(|c| c.width() == Width::W20)
+        .expect("campus map admits a W20 channel");
+
+    let mut group = c.benchmark_group("fixed_run_pruned_vs_full");
+    group.sample_size(10);
+    for (label, cand) in [("w5", narrow), ("w20", wide)] {
+        group.bench_with_input(BenchmarkId::new("pruned", label), &cand, |b, &cand| {
+            b.iter(|| run_fixed(&s, cand).aggregate_mbps)
+        });
+        group.bench_with_input(BenchmarkId::new("full", label), &cand, |b, &cand| {
+            b.iter(|| run_fixed_unpruned(&s, cand).aggregate_mbps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fixed_run_pruned_vs_full);
+criterion_main!(benches);

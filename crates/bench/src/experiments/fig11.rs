@@ -106,11 +106,27 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
             "wf_over_opt",
         ],
     );
-    // Fan every (point, seed) simulation out as its own work unit, then
-    // average per point in seed order (identical to the sequential sums).
-    let runs = ctx.map(points.len() * seeds.len(), |k| {
-        one_run(points[k / seeds.len()], seeds[k % seeds.len()], quick)
-    });
+    // Fan every (point, seed) trial's WhiteFi run *and* every OPT
+    // candidate's fixed run out as independent work units (the sweep
+    // fan-out), then average per point in seed order.
+    let scenarios: Vec<Scenario> = (0..points.len() * seeds.len())
+        .map(|k| scenario(points[k / seeds.len()], seeds[k % seeds.len()], quick))
+        .collect();
+    let runs: Vec<(f64, f64, f64, f64, f64)> = super::sweep::measure_all(ctx, &scenarios)
+        .iter()
+        .zip(&scenarios)
+        .map(|(out, s)| {
+            let n = s.client_maps.len() as f64;
+            let b = out.baselines;
+            (
+                out.whitefi_aggregate_mbps / n,
+                b.opt5 / n,
+                b.opt10 / n,
+                b.opt20 / n,
+                b.opt / n,
+            )
+        })
+        .collect();
     let mut worst_frac: f64 = 1.0;
     for (pi, &pairs) in points.iter().enumerate() {
         let (w, o5, o10, o20, o) = mean_runs(&runs[pi * seeds.len()..(pi + 1) * seeds.len()]);

@@ -96,9 +96,30 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
         "Per-client throughput (Mbps) vs spatial flip probability P",
         &["p", "whitefi", "opt", "opt20", "widest_fragment"],
     );
-    let runs = ctx.map(ps.len() * seeds.len(), |k| {
-        one_run(ps[k / seeds.len()], seeds[k % seeds.len()], quick)
-    });
+    // Sweep fan-out: each trial's WhiteFi run and each OPT candidate's
+    // fixed run is its own work unit; fully blocked trials contribute
+    // no units and come back as zeros (as the sequential early-return
+    // always did).
+    let scenarios: Vec<Scenario> = (0..ps.len() * seeds.len())
+        .map(|k| scenario(ps[k / seeds.len()], seeds[k % seeds.len()], quick))
+        .collect();
+    let runs: Vec<(f64, f64, f64, f64)> = super::sweep::measure_all(ctx, &scenarios)
+        .iter()
+        .zip(&scenarios)
+        .map(|(out, s)| {
+            let combined = s.combined_map();
+            if combined.available_channels().is_empty() {
+                return (0.0, 0.0, 0.0, 0.0);
+            }
+            let n = s.client_maps.len() as f64;
+            (
+                out.whitefi_aggregate_mbps / n,
+                out.baselines.opt / n,
+                out.baselines.opt20 / n,
+                combined.widest_fragment() as f64,
+            )
+        })
+        .collect();
     let mut first = None;
     let mut last = None;
     for (pi, &p) in ps.iter().enumerate() {

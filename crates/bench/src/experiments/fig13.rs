@@ -137,9 +137,24 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
         "Per-client throughput (Mbps) vs background churn",
         &["churn", "whitefi", "opt", "opt20", "opt5", "wf_over_opt"],
     );
-    let runs = ctx.map(sweep.len() * seeds.len(), |k| {
-        one_run(sweep[k / seeds.len()], seeds[k % seeds.len()], quick)
-    });
+    // Sweep fan-out: one work unit per WhiteFi run and per OPT
+    // candidate's fixed run, across all (point, seed) trials at once.
+    let scenarios: Vec<Scenario> = (0..sweep.len() * seeds.len())
+        .map(|k| scenario(sweep[k / seeds.len()], seeds[k % seeds.len()], quick))
+        .collect();
+    let runs: Vec<(f64, f64, f64, f64)> = super::sweep::measure_all(ctx, &scenarios)
+        .iter()
+        .zip(&scenarios)
+        .map(|(out, s)| {
+            let n = s.client_maps.len() as f64;
+            (
+                out.whitefi_aggregate_mbps / n,
+                out.baselines.opt / n,
+                out.baselines.opt20 / n,
+                out.baselines.opt5 / n,
+            )
+        })
+        .collect();
     for (pi, pt) in sweep.iter().enumerate() {
         let (w, o, o20, o5) = mean_runs(&runs[pi * seeds.len()..(pi + 1) * seeds.len()]);
         report.push_row(&[

@@ -58,23 +58,22 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let mut per_width_means = Vec::new();
     for (wi, width) in widths.iter().enumerate() {
         let truth = true_busy_secs(*width, count);
-        let mut pairs: Vec<(&str, serde_json::Value)> = vec![
-            ("width_mhz", json!(width.mhz())),
-            ("truth_s", round4(truth)),
+        let mut pairs: Vec<(String, serde_json::Value)> = vec![
+            ("width_mhz".to_string(), json!(width.mhz())),
+            ("truth_s".to_string(), round4(truth)),
         ];
         let mut cells = Vec::new();
         for (ri, rate) in RATES_KBPS.iter().enumerate() {
             let m = measured[wi * RATES_KBPS.len() + ri];
             cells.push(m);
-            let col = format!("{:.3}M", *rate as f64 / 1000.0);
-            pairs.push((Box::leak(col.into_boxed_str()), round4(m)));
+            pairs.push((format!("{:.3}M", *rate as f64 / 1000.0), round4(m)));
         }
         let spread = (cells.iter().cloned().fold(f64::MIN, f64::max)
             - cells.iter().cloned().fold(f64::MAX, f64::min))
             / mean(&cells);
-        pairs.push(("spread_frac", round4(spread)));
+        pairs.push(("spread_frac".to_string(), round4(spread)));
         per_width_means.push(mean(&cells));
-        report.push_row(&pairs);
+        report.push_row_owned(pairs);
     }
     report.note(format!(
         "mean busy time per width: {:.4}/{:.4}/{:.4} s — halving width doubles airtime",

@@ -17,6 +17,7 @@ pub mod fig9;
 pub mod hamming;
 pub mod mos;
 pub mod scan_analysis;
+pub mod sweep;
 pub mod table1;
 
 use rand::SeedableRng;

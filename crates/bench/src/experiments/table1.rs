@@ -94,9 +94,9 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let mut w5_mean = 0.0;
     let mut wide_mean = 0.0;
     for (wi, width) in widths.iter().enumerate() {
-        let mut pairs: Vec<(&str, serde_json::Value)> = Vec::new();
+        let mut pairs: Vec<(String, serde_json::Value)> = Vec::new();
         let label = format!("{}", width.mhz());
-        pairs.push(("width_mhz", json!(label)));
+        pairs.push(("width_mhz".to_string(), json!(label)));
         for (ri, rate) in RATES_KBPS.iter().enumerate() {
             let med = cells[wi * RATES_KBPS.len() + ri];
             min_rate = min_rate.min(med);
@@ -105,10 +105,9 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
             } else {
                 wide_mean += med / (2.0 * RATES_KBPS.len() as f64);
             }
-            let col = format!("{:.3}M", *rate as f64 / 1000.0);
-            pairs.push((Box::leak(col.into_boxed_str()), round4(med)));
+            pairs.push((format!("{:.3}M", *rate as f64 / 1000.0), round4(med)));
         }
-        report.push_row(&pairs);
+        report.push_row_owned(pairs);
     }
     report.note(format!(
         "worst-case median detection rate {:.3} (paper: 0.97; worst loss 2–3%)",

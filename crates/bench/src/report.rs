@@ -44,6 +44,23 @@ impl ExperimentReport {
         self.rows.push(row);
     }
 
+    /// Appends a row from owned `(column, value)` pairs — for columns
+    /// whose labels are built at runtime (rate grids and the like).
+    /// `push_row` needs `&'static str` keys; routing a formatted label
+    /// through `Box::leak` to satisfy that lifetime leaks one allocation
+    /// per row for the rest of the process, which adds up over a long
+    /// `all` run.
+    pub fn push_row_owned(&mut self, pairs: Vec<(String, Value)>) {
+        let mut row = Map::new();
+        for (k, v) in pairs {
+            if !self.columns.contains(&k) {
+                self.columns.push(k.clone());
+            }
+            row.insert(k, v);
+        }
+        self.rows.push(row);
+    }
+
     /// Appends a note.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
@@ -268,6 +285,20 @@ mod tests {
         // JSON round-trips.
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn owned_rows_match_borrowed_rows() {
+        let mut borrowed = ExperimentReport::new("t", "demo", &["a"]);
+        borrowed.push_row(&[("a", json!(1)), ("dyn_col", json!(2.5))]);
+        let mut owned = ExperimentReport::new("t", "demo", &["a"]);
+        owned.push_row_owned(vec![
+            ("a".to_string(), json!(1)),
+            ("dyn_col".to_string(), json!(2.5)),
+        ]);
+        assert_eq!(borrowed.columns, owned.columns);
+        assert_eq!(borrowed.rows, owned.rows);
+        assert_eq!(borrowed.to_json(), owned.to_json());
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Spectral interference graph over static node sites, for pruning
+//! provably non-interacting nodes from fixed-channel runs.
+//!
+//! A directed edge `u → v` means "a transmission by `u` can influence
+//! `v`": their `(F, W)` channels share at least one UHF channel *and*
+//! `v` lies within `u`'s transmission/carrier-sense range. This is the
+//! union of every inter-node coupling in the engine — delivery,
+//! carrier sense, deferral invalidation, and interference all test
+//! channel-span overlap plus the same range predicate (`sim.rs`
+//! `in_range_geom`), so a node with no edge into a set `S` can neither
+//! deliver to, defer, nor corrupt frames at any node of `S`.
+//!
+//! [`influence_closure`] computes which nodes can influence a root set
+//! transitively (reverse reachability): node `u` is kept iff some path
+//! `u → … → r` of influence edges reaches a root `r`. Dropping every
+//! non-kept node from a simulation cannot change what the roots
+//! observe — provided nodes hold their channels and make no draws that
+//! route through other nodes' RNGs, which fixed-mode driver runs
+//! guarantee (scanners disabled, per-node RNG streams; DESIGN.md §9).
+
+use whitefi_spectrum::WfChannel;
+
+/// A node's static spectral/geometric footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSite {
+    /// The `(F, W)` channel the node is tuned to (fixed for the run).
+    pub channel: WfChannel,
+    /// Position in metres.
+    pub pos: (f64, f64),
+    /// Transmission/carrier-sense range in metres.
+    pub range: f64,
+}
+
+impl NodeSite {
+    /// A co-located site with the engine's default geometry (matches
+    /// [`crate::NodeConfig::on_channel`]: pos `(0,0)`, range 1e6 m).
+    pub fn on_channel(channel: WfChannel) -> Self {
+        Self {
+            channel,
+            pos: (0.0, 0.0),
+            range: 1.0e6,
+        }
+    }
+
+    /// Sets the position.
+    pub fn at(mut self, x: f64, y: f64) -> Self {
+        self.pos = (x, y);
+        self
+    }
+
+    /// Sets the range.
+    pub fn with_range(mut self, range: f64) -> Self {
+        self.range = range;
+        self
+    }
+}
+
+/// Can a transmission by `a` influence `b`? Channel spans must overlap
+/// and `b` must be within `a`'s range — the exact float predicate the
+/// engine evaluates (`d².sqrt() <= range`, no algebraic rewrite that
+/// could flip at rounding boundaries).
+pub fn influences(a: &NodeSite, b: &NodeSite) -> bool {
+    if !a.channel.overlaps(b.channel) {
+        return false;
+    }
+    let d2 = (a.pos.0 - b.pos.0).powi(2) + (a.pos.1 - b.pos.1).powi(2);
+    d2.sqrt() <= a.range
+}
+
+/// Reverse reachability to `roots` over the influence graph: `keep[i]`
+/// is true iff node `i` is a root or can influence a kept node —
+/// i.e. there is a directed path of [`influences`] edges from `i` to
+/// some root. Everything with `keep[i] == false` is spectrally sliced
+/// away from the roots and can be omitted from the simulation without
+/// changing anything the roots observe.
+///
+/// O(n²) worklist; sites are static so this runs once per scenario.
+pub fn influence_closure(sites: &[NodeSite], roots: &[usize]) -> Vec<bool> {
+    let mut keep = vec![false; sites.len()];
+    let mut work: Vec<usize> = Vec::with_capacity(sites.len());
+    for &r in roots {
+        assert!(r < sites.len(), "root {r} out of bounds");
+        if !keep[r] {
+            keep[r] = true;
+            work.push(r);
+        }
+    }
+    while let Some(v) = work.pop() {
+        for u in 0..sites.len() {
+            if !keep[u] && influences(&sites[u], &sites[v]) {
+                keep[u] = true;
+                work.push(u);
+            }
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whitefi_spectrum::Width;
+
+    fn ch(center: usize, w: Width) -> WfChannel {
+        WfChannel::from_parts(center, w)
+    }
+
+    #[test]
+    fn disjoint_channels_never_influence() {
+        let a = NodeSite::on_channel(ch(3, Width::W5));
+        let b = NodeSite::on_channel(ch(9, Width::W5));
+        assert!(!influences(&a, &b));
+        assert!(!influences(&b, &a));
+    }
+
+    #[test]
+    fn overlapping_spans_influence_when_in_range() {
+        // A W20 at 10 spans 8..=12; a W5 at 11 sits inside it.
+        let a = NodeSite::on_channel(ch(10, Width::W20));
+        let b = NodeSite::on_channel(ch(11, Width::W5));
+        assert!(influences(&a, &b));
+        assert!(influences(&b, &a));
+    }
+
+    #[test]
+    fn range_is_directional() {
+        let c = ch(5, Width::W5);
+        let near = NodeSite::on_channel(c).with_range(100.0);
+        let far = NodeSite::on_channel(c).at(150.0, 0.0).with_range(1000.0);
+        // far reaches near, near does not reach far.
+        assert!(influences(&far, &near));
+        assert!(!influences(&near, &far));
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        let c = ch(5, Width::W5);
+        let a = NodeSite::on_channel(c).with_range(100.0);
+        let b = NodeSite::on_channel(c).at(100.0, 0.0);
+        assert!(influences(&a, &b), "d == range must count as in range");
+    }
+
+    #[test]
+    fn closure_keeps_transitive_influencers() {
+        let c = ch(5, Width::W5);
+        // Chain: 2 → 1 → 0(root), each hop 100 m with 120 m range, so
+        // 2 cannot reach 0 directly but influences it through 1.
+        let sites = vec![
+            NodeSite::on_channel(c).with_range(120.0),
+            NodeSite::on_channel(c).at(100.0, 0.0).with_range(120.0),
+            NodeSite::on_channel(c).at(200.0, 0.0).with_range(120.0),
+            // 3: same geometry, disjoint channel — pruned.
+            NodeSite::on_channel(ch(20, Width::W5)).with_range(120.0),
+        ];
+        let keep = influence_closure(&sites, &[0]);
+        assert_eq!(keep, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn closure_without_roots_keeps_nothing() {
+        let sites = vec![NodeSite::on_channel(ch(5, Width::W5))];
+        assert_eq!(influence_closure(&sites, &[]), vec![false]);
+    }
+
+    #[test]
+    fn closure_handles_duplicate_roots() {
+        let sites = vec![
+            NodeSite::on_channel(ch(5, Width::W5)),
+            NodeSite::on_channel(ch(5, Width::W5)),
+        ];
+        let keep = influence_closure(&sites, &[0, 0]);
+        assert_eq!(keep, vec![true, true]);
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod analysis;
 pub mod frames;
+pub mod interference;
 pub mod medium;
 pub mod sim;
 pub mod stats;
@@ -42,6 +43,7 @@ pub mod traffic;
 
 pub use analysis::{bianchi_saturation_goodput_mbps, bianchi_tau, single_flow_goodput_mbps};
 pub use frames::{Frame, FrameKind, NodeId};
+pub use interference::{influence_closure, influences, NodeSite};
 pub use medium::{Medium, Transmission};
 pub use sim::{global_event_totals, Behavior, Ctx, EventCounters, NodeConfig, Simulator};
 pub use stats::NodeStats;

@@ -5,6 +5,11 @@
 //!
 //! * Time is integer nanoseconds ([`SimTime`]); events at equal times fire
 //!   in scheduling order, so runs are exactly reproducible under a seed.
+//!   Randomness is per node: every node owns a `ChaCha8Rng` seeded from
+//!   the simulator seed with a distinct stream id (by default its node
+//!   id, overridable via [`NodeConfig::rng_stream`]), so a node's draws
+//!   are a pure function of `(seed, stream, its own draw count)` —
+//!   independent of which other nodes exist (DESIGN.md §9).
 //! * Each node is tuned to one `(F, W)` channel at a time (the prototype
 //!   has a single transceiver; §4, "we design our system … with one
 //!   transceiver and one scanner"). The scanner is modelled by the
@@ -159,6 +164,12 @@ pub struct NodeConfig {
     /// from [`Ctx`] exclude the node's own SSID, because Equation 1's
     /// airtime and AP counts measure *other* networks.
     pub ssid: Option<u32>,
+    /// RNG stream id for this node's private `ChaCha8Rng` (seeded from
+    /// the simulator seed, `set_stream(rng_stream)`). Defaults to the
+    /// node's insertion id. Drivers that prune provably non-interacting
+    /// nodes set it explicitly so surviving nodes keep the stream ids
+    /// they had in the unpruned network (DESIGN.md §9).
+    pub rng_stream: Option<u64>,
 }
 
 impl NodeConfig {
@@ -174,6 +185,7 @@ impl NodeConfig {
             detection_delay: SimDuration::from_millis(50),
             tx_amplitude: 1000.0,
             ssid: None,
+            rng_stream: None,
         }
     }
 
@@ -198,6 +210,12 @@ impl NodeConfig {
     /// Sets the incumbent environment.
     pub fn with_incumbents(mut self, inc: IncumbentSet) -> Self {
         self.incumbents = inc;
+        self
+    }
+
+    /// Pins the node's RNG stream id (defaults to the insertion id).
+    pub fn rng_stream(mut self, stream: u64) -> Self {
+        self.rng_stream = Some(stream);
         self
     }
 }
@@ -282,6 +300,11 @@ struct Node {
     ack_slot: Option<TimerKey>,
     /// This node's `AckTimeout` keys currently in the heap.
     ack_stack: Vec<(SimTime, u64)>,
+    /// The node's private deterministic RNG: `ChaCha8Rng` seeded from
+    /// the simulator seed on this node's stream. Backoff draws and
+    /// behaviour draws ([`Ctx::rng`]) both come from here, so a node's
+    /// draw sequence is independent of every other node's.
+    rng: ChaCha8Rng,
 }
 
 /// Key of a lazily cancelled per-node timer: the eagerly assigned heap
@@ -344,7 +367,9 @@ pub struct Core {
     nodes: Vec<Node>,
     /// The shared medium (public for scanner-style queries).
     pub medium: Medium,
-    rng: ChaCha8Rng,
+    /// Master seed; each node derives its own `ChaCha8Rng` from it on a
+    /// distinct stream (see [`NodeConfig::rng_stream`]).
+    seed: u64,
     params: MacParams,
     counters: EventCounters,
     /// `reach[i]` is a bitset over node ids: bit `j` set iff node `i`'s
@@ -586,9 +611,10 @@ impl Core {
         }
         let slots = {
             let node = &mut self.nodes[n];
-            node.slots_left
-                .take()
-                .unwrap_or_else(|| self.rng.gen_range(0..node.cw) as u64)
+            match node.slots_left.take() {
+                Some(s) => s,
+                None => node.rng.gen_range(0..node.cw) as u64,
+            }
         };
         let node = &mut self.nodes[n];
         node.gen += 1;
@@ -796,9 +822,11 @@ impl Ctx<'_> {
         self.core.medium.visible_bursts(from, self.core.now)
     }
 
-    /// Deterministic per-simulation RNG.
+    /// This node's private deterministic RNG stream. Draws here advance
+    /// only this node's sequence — never another node's — so adding or
+    /// removing unrelated nodes cannot shift the values a behaviour sees.
     pub fn rng(&mut self) -> &mut ChaCha8Rng {
-        &mut self.core.rng
+        &mut self.core.nodes[self.node].rng
     }
 }
 
@@ -818,7 +846,7 @@ impl Simulator {
                 queue: BinaryHeap::new(),
                 nodes: Vec::new(),
                 medium: Medium::new(),
-                rng: ChaCha8Rng::seed_from_u64(seed),
+                seed,
                 params: MacParams::default(),
                 counters: EventCounters::default(),
                 reach: Vec::new(),
@@ -846,6 +874,8 @@ impl Simulator {
             .map_at(self.core.now.as_nanos(), SCANNER_SENSITIVITY_DBM);
         let first_change = cfg.incumbents.next_change(self.core.now.as_nanos());
         let detection_delay = cfg.detection_delay;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.core.seed);
+        rng.set_stream(cfg.rng_stream.unwrap_or(id as u64));
         self.core.nodes.push(Node {
             channel: cfg.channel,
             cw: self.core.params.cw_min,
@@ -866,6 +896,7 @@ impl Simulator {
             tent_stack: Vec::new(),
             ack_slot: None,
             ack_stack: Vec::new(),
+            rng,
         });
         self.core.register_node(id);
         self.behaviors.push(Some(behavior));

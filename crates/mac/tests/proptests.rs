@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use whitefi_mac::traffic::Sink;
-use whitefi_mac::{CbrSender, NodeConfig, SaturatingSender, Simulator};
+use whitefi_mac::{
+    influence_closure, influences, CbrSender, NodeConfig, NodeSite, SaturatingSender, Simulator,
+};
 use whitefi_phy::{SimDuration, SimTime};
 use whitefi_spectrum::{UhfChannel, WfChannel, Width};
 
@@ -128,6 +130,63 @@ proptest! {
         for n in 0..sim.node_count() {
             prop_assert_eq!(sim.stats(n).incumbent_violations, 0);
         }
+    }
+
+    /// Pruning soundness: the interference graph's reverse-reachability
+    /// closure agrees with a brute-force "could node `u` ever interact
+    /// with the root set?" check over random channels, positions, and
+    /// ranges. Brute force builds the full edge matrix from first
+    /// principles (spanned UHF index sets intersect AND the engine's
+    /// range predicate) and saturates reachability by fixpoint.
+    #[test]
+    fn influence_closure_matches_bruteforce(
+        nodes in prop::collection::vec(
+            (arb_width(), 0usize..30,
+             -500.0f64..500.0, -500.0f64..500.0, 10.0f64..800.0),
+            1..24,
+        ),
+        n_roots in 1usize..5,
+    ) {
+        let sites: Vec<NodeSite> = nodes
+            .iter()
+            .map(|&(w, center, x, y, range)| {
+                NodeSite::on_channel(channel_for(center, w)).at(x, y).with_range(range)
+            })
+            .collect();
+        let roots: Vec<usize> = (0..n_roots.min(sites.len())).collect();
+
+        // Brute-force edge matrix.
+        let n = sites.len();
+        let edge = |u: usize, v: usize| -> bool {
+            let su: Vec<usize> = sites[u].channel.spanned().map(|c| c.index()).collect();
+            let overlap = sites[v].channel.spanned().any(|c| su.contains(&c.index()));
+            let dx = sites[u].pos.0 - sites[v].pos.0;
+            let dy = sites[u].pos.1 - sites[v].pos.1;
+            overlap && (dx * dx + dy * dy).sqrt() <= sites[u].range
+        };
+        // `influences` is exactly that edge relation.
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(
+                    influences(&sites[u], &sites[v]), edge(u, v),
+                    "edge predicate mismatch at ({}, {})", u, v
+                );
+            }
+        }
+        // Fixpoint reverse reachability.
+        let mut brute = vec![false; n];
+        for &r in &roots { brute[r] = true; }
+        loop {
+            let mut changed = false;
+            for u in 0..n {
+                if !brute[u] && (0..n).any(|v| brute[v] && edge(u, v)) {
+                    brute[u] = true;
+                    changed = true;
+                }
+            }
+            if !changed { break; }
+        }
+        prop_assert_eq!(influence_closure(&sites, &roots), brute);
     }
 
     /// The precomputed reachability bitsets agree with the brute-force

@@ -406,8 +406,9 @@ impl Behavior for ApBehavior {
         }
         // Random phase: co-located APs must not re-evaluate in lockstep,
         // or they herd onto the same channels forever. The REASSESS timer
-        // (and its jitter draw) stays armed even in fixed mode: its RNG
-        // draws are part of the shared seeded stream.
+        // (and its jitter draw) stays armed even in fixed mode; the draw
+        // comes from this node's private RNG stream, so it cannot shift
+        // any other node's random sequence (DESIGN.md §9).
         let jitter = SimDuration::from_nanos(rand::Rng::gen_range(
             ctx.rng(),
             0..self.cfg.reassess_interval.as_nanos().max(1),

@@ -10,19 +10,29 @@
 //!
 //! * [`run_whitefi`] — the adaptive WhiteFi network;
 //! * [`run_fixed`] — the same network pinned to one channel (used for the
-//!   OPT-5/10/20 MHz static baselines and the omniscient OPT);
+//!   OPT-5/10/20 MHz static baselines and the omniscient OPT), with
+//!   background pairs that provably cannot interact with the foreground
+//!   spectrally sliced out of the simulation (DESIGN.md §9);
 //! * [`StaticBaselines::measure`] — sweeps every admissible channel to
 //!   produce all four baselines of Figures 11–13;
 //! * [`measure_airtime`] — a background-only run that yields the airtime
 //!   vector a WhiteFi scanner would measure (the Figure 10
 //!   microbenchmark's MCham input).
+//!
+//! Every node gets an explicit RNG stream id derived from its *role*
+//! (AP, i-th client, k-th background pair), not its insertion order, so
+//! a pruned build draws exactly the random sequences the unpruned build
+//! would — the foundation of the pruned == unpruned equality contract.
 
 use crate::ap::{ApBehavior, ApConfig};
 use crate::client::{ClientBehavior, ClientConfig};
 use crate::mcham::NodeReport;
 use serde::{Deserialize, Serialize};
 use whitefi_mac::traffic::Sink;
-use whitefi_mac::{CbrSender, MarkovOnOffSender, NodeConfig, NodeId, ScriptedCbrSender, Simulator};
+use whitefi_mac::{
+    influence_closure, CbrSender, MarkovOnOffSender, NodeConfig, NodeId, NodeSite,
+    ScriptedCbrSender, Simulator,
+};
 use whitefi_phy::{SimDuration, SimTime};
 use whitefi_spectrum::{
     AirtimeVector, ChannelLoad, IncumbentSet, SpectrumMap, TvStation, UhfChannel, WfChannel, Width,
@@ -141,8 +151,10 @@ pub struct Sample {
     pub bytes_delta: u64,
 }
 
-/// Measured outcome of a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Measured outcome of a run. `PartialEq` is exact (bit-level float
+/// equality) on purpose: the pruning differential tests assert pruned
+/// and unpruned fixed runs agree *exactly*, not approximately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioOutcome {
     /// Per-client goodput (downlink received + uplink acknowledged) in
     /// Mbps over the measurement window.
@@ -172,7 +184,17 @@ struct BuiltNetwork {
     clients: Vec<NodeId>,
 }
 
-fn build(scenario: &Scenario, initial: WfChannel, adaptive: bool) -> BuiltNetwork {
+/// Builds the network. `keep_background` (`None` = keep all) is a mask
+/// over the scenario's background pairs; skipped pairs are not added to
+/// the simulation at all. RNG stream ids are assigned by role — AP `0`,
+/// client `i` `1 + i`, pair `k` `FG + 2k` (rx) / `FG + 2k + 1` (tx)
+/// with `FG = 1 + n_clients` — so they are invariant under pruning.
+fn build(
+    scenario: &Scenario,
+    initial: WfChannel,
+    adaptive: bool,
+    keep_background: Option<&[bool]>,
+) -> BuiltNetwork {
     let mut sim = Simulator::new(scenario.seed);
     if !adaptive {
         // Fixed-channel runs issue no scanner queries (SCAN/BACKUP_SCAN
@@ -191,6 +213,7 @@ fn build(scenario: &Scenario, initial: WfChannel, adaptive: bool) -> BuiltNetwor
     let ap_node_cfg = NodeConfig::on_channel(initial)
         .ap()
         .in_ssid(1)
+        .rng_stream(0)
         .with_incumbents(Scenario::incumbents_for(
             scenario.ap_map,
             scenario.ap_extra_incumbents.as_ref(),
@@ -205,6 +228,7 @@ fn build(scenario: &Scenario, initial: WfChannel, adaptive: bool) -> BuiltNetwor
             .and_then(|o| o.as_ref());
         let node_cfg = NodeConfig::on_channel(initial)
             .in_ssid(1)
+            .rng_stream(1 + i as u64)
             .with_incumbents(Scenario::incumbents_for(map, extra));
         let mut ccfg = ClientConfig::new(ap, (i % 16) as u8);
         if let Some(bytes) = scenario.uplink_bytes {
@@ -221,10 +245,18 @@ fn build(scenario: &Scenario, initial: WfChannel, adaptive: bool) -> BuiltNetwor
         clients.push(id);
     }
 
-    for pair in &scenario.background {
-        let rx_cfg = NodeConfig::on_channel(pair.channel);
+    let fg = 1 + scenario.client_maps.len() as u64;
+    for (k, pair) in scenario.background.iter().enumerate() {
+        if let Some(mask) = keep_background {
+            if !mask[k] {
+                continue;
+            }
+        }
+        let rx_cfg = NodeConfig::on_channel(pair.channel).rng_stream(fg + 2 * k as u64);
         let rx = sim.add_node(rx_cfg, Box::new(Sink));
-        let tx_cfg = NodeConfig::on_channel(pair.channel).ap();
+        let tx_cfg = NodeConfig::on_channel(pair.channel)
+            .ap()
+            .rng_stream(fg + 2 * k as u64 + 1);
         match &pair.traffic {
             BackgroundTraffic::Cbr { interval } => {
                 sim.add_node(tx_cfg, Box::new(CbrSender::new(rx, *interval)));
@@ -320,14 +352,48 @@ pub fn run_whitefi(scenario: &Scenario, initial: Option<WfChannel>) -> ScenarioO
             .map(|(c, _)| c)
         })
         .expect("scenario has no admissible channel");
-    let mut net = build(scenario, initial, true);
+    let mut net = build(scenario, initial, true, None);
     measure(scenario, &mut net)
 }
 
+/// The spectral keep-mask for a fixed run on `channel`: pair `k` is kept
+/// iff its nodes can (transitively) influence the foreground AP/clients
+/// through channel-span overlap × range — see [`whitefi_mac::interference`].
+/// Sites mirror `build` exactly: every driver node uses the default
+/// co-located geometry, the foreground on the candidate channel, each
+/// pair on its own channel.
+fn fixed_keep_mask(scenario: &Scenario, channel: WfChannel) -> Vec<bool> {
+    let fg = 1 + scenario.client_maps.len();
+    let mut sites: Vec<NodeSite> = Vec::with_capacity(fg + 2 * scenario.background.len());
+    sites.resize(fg, NodeSite::on_channel(channel));
+    for pair in &scenario.background {
+        sites.push(NodeSite::on_channel(pair.channel)); // rx
+        sites.push(NodeSite::on_channel(pair.channel)); // tx
+    }
+    let roots: Vec<usize> = (0..fg).collect();
+    let keep = influence_closure(&sites, &roots);
+    (0..scenario.background.len())
+        .map(|k| keep[fg + 2 * k] || keep[fg + 2 * k + 1])
+        .collect()
+}
+
 /// Runs the network pinned to `channel` (no adaptation, no disconnection
-/// protocol) — the building block of the static baselines.
+/// protocol) — the building block of the static baselines. Background
+/// pairs that provably cannot deliver to, defer, or interfere with the
+/// foreground on `channel` are pruned from the simulation; the outcome
+/// is exactly equal to [`run_fixed_unpruned`] (the pruning differential
+/// tests enforce this, DESIGN.md §9 states why it holds).
 pub fn run_fixed(scenario: &Scenario, channel: WfChannel) -> ScenarioOutcome {
-    let mut net = build(scenario, channel, false);
+    let keep = fixed_keep_mask(scenario, channel);
+    let mut net = build(scenario, channel, false, Some(&keep));
+    measure(scenario, &mut net)
+}
+
+/// [`run_fixed`] without the spectral slicing: every background pair is
+/// simulated. Reference implementation for the differential tests and
+/// the `fixed_run_pruned_vs_full` bench.
+pub fn run_fixed_unpruned(scenario: &Scenario, channel: WfChannel) -> ScenarioOutcome {
+    let mut net = build(scenario, channel, false, None);
     measure(scenario, &mut net)
 }
 
@@ -345,29 +411,58 @@ pub struct StaticBaselines {
 }
 
 impl StaticBaselines {
-    /// Sweeps every admissible channel of the combined map, running the
-    /// fixed-channel network on each, and records the best aggregate
-    /// goodput per width. "OPT is an ideal, omniscient algorithm that for
-    /// every experiment run picks the channel with maximum throughput."
-    pub fn measure(scenario: &Scenario) -> Self {
-        let mut best = [0f64; 3];
-        for cand in scenario.combined_map().available_channels() {
-            let out = run_fixed(scenario, cand);
+    /// The candidate channels a [`StaticBaselines::measure`] sweep runs
+    /// over: every admissible channel of the scenario's combined map.
+    /// Exposed so experiment harnesses can fan the independent
+    /// [`run_fixed`] calls across a worker pool and reduce with
+    /// [`StaticBaselines::from_runs`].
+    pub fn candidates(scenario: &Scenario) -> Vec<WfChannel> {
+        scenario.combined_map().available_channels()
+    }
+
+    /// Reduces `(candidate, aggregate goodput)` pairs to the four
+    /// baselines. The reduction is order-independent: a candidate wins
+    /// its width slot on strictly higher goodput, and exact goodput ties
+    /// break toward the lower channel position — so any enumeration
+    /// order (or parallel completion order) of the same pairs yields the
+    /// same result.
+    pub fn from_runs(runs: impl IntoIterator<Item = (WfChannel, f64)>) -> Self {
+        let mut best: [Option<(WfChannel, f64)>; 3] = [None; 3];
+        for (cand, mbps) in runs {
             let slot = match cand.width() {
                 Width::W5 => 0,
                 Width::W10 => 1,
                 Width::W20 => 2,
             };
-            if out.aggregate_mbps > best[slot] {
-                best[slot] = out.aggregate_mbps;
+            let wins = match best[slot] {
+                None => true,
+                Some((incumbent, b)) => {
+                    mbps > b || (mbps == b && cand.low_index() < incumbent.low_index())
+                }
+            };
+            if wins {
+                best[slot] = Some((cand, mbps));
             }
         }
+        let val = |s: usize| best[s].map(|(_, m)| m).unwrap_or(0.0);
         Self {
-            opt5: best[0],
-            opt10: best[1],
-            opt20: best[2],
-            opt: best[0].max(best[1]).max(best[2]),
+            opt5: val(0),
+            opt10: val(1),
+            opt20: val(2),
+            opt: val(0).max(val(1)).max(val(2)),
         }
+    }
+
+    /// Sweeps every admissible channel of the combined map, running the
+    /// fixed-channel network on each, and records the best aggregate
+    /// goodput per width. "OPT is an ideal, omniscient algorithm that for
+    /// every experiment run picks the channel with maximum throughput."
+    pub fn measure(scenario: &Scenario) -> Self {
+        Self::from_runs(
+            Self::candidates(scenario)
+                .into_iter()
+                .map(|cand| (cand, run_fixed(scenario, cand).aggregate_mbps)),
+        )
     }
 }
 
@@ -474,6 +569,97 @@ mod tests {
         assert!(busy > 0.2, "busy {busy}");
         assert_eq!(air.load(UhfChannel::from_index(7)).aps, 1);
         assert_eq!(air.load(UhfChannel::from_index(20)).busy, 0.0);
+    }
+
+    /// A small scenario with background pairs spread across the band so
+    /// a narrow candidate prunes most of them.
+    fn pruned_scenario(seed: u64) -> Scenario {
+        let mut s = quick(Scenario::new(seed, SpectrumMap::all_free(), 2));
+        for (c, w) in [
+            (3usize, Width::W5),
+            (7, Width::W5),
+            (12, Width::W10),
+            (20, Width::W20),
+            (26, Width::W5),
+        ] {
+            s.background.push(BackgroundPair {
+                channel: WfChannel::from_parts(c, w),
+                traffic: BackgroundTraffic::Cbr {
+                    interval: SimDuration::from_millis(8),
+                },
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn pruned_fixed_run_equals_unpruned() {
+        for seed in [11u64, 12] {
+            let s = pruned_scenario(seed);
+            for cand in [
+                WfChannel::from_parts(3, Width::W5),   // shares a pair's channel
+                WfChannel::from_parts(15, Width::W5),  // interacts with nothing
+                WfChannel::from_parts(12, Width::W20), // spans several pairs
+            ] {
+                let keep = fixed_keep_mask(&s, cand);
+                assert!(
+                    keep.iter().any(|k| !k),
+                    "candidate {cand} prunes nothing — test exercises no slicing"
+                );
+                let pruned = run_fixed(&s, cand);
+                let full = run_fixed_unpruned(&s, cand);
+                assert_eq!(pruned, full, "seed {seed} candidate {cand}");
+            }
+        }
+    }
+
+    #[test]
+    fn keep_mask_spans_overlapping_pairs_only() {
+        let s = pruned_scenario(1);
+        // W5 at 3: only the pair on channel 3 overlaps.
+        assert_eq!(
+            fixed_keep_mask(&s, WfChannel::from_parts(3, Width::W5)),
+            vec![true, false, false, false, false]
+        );
+        // W20 at 12 spans 10..=14: pairs on 12 (W10: 11..=13) and
+        // 20 (W20: 18..=22) — only the first overlaps.
+        assert_eq!(
+            fixed_keep_mask(&s, WfChannel::from_parts(12, Width::W20)),
+            vec![false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn baselines_invariant_under_candidate_order() {
+        let s = pruned_scenario(21);
+        let runs: Vec<(WfChannel, f64)> = StaticBaselines::candidates(&s)
+            .into_iter()
+            .map(|cand| (cand, run_fixed(&s, cand).aggregate_mbps))
+            .collect();
+        let forward = StaticBaselines::from_runs(runs.iter().copied());
+        let reversed = StaticBaselines::from_runs(runs.iter().rev().copied());
+        assert_eq!(forward, reversed);
+        // Interleaved order (odd indexes first) for good measure.
+        let interleaved = StaticBaselines::from_runs(
+            runs.iter()
+                .skip(1)
+                .step_by(2)
+                .chain(runs.iter().step_by(2))
+                .copied(),
+        );
+        assert_eq!(forward, interleaved);
+        // And the sequential `measure` agrees with the reduction.
+        assert_eq!(forward, StaticBaselines::measure(&s));
+    }
+
+    #[test]
+    fn from_runs_breaks_exact_ties_toward_lower_channel() {
+        let a = WfChannel::from_parts(5, Width::W5);
+        let b = WfChannel::from_parts(9, Width::W5);
+        let fwd = StaticBaselines::from_runs([(a, 1.5), (b, 1.5)]);
+        let rev = StaticBaselines::from_runs([(b, 1.5), (a, 1.5)]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.opt5, 1.5);
     }
 
     #[test]

@@ -2,30 +2,41 @@
 # Compares two experiment-runner summaries (results/BENCH_experiments.json
 # from two runs) and flags wall-time regressions.
 #
-#   scripts/bench_compare.sh BASELINE.json CANDIDATE.json [--threshold PCT]
+#   scripts/bench_compare.sh BASELINE.json CANDIDATE.json \
+#       [--threshold PCT] [--min-seconds S]
 #
 # Exits 1 if any experiment present in both runs regressed by more than
 # the threshold (default 20%). Experiments present in only one run are
-# reported but do not fail the comparison.
+# reported but do not fail the comparison, and neither do experiments
+# where both runs finished under the minimum-seconds floor (default
+# 1.0 s — sub-second quick-mode cells are dominated by scheduler noise,
+# so a percentage gate on them would flap).
 set -euo pipefail
 
 if [ "$#" -lt 2 ]; then
-    echo "usage: $0 BASELINE.json CANDIDATE.json [--threshold PCT]" >&2
+    echo "usage: $0 BASELINE.json CANDIDATE.json [--threshold PCT] [--min-seconds S]" >&2
     exit 2
 fi
 
 BASE="$1"
 CAND="$2"
+shift 2
 THRESHOLD=20
-if [ "${3:-}" = "--threshold" ]; then
-    THRESHOLD="${4:?--threshold requires a value}"
-fi
+MIN_SECONDS=1.0
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+        --threshold) THRESHOLD="${2:?--threshold requires a value}"; shift 2 ;;
+        --min-seconds) MIN_SECONDS="${2:?--min-seconds requires a value}"; shift 2 ;;
+        *) echo "unknown option: $1" >&2; exit 2 ;;
+    esac
+done
 
-python3 - "$BASE" "$CAND" "$THRESHOLD" <<'PY'
+python3 - "$BASE" "$CAND" "$THRESHOLD" "$MIN_SECONDS" <<'PY'
 import json
 import sys
 
 base_path, cand_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+min_seconds = float(sys.argv[4])
 
 def load(path):
     with open(path) as f:
@@ -53,8 +64,11 @@ for exp_id in base:
     delta = (c - b) / b * 100.0 if b > 0 else 0.0
     flag = ""
     if delta > threshold:
-        flag = "  <-- REGRESSION"
-        regressions.append((exp_id, b, c, delta))
+        if b < min_seconds and c < min_seconds:
+            flag = "  (below floor, ignored)"
+        else:
+            flag = "  <-- REGRESSION"
+            regressions.append((exp_id, b, c, delta))
     print(f"{exp_id:14} {b:>10.3f} {c:>10.3f} {delta:>+7.1f}%{flag}")
 for exp_id in cand:
     if exp_id not in base:

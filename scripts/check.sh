@@ -9,3 +9,24 @@ cargo build --workspace --release
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo run --release -p whitefi-bench --bin experiments -- all --quick --jobs 1
+
+# Wall-time regression gate: compare the sweep just run against the
+# committed baseline snapshot (>20% per-experiment regressions fail;
+# sub-second cells are noise-floored inside bench_compare.sh). The
+# comparison is skipped when no baseline is committed, or when the
+# baseline was recorded from a full (non-quick) run and is therefore
+# not comparable to the quick sweep above — refresh it on this machine
+# with:  cargo run --release -p whitefi-bench --bin experiments -- \
+#            all --quick --jobs 1 && \
+#        cp results/BENCH_experiments.json results/BENCH_baseline.json
+if [ -f results/BENCH_baseline.json ] && [ -f results/BENCH_experiments.json ]; then
+    base_quick=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get("quick"))' results/BENCH_baseline.json)
+    cand_quick=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get("quick"))' results/BENCH_experiments.json)
+    if [ "$base_quick" = "$cand_quick" ]; then
+        scripts/bench_compare.sh results/BENCH_baseline.json results/BENCH_experiments.json --threshold 20
+    else
+        echo "bench_compare: baseline quick=$base_quick vs candidate quick=$cand_quick — skipping wall-time gate (refresh the baseline to enable it)"
+    fi
+else
+    echo "bench_compare: results/BENCH_baseline.json not found — skipping wall-time gate"
+fi
