@@ -21,6 +21,7 @@ use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+use whitefi::{global_oracle_totals, OracleTotals};
 use whitefi_bench::{registry, ExperimentReport, RunCtx};
 use whitefi_mac::{global_event_totals, EventCounters};
 
@@ -140,6 +141,9 @@ struct Finished {
     /// ran (delta of the process-wide totals). Exact when experiments
     /// run one at a time; approximate attribution when they overlap.
     events: EventCounters,
+    /// Invariant-oracle totals accumulated while this experiment ran
+    /// (same delta-of-process-wide-totals attribution as `events`).
+    oracles: OracleTotals,
 }
 
 fn main() {
@@ -188,6 +192,7 @@ fn main() {
             .map(|&(id, _desc, runner)| {
                 let ctx = RunCtx::new(opts.quick, opts.jobs, opts.seed);
                 let before = global_event_totals();
+                let oracles_before = global_oracle_totals();
                 let start = Instant::now();
                 let report = runner(&ctx);
                 Finished {
@@ -197,6 +202,7 @@ fn main() {
                     trials: ctx.trials_run(),
                     jobs: ctx.jobs(),
                     events: global_event_totals().delta_since(before),
+                    oracles: global_oracle_totals().delta_since(oracles_before),
                 }
             })
             .collect()
@@ -213,6 +219,7 @@ fn main() {
                     let (id, _desc, runner) = entries[k];
                     let ctx = RunCtx::new(opts.quick, inner, opts.seed);
                     let before = global_event_totals();
+                    let oracles_before = global_oracle_totals();
                     let start = Instant::now();
                     let report = runner(&ctx);
                     done.lock().push((
@@ -224,6 +231,7 @@ fn main() {
                             trials: ctx.trials_run(),
                             jobs: ctx.jobs(),
                             events: global_event_totals().delta_since(before),
+                            oracles: global_oracle_totals().delta_since(oracles_before),
                         },
                     ));
                 });
@@ -255,6 +263,21 @@ fn main() {
         }
     }
 
+    // Invariant gate: adaptive (WhiteFi-mode) runs must never violate an
+    // oracle on the seed scenarios. Fixed-baseline violations are the
+    // paper's motivating failure (a static channel cannot vacate for an
+    // incumbent) and are reported but do not fail the run.
+    let adaptive_violations: u64 = finished.iter().map(|f| f.oracles.adaptive_violations).sum();
+    if adaptive_violations > 0 {
+        for f in finished.iter().filter(|f| f.oracles.adaptive_violations > 0) {
+            eprintln!(
+                "error: {} adaptive oracle violation(s) during {}",
+                f.oracles.adaptive_violations, f.id
+            );
+        }
+        failed = true;
+    }
+
     // Run summary for perf tracking (wall time per experiment, trial
     // counts, effective job counts).
     let summary = serde_json::to_string_pretty(&serde_json::json!({
@@ -279,6 +302,12 @@ fn main() {
                 "stale_tentative": f.events.stale_tentative,
                 "stale_ack_timeout": f.events.stale_ack_timeout,
                 "lazy_elided": f.events.lazy_elided,
+            },
+            "oracle": {
+                "adaptive_violations": f.oracles.adaptive_violations,
+                "fixed_violations": f.oracles.fixed_violations,
+                "explained_liveness": f.oracles.explained_liveness,
+                "reports": f.oracles.reports,
             },
             "events_per_sec": if f.wall_s > 0.0 {
                 (f.events.handled as f64 / f.wall_s).round()

@@ -1,0 +1,151 @@
+//! The full-width fault-injection sweep: 256 randomized `FaultPlan`s
+//! fanned over the `RunCtx` worker pool (DESIGN.md §10).
+//!
+//! `#[ignore]`d because a full sweep takes minutes; `scripts/check.sh`
+//! runs it in the `--ignored` lane. The bounded everyday subset lives
+//! in `crates/whitefi/tests/sim_torture.rs` and shares the same case
+//! generator shape (a case is a pure function of its index).
+
+use whitefi_bench::RunCtx;
+use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
+use whitefi_mac::FaultPlan;
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_spectrum::{
+    IncumbentSet, MicActivity, MicSchedule, SpectrumMap, UhfChannel, WfChannel, Width, WirelessMic,
+};
+
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fragmented_map() -> SpectrumMap {
+    let free = [5usize, 6, 7, 8, 9, 12, 13, 14, 17, 26];
+    let mut map = SpectrumMap::all_free();
+    for i in 0..whitefi_spectrum::NUM_UHF_CHANNELS {
+        if !free.contains(&i) {
+            map.set_occupied(UhfChannel::from_index(i));
+        }
+    }
+    map
+}
+
+fn mic_on(channel: UhfChannel, on: SimTime, off: SimTime) -> WirelessMic {
+    WirelessMic::new(
+        channel,
+        MicSchedule::scripted(vec![MicActivity {
+            start: on.as_nanos(),
+            end: off.as_nanos(),
+        }]),
+    )
+}
+
+/// Same generator shape as the whitefi-crate suite, seeded from a
+/// different salt so the two suites explore disjoint plans.
+fn torture_scenario(case: u64) -> (Scenario, WfChannel) {
+    let mut mix = Mix(0x7057_0002 ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    let map = fragmented_map();
+    let n_clients = 1 + mix.below(2) as usize;
+    let mut s = Scenario::new(2000 + case, map, n_clients);
+    s.warmup = SimDuration::from_secs(1);
+    s.duration = SimDuration::from_secs(4);
+
+    let initial = WfChannel::from_parts(7, Width::W20);
+    let strike_at = SimTime::ZERO + SimDuration::from_millis(500 + mix.below(2_500));
+    let strike_len = SimDuration::from_millis(500 + mix.below(1_500));
+    let struck = UhfChannel::from_index(5 + mix.below(5) as usize);
+    let mut incumbents = IncumbentSet::default();
+    incumbents
+        .mics
+        .push(mic_on(struck, strike_at, strike_at + strike_len));
+    if mix.below(2) == 0 {
+        if let Some(backup) = whitefi::choose_backup(s.combined_map(), Some(initial)) {
+            let second_at = strike_at + SimDuration::from_millis(50 + mix.below(400));
+            incumbents.mics.push(mic_on(
+                backup.center(),
+                second_at,
+                second_at + strike_len,
+            ));
+        }
+    }
+    s.ap_extra_incumbents = Some(incumbents.clone());
+    s.client_extra_incumbents = vec![Some(incumbents); n_clients];
+
+    if mix.below(2) == 0 {
+        s.background.push(BackgroundPair {
+            channel: WfChannel::from_parts(13, Width::W5),
+            traffic: BackgroundTraffic::Cbr {
+                interval: SimDuration::from_millis(5 + mix.below(10)),
+            },
+        });
+    }
+
+    s.faults = Some(FaultPlan {
+        seed: mix.next(),
+        drop_prob: mix.unit() * 0.25,
+        dup_prob: mix.unit() * 0.2,
+        delay_prob: mix.unit() * 0.2,
+        max_delay: SimDuration::from_millis(1 + mix.below(4)),
+        max_detection_extra: SimDuration::from_millis(mix.below(100)),
+        history_skew: (mix.below(4) == 0).then(|| SimDuration::from_secs(1 + mix.below(5))),
+    });
+    (s, initial)
+}
+
+/// ≥ 256 randomized fault plans, fanned across the worker pool, all
+/// invariant-clean. Run with `cargo test -p bench -- --ignored`.
+#[test]
+#[ignore = "full 256-plan sweep; run via scripts/check.sh or -- --ignored"]
+fn full_torture_sweep_is_invariant_clean() {
+    let ctx = RunCtx::new(true, std::thread::available_parallelism().map_or(4, |n| n.get()), 0);
+    let failures: Vec<String> = ctx
+        .map(256, |case| {
+            let (s, initial) = torture_scenario(case as u64);
+            let out = run_whitefi(&s, Some(initial));
+            if out.violations != 0 {
+                return Some(format!("case {case}: engine compliance meter tripped"));
+            }
+            if !out.oracle.clean() {
+                return Some(format!(
+                    "case {case} (plan {:?}): {:?}",
+                    s.faults, out.oracle.violations
+                ));
+            }
+            None
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "{failures:#?}");
+}
+
+/// Fan-out determinism: the pool's completion order must not leak into
+/// results — a re-run of the same sweep slice yields identical reports.
+#[test]
+#[ignore = "full-sweep companion; run via scripts/check.sh or -- --ignored"]
+fn torture_sweep_is_order_independent() {
+    let run = |jobs: usize| {
+        let ctx = RunCtx::new(true, jobs, 0);
+        ctx.map(16, |case| {
+            let (s, initial) = torture_scenario(case as u64);
+            let out = run_whitefi(&s, Some(initial));
+            (out.oracle.trace_digest, out.oracle.violations.len())
+        })
+    };
+    assert_eq!(run(1), run(4));
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod faults;
 pub mod frames;
 pub mod interference;
 pub mod medium;
@@ -42,10 +43,13 @@ pub mod trace;
 pub mod traffic;
 
 pub use analysis::{bianchi_saturation_goodput_mbps, bianchi_tau, single_flow_goodput_mbps};
+pub use faults::{FaultDecision, FaultEvent, FaultEventKind, FaultPlan, FaultStats};
 pub use frames::{Frame, FrameKind, NodeId};
 pub use interference::{influence_closure, influences, NodeSite};
 pub use medium::{Medium, Transmission};
-pub use sim::{global_event_totals, Behavior, Ctx, EventCounters, NodeConfig, Simulator};
+pub use sim::{
+    global_event_totals, Behavior, Ctx, EventCounters, NodeConfig, SimObserver, Simulator,
+};
 pub use stats::NodeStats;
 pub use trace::{export as export_trace, export_recent, render_tcpdump, TraceRecord};
 pub use traffic::{CbrSender, MarkovOnOffSender, SaturatingSender, ScriptedCbrSender};

@@ -774,4 +774,136 @@ mod tests {
     fn empty_window_panics() {
         Medium::new().airtime_in_window(UhfChannel::from_index(0), SimTime::ZERO, SimTime::ZERO);
     }
+
+    /// Exact boundary semantics of [`Transmission::overlaps_window`]:
+    /// both the transmission and the window are half-open, so touching
+    /// endpoints do not overlap, and a zero-length window acts as a
+    /// point probe for "strictly inside (start, end)".
+    #[test]
+    fn overlaps_window_exact_boundaries() {
+        let mut m = Medium::new();
+        let c = ch(5, Width::W5);
+        let id = m.start(
+            0,
+            false,
+            None,
+            c,
+            SimTime::from_micros(10),
+            SimTime::from_micros(20),
+            frame(),
+            1000.0,
+        );
+        m.finish(id, SimTime::from_micros(20));
+        let t = m.visible_window_transmissions(SimTime::ZERO, SimTime::from_micros(100))[0];
+        // Windows touching either endpoint exactly: no overlap.
+        assert!(!t.overlaps_window(SimTime::ZERO, SimTime::from_micros(10)));
+        assert!(!t.overlaps_window(SimTime::from_micros(20), SimTime::from_micros(30)));
+        // One nanosecond past the touch point: overlap.
+        assert!(t.overlaps_window(SimTime::ZERO, SimTime::from_nanos(10_001)));
+        assert!(t.overlaps_window(SimTime::from_nanos(19_999), SimTime::from_micros(30)));
+        // Zero-length probes: false at both endpoints, true strictly
+        // inside.
+        assert!(!t.overlaps_window(SimTime::from_micros(10), SimTime::from_micros(10)));
+        assert!(!t.overlaps_window(SimTime::from_micros(20), SimTime::from_micros(20)));
+        assert!(t.overlaps_window(SimTime::from_micros(15), SimTime::from_micros(15)));
+    }
+
+    /// Back-to-back transmissions (one ending exactly when the next
+    /// starts) leave no gap and no double-count in the busy accounting,
+    /// and a window clipped exactly to a transmission reports 1.0.
+    #[test]
+    fn touching_transmissions_accounting_is_exact() {
+        let mut m = Medium::new();
+        let c = ch(5, Width::W5);
+        let u = UhfChannel::from_index(5);
+        let a = m.start(
+            0,
+            false,
+            None,
+            c,
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+            frame(),
+            1000.0,
+        );
+        m.finish(a, SimTime::from_micros(10));
+        let b = m.start(
+            1,
+            false,
+            None,
+            c,
+            SimTime::from_micros(10),
+            SimTime::from_micros(20),
+            frame(),
+            1000.0,
+        );
+        m.finish(b, SimTime::from_micros(20));
+        assert_eq!(
+            m.busy_total(u, SimTime::from_micros(20)).as_micros(),
+            20,
+            "touching endpoints must not create a gap or a double count"
+        );
+        // Window clipped exactly to one transmission: fully busy.
+        let f = m.airtime_in_window(u, SimTime::ZERO, SimTime::from_micros(10));
+        assert!((f - 1.0).abs() < 1e-12, "f {f}");
+        // Window exactly covering the idle time after both: fully idle.
+        let f = m.airtime_in_window(u, SimTime::from_micros(20), SimTime::from_micros(30));
+        assert_eq!(f, 0.0);
+        // Minimal (1 ns) window inside a transmission: fully busy.
+        let f = m.airtime_in_window(u, SimTime::from_nanos(5_000), SimTime::from_nanos(5_001));
+        assert!((f - 1.0).abs() < 1e-12, "f {f}");
+    }
+
+    /// A node retuning mid-transmission (of others): per-UHF busy totals
+    /// stay exact for every spanned channel, including queries taken
+    /// while transmissions are still in flight — the active-remainder
+    /// accrual path.
+    #[test]
+    fn busy_total_exact_across_retune_mid_transmission() {
+        let mut m = Medium::new();
+        // A wide transmission spanning UHF 8..=12 for [0, 100) µs.
+        let wide = m.start(
+            0,
+            false,
+            None,
+            ch(10, Width::W20),
+            SimTime::ZERO,
+            SimTime::from_micros(100),
+            frame(),
+            1000.0,
+        );
+        // Mid-flight, a second node (having just retuned to a narrow
+        // overlapping channel) transmits on UHF 12 for [50, 150) µs.
+        let narrow = m.start(
+            1,
+            false,
+            None,
+            ch(12, Width::W5),
+            SimTime::from_micros(50),
+            SimTime::from_micros(150),
+            frame(),
+            1000.0,
+        );
+        // Query while both are active: the union on UHF 12 is [0, 75).
+        let u12 = UhfChannel::from_index(12);
+        assert_eq!(m.busy_total(u12, SimTime::from_micros(75)).as_micros(), 75);
+        m.finish(wide, SimTime::from_micros(100));
+        // Between the finishes: UHF 8 stops accruing, UHF 12 continues.
+        assert_eq!(
+            m.busy_total(UhfChannel::from_index(8), SimTime::from_micros(120))
+                .as_micros(),
+            100
+        );
+        assert_eq!(m.busy_total(u12, SimTime::from_micros(120)).as_micros(), 120);
+        m.finish(narrow, SimTime::from_micros(150));
+        assert_eq!(m.busy_total(u12, SimTime::from_micros(200)).as_micros(), 150);
+        // A channel outside both spans never accrued.
+        assert_eq!(
+            m.busy_total(UhfChannel::from_index(13), SimTime::from_micros(200)),
+            SimDuration::ZERO
+        );
+        // Zero-width query instant (now == last counter change) adds
+        // nothing.
+        assert_eq!(m.busy_total(u12, SimTime::from_micros(150)).as_micros(), 150);
+    }
 }

@@ -28,8 +28,9 @@
 //!   CTS-to-self one SIFS later (the SIFT discovery signature, §4.2.1).
 //!   Both are sent without carrier sensing, as in 802.11.
 
+use crate::faults::{FaultEvent, FaultPlan, FaultState, FaultStats};
 use crate::frames::{Frame, FrameKind, NodeId};
-use crate::medium::Medium;
+use crate::medium::{Medium, Transmission};
 use crate::stats::NodeStats;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -254,6 +255,39 @@ pub trait Behavior {
     }
 }
 
+/// Passive taps on the engine's state transitions, for invariant
+/// oracles and trace collectors.
+///
+/// Observers see every transmission (start and finish), every retune,
+/// and every observed-map update, *after* the engine has applied them.
+/// They cannot influence the simulation: the engine hands out only
+/// shared references, calls arrive at deterministic points of the event
+/// loop, and an installed observer never changes scheduling — a run
+/// with an observer is event-for-event identical to one without.
+pub trait SimObserver {
+    /// A transmission was just placed on the medium.
+    fn on_tx_start(&mut self, now: SimTime, tx: &Transmission) {
+        let _ = (now, tx);
+    }
+
+    /// A transmission just left the medium. `faulted_drop` is true when
+    /// the installed [`FaultPlan`] lost it at every receiver.
+    fn on_tx_end(&mut self, now: SimTime, tx: &Transmission, faulted_drop: bool) {
+        let _ = (now, tx, faulted_drop);
+    }
+
+    /// Node `node` retuned from `old` to `new` (`old != new`).
+    fn on_retune(&mut self, now: SimTime, node: NodeId, old: WfChannel, new: WfChannel) {
+        let _ = (now, node, old, new);
+    }
+
+    /// Node `node`'s observed spectrum map changed (post detection
+    /// delay, including any faulted extra).
+    fn on_observed_map(&mut self, now: SimTime, node: NodeId, map: &SpectrumMap) {
+        let _ = (now, node, map);
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CsmaState {
     Idle,
@@ -332,6 +366,10 @@ enum Ev {
     ForcedTx { node: NodeId, frame: Frame },
     Timer { node: NodeId, key: u64 },
     IncumbentCheck { node: NodeId },
+    // A broadcast delivery the fault plan deferred: the frame already
+    // hit the receiver's stats at TxEnd, only the behaviour dispatch
+    // runs late.
+    FaultDeliver { node: NodeId, frame: Frame },
 }
 
 struct Queued {
@@ -389,6 +427,11 @@ pub struct Core {
     delivery_buf: Vec<NodeId>,
     interferer_buf: Vec<NodeId>,
     invalidate_buf: Vec<NodeId>,
+    /// Installed fault plan, if any (`None` ⇒ the fault paths are
+    /// strict no-ops and the event sequence is the historical one).
+    faults: Option<FaultState>,
+    /// Installed passive observer, if any (never affects scheduling).
+    observer: Option<Box<dyn SimObserver>>,
 }
 
 impl Core {
@@ -659,6 +702,14 @@ impl Core {
             node.state = CsmaState::Transmitting;
             node.current_tx = Some(id);
         }
+        if let Some(fs) = self.faults.as_mut() {
+            fs.decide(n, self.now, id, frame.dst.is_none());
+        }
+        if let Some(obs) = self.observer.as_mut() {
+            // The transmission just started is the newest active entry.
+            let tx = self.medium.active().last().expect("just-started tx");
+            obs.on_tx_start(self.now, tx);
+        }
         self.schedule(end, Ev::TxEnd { id });
 
         // Invalidate deferrals of overlapping in-range nodes: the medium
@@ -781,7 +832,13 @@ impl Ctx<'_> {
     /// and the queue re-planned on the new channel; an in-flight ACK wait
     /// will time out naturally (the ACK arrives on the old channel).
     pub fn set_channel(&mut self, channel: WfChannel) {
+        let old = self.core.nodes[self.node].channel;
         self.core.retune(self.node, channel);
+        if old != channel {
+            if let Some(obs) = self.core.observer.as_mut() {
+                obs.on_retune(self.core.now, self.node, old, channel);
+            }
+        }
         let node = &mut self.core.nodes[self.node];
         node.slots_left = None;
         node.gen += 1;
@@ -855,9 +912,60 @@ impl Simulator {
                 delivery_buf: Vec::new(),
                 interferer_buf: Vec::new(),
                 invalidate_buf: Vec::new(),
+                faults: None,
+                observer: None,
             },
             behaviors: Vec::new(),
         }
+    }
+
+    /// Installs a fault plan. Must be called before nodes are added so
+    /// every node gets a fault RNG on its own stream; the plan's
+    /// `history_skew` (if any) is applied to the medium immediately.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            self.core.nodes.is_empty(),
+            "install the fault plan before adding nodes"
+        );
+        if let Some(skew) = plan.history_skew {
+            self.core.medium.history_horizon = skew;
+        }
+        let seed = self.core.seed;
+        self.core.faults = Some(FaultState::new(plan, seed));
+    }
+
+    /// Installs a passive observer (invariant oracle, trace collector).
+    /// Observers never influence the simulation.
+    pub fn set_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.core.observer = Some(observer);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.core.faults.as_ref().map(|fs| fs.plan())
+    }
+
+    /// Counters of faults fired so far (default if no plan installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.core
+            .faults
+            .as_ref()
+            .map(|fs| fs.stats())
+            .unwrap_or_default()
+    }
+
+    /// Every fault fired so far, in firing order.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        self.core.faults.as_ref().map_or(&[], |fs| fs.events())
+    }
+
+    /// The extra incumbent-detection latency the fault plan assigned to
+    /// node `n` (zero without a plan).
+    pub fn fault_detection_extra(&self, n: NodeId) -> SimDuration {
+        self.core
+            .faults
+            .as_ref()
+            .map_or(SimDuration::ZERO, |fs| fs.detection_extra(n))
     }
 
     /// Overrides DCF parameters.
@@ -874,8 +982,9 @@ impl Simulator {
             .map_at(self.core.now.as_nanos(), SCANNER_SENSITIVITY_DBM);
         let first_change = cfg.incumbents.next_change(self.core.now.as_nanos());
         let detection_delay = cfg.detection_delay;
+        let stream = cfg.rng_stream.unwrap_or(id as u64);
         let mut rng = ChaCha8Rng::seed_from_u64(self.core.seed);
-        rng.set_stream(cfg.rng_stream.unwrap_or(id as u64));
+        rng.set_stream(stream);
         self.core.nodes.push(Node {
             channel: cfg.channel,
             cw: self.core.params.cw_min,
@@ -901,10 +1010,14 @@ impl Simulator {
         self.core.register_node(id);
         self.behaviors.push(Some(behavior));
         let now = self.core.now;
+        let extra = match self.core.faults.as_mut() {
+            Some(fs) => fs.register_node(id, stream, now),
+            None => SimDuration::ZERO,
+        };
         self.core.schedule(now, Ev::Start { node: id });
         if let Some(t) = first_change {
             self.core.schedule(
-                SimTime::from_nanos(t) + detection_delay,
+                SimTime::from_nanos(t) + detection_delay + extra,
                 Ev::IncumbentCheck { node: id },
             );
         }
@@ -1019,11 +1132,21 @@ impl Simulator {
                 let next = self.core.nodes[node].cfg.incumbents.next_change(now_ns);
                 if let Some(t) = next {
                     let delay = self.core.nodes[node].cfg.detection_delay;
-                    self.core
-                        .schedule(SimTime::from_nanos(t) + delay, Ev::IncumbentCheck { node });
+                    let extra = self
+                        .core
+                        .faults
+                        .as_ref()
+                        .map_or(SimDuration::ZERO, |fs| fs.detection_extra(node));
+                    self.core.schedule(
+                        SimTime::from_nanos(t) + delay + extra,
+                        Ev::IncumbentCheck { node },
+                    );
                 }
                 if map != self.core.nodes[node].observed_map {
                     self.core.nodes[node].observed_map = map;
+                    if let Some(obs) = self.core.observer.as_mut() {
+                        obs.on_observed_map(self.core.now, node, &map);
+                    }
                     self.dispatch(node, |b, ctx| b.on_incumbent_change(map, ctx));
                 }
             }
@@ -1116,6 +1239,9 @@ impl Simulator {
                 }
             }
             Ev::TxEnd { id } => self.tx_end(id),
+            Ev::FaultDeliver { node, frame } => {
+                self.dispatch(node, |b, ctx| b.on_frame(&frame, ctx));
+            }
         }
     }
 
@@ -1124,6 +1250,15 @@ impl Simulator {
         let tx = self.core.medium.finish(id, now);
         let src = tx.src;
         self.core.nodes[src].active_tx -= 1;
+        let fault = self
+            .core
+            .faults
+            .as_mut()
+            .map(|fs| fs.take(id))
+            .unwrap_or_default();
+        if let Some(obs) = self.core.observer.as_mut() {
+            obs.on_tx_end(now, &tx, fault.drop);
+        }
 
         // --- Receiver side ---------------------------------------------
         // Candidates come from the per-(F, W) channel index (exact width
@@ -1133,7 +1268,13 @@ impl Simulator {
         // cannot change inside this loop.
         let mut cands = std::mem::take(&mut self.core.delivery_buf);
         cands.clear();
-        cands.extend_from_slice(self.core.nodes_on(tx.channel));
+        // A faulted drop loses the frame at *every* receiver: delivery
+        // is skipped wholesale, and the sender's ACK wait (if any)
+        // times out naturally — retries and backoff emerge from the
+        // normal CSMA paths.
+        if !fault.drop {
+            cands.extend_from_slice(self.core.nodes_on(tx.channel));
+        }
         let mut interferer_srcs = std::mem::take(&mut self.core.interferer_buf);
         interferer_srcs.clear();
         if cands.iter().any(|&m| m != src) {
@@ -1236,7 +1377,17 @@ impl Simulator {
                 (None, _) => {
                     self.core.nodes[m].stats.rx_broadcast_frames += 1;
                     let frame = tx.frame;
-                    self.dispatch(m, |b, ctx| b.on_frame(&frame, ctx));
+                    if let Some(by) = fault.delay {
+                        // Deferred processing: stats above already
+                        // counted the reception at the true time.
+                        self.core
+                            .schedule(now + by, Ev::FaultDeliver { node: m, frame });
+                    } else {
+                        self.dispatch(m, |b, ctx| b.on_frame(&frame, ctx));
+                        if fault.duplicate {
+                            self.dispatch(m, |b, ctx| b.on_frame(&frame, ctx));
+                        }
+                    }
                 }
                 _ => { /* overheard unicast for someone else */ }
             }

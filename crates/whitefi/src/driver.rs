@@ -27,10 +27,11 @@
 use crate::ap::{ApBehavior, ApConfig};
 use crate::client::{ClientBehavior, ClientConfig};
 use crate::mcham::NodeReport;
+use crate::oracles::{OracleBank, OracleConfig, OracleReport};
 use serde::{Deserialize, Serialize};
 use whitefi_mac::traffic::Sink;
 use whitefi_mac::{
-    influence_closure, CbrSender, MarkovOnOffSender, NodeConfig, NodeId, NodeSite,
+    influence_closure, CbrSender, FaultPlan, MarkovOnOffSender, NodeConfig, NodeId, NodeSite,
     ScriptedCbrSender, Simulator,
 };
 use whitefi_phy::{SimDuration, SimTime};
@@ -103,6 +104,10 @@ pub struct Scenario {
     /// AP protocol configuration template (traffic fields are overridden
     /// from the scenario).
     pub ap_config: ApConfig,
+    /// Deterministic fault plan injected at the medium boundary
+    /// (`None` = the fault layer is bypassed entirely and the run is
+    /// byte-identical to a pre-fault-layer build — DESIGN.md §10).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -122,6 +127,7 @@ impl Scenario {
             warmup: SimDuration::from_secs(2),
             sample_interval: SimDuration::from_millis(100),
             ap_config: ApConfig::default(),
+            faults: None,
         }
     }
 
@@ -166,6 +172,10 @@ pub struct ScenarioOutcome {
     /// Total incumbent violations across all WhiteFi nodes (must be 0
     /// for a correct protocol run).
     pub violations: u64,
+    /// The always-on invariant oracles' verdict (DESIGN.md §10). Like
+    /// every other field it derives from foreground state only, so the
+    /// exact pruned == unpruned equality covers it too.
+    pub oracle: OracleReport,
 }
 
 impl ScenarioOutcome {
@@ -182,6 +192,7 @@ struct BuiltNetwork {
     sim: Simulator,
     ap: NodeId,
     clients: Vec<NodeId>,
+    oracle: OracleBank,
 }
 
 /// Builds the network. `keep_background` (`None` = keep all) is a mask
@@ -204,21 +215,39 @@ fn build(
         // wide margin while making trace retention pay-as-you-go.
         sim.medium_mut().history_horizon = SimDuration::from_millis(300);
     }
+    // The fault plan must be installed before any node registers (each
+    // node's fault RNG stream is drawn at registration) and may itself
+    // skew the history horizon, adversarially overriding the above.
+    if let Some(plan) = &scenario.faults {
+        sim.set_fault_plan(plan.clone());
+    }
+    let bank = OracleBank::new(OracleConfig {
+        adaptive,
+        ..OracleConfig::default()
+    });
 
     let mut ap_cfg = scenario.ap_config.clone();
     ap_cfg.adaptive = adaptive;
     ap_cfg.downlink_bytes = Some(scenario.downlink_bytes);
     ap_cfg.downlink_interval = None;
 
+    let ap_incumbents = Scenario::incumbents_for(
+        scenario.ap_map,
+        scenario.ap_extra_incumbents.as_ref(),
+    );
     let ap_node_cfg = NodeConfig::on_channel(initial)
         .ap()
         .in_ssid(1)
         .rng_stream(0)
-        .with_incumbents(Scenario::incumbents_for(
-            scenario.ap_map,
-            scenario.ap_extra_incumbents.as_ref(),
-        ));
+        .with_incumbents(ap_incumbents.clone());
+    let ap_detection = ap_node_cfg.detection_delay;
     let ap = sim.add_node(ap_node_cfg, Box::new(ApBehavior::new(ap_cfg)));
+    bank.add_member(
+        ap,
+        true,
+        &ap_incumbents,
+        ap_detection + sim.fault_detection_extra(ap),
+    );
 
     let mut clients = Vec::new();
     for (i, &map) in scenario.client_maps.iter().enumerate() {
@@ -226,10 +255,12 @@ fn build(
             .client_extra_incumbents
             .get(i)
             .and_then(|o| o.as_ref());
+        let incumbents = Scenario::incumbents_for(map, extra);
         let node_cfg = NodeConfig::on_channel(initial)
             .in_ssid(1)
             .rng_stream(1 + i as u64)
-            .with_incumbents(Scenario::incumbents_for(map, extra));
+            .with_incumbents(incumbents.clone());
+        let detection = node_cfg.detection_delay;
         let mut ccfg = ClientConfig::new(ap, (i % 16) as u8);
         if let Some(bytes) = scenario.uplink_bytes {
             ccfg = ccfg.saturating_uplink(bytes);
@@ -242,6 +273,12 @@ fn build(
             ccfg.scan_enabled = false;
         }
         let id = sim.add_node(node_cfg, Box::new(ClientBehavior::new(ccfg)));
+        bank.add_member(
+            id,
+            false,
+            &incumbents,
+            detection + sim.fault_detection_extra(id),
+        );
         clients.push(id);
     }
 
@@ -285,11 +322,22 @@ fn build(
         }
     }
 
-    BuiltNetwork { sim, ap, clients }
+    sim.set_observer(bank.observer());
+    BuiltNetwork {
+        sim,
+        ap,
+        clients,
+        oracle: bank,
+    }
 }
 
 fn measure(scenario: &Scenario, net: &mut BuiltNetwork) -> ScenarioOutcome {
-    let BuiltNetwork { sim, ap, clients } = net;
+    let BuiltNetwork {
+        sim,
+        ap,
+        clients,
+        oracle,
+    } = net;
     sim.run_until(SimTime::ZERO + scenario.warmup);
     sim.reset_stats();
 
@@ -333,6 +381,7 @@ fn measure(scenario: &Scenario, net: &mut BuiltNetwork) -> ScenarioOutcome {
         aggregate_mbps,
         samples,
         violations,
+        oracle: oracle.finish(sim),
     }
 }
 
@@ -531,6 +580,8 @@ mod tests {
         // multiple Mbps of aggregate traffic.
         assert!(out.aggregate_mbps > 3.0, "aggregate {}", out.aggregate_mbps);
         assert_eq!(out.violations, 0);
+        assert!(out.oracle.clean(), "oracle: {:?}", out.oracle.violations);
+        assert!(out.oracle.checked_tx > 0, "oracles saw no member traffic");
         let last = out.samples.last().unwrap();
         assert_eq!(last.ap_channel.width(), Width::W20);
     }
@@ -684,5 +735,6 @@ mod tests {
             "still on the loaded fragment: {final_ch}"
         );
         assert_eq!(out.violations, 0);
+        assert!(out.oracle.clean(), "oracle: {:?}", out.oracle.violations);
     }
 }

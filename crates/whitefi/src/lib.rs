@@ -33,6 +33,7 @@ pub mod client;
 pub mod discovery;
 pub mod driver;
 pub mod mcham;
+pub mod oracles;
 
 pub use ap::{ApBehavior, ApConfig};
 pub use assignment::{Assigner, AssignerConfig};
@@ -46,6 +47,11 @@ pub use discovery::{
 pub use driver::{
     run_fixed, run_whitefi, BackgroundTraffic, Scenario, ScenarioOutcome, StaticBaselines,
 };
+pub use oracles::{
+    global_oracle_totals, OracleBank, OracleConfig, OracleKind, OracleReport, OracleTotals,
+    Violation,
+};
+
 pub use mcham::{
     evaluate_all, mcham, mcham_with, objective_score, select_channel, select_channel_with,
     Combiner, NodeReport, Objective, RhoTable,

@@ -1,0 +1,633 @@
+//! Always-on protocol-invariant oracles, fed passively from the event
+//! core (DESIGN.md §10).
+//!
+//! An [`OracleBank`] attaches to a [`Simulator`] as a
+//! [`whitefi_mac::SimObserver`] and checks, on every foreground
+//! (SSID-member) transmission, the four properties the paper's safety
+//! story rests on:
+//!
+//! 1. **Incumbent safety** (§4.3, Fig. 14–16): no member transmission
+//!    starts strictly after an incumbent's detection deadline while the
+//!    incumbent is on the air, on any UHF channel the transmission
+//!    spans. Static TV occupancy is known from t = 0, so any overlap is
+//!    a violation; a mic interval's deadline is its onset plus the
+//!    node's detection delay (plus any faulted detection stretch).
+//! 2. **Backup liveness** (§4.3): a disconnected client (first chirp)
+//!    reassociates (next unicast to the AP) within the liveness bound,
+//!    or the miss is explained by an injected fault.
+//! 3. **Single-channel occupancy**: the network's members occupy one
+//!    `(F, W)` channel, except within a grace period of an observable
+//!    transition (a chirp or switch announcement, a retune, an
+//!    observed-map change).
+//! 4. **Airtime conservation**: the oracle's independent per-UHF busy
+//!    accounting (union of overlapping transmissions) equals the
+//!    medium's counters exactly and never exceeds wall-clock time.
+//!
+//! Every [`OracleReport`] field — violations, the checked-transmission
+//! count, the foreground trace digest — derives from member
+//! transmissions only, so reports are invariant under background
+//! pruning (DESIGN.md §9) and the pruned == unpruned equality tests
+//! extend to them unchanged. Observers never influence scheduling:
+//! a run with an attached bank is event-for-event identical to one
+//! without.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use whitefi_mac::sim::SCANNER_SENSITIVITY_DBM;
+use whitefi_mac::{FaultEventKind, FrameKind, NodeId, SimObserver, Simulator, Transmission};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_spectrum::{IncumbentSet, SpectrumMap, UhfChannel, WfChannel, NUM_UHF_CHANNELS};
+
+/// Which invariant a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OracleKind {
+    /// A member transmission overlapped a detected incumbent after its
+    /// detection deadline.
+    IncumbentSafety,
+    /// A disconnected client missed the reassociation bound with no
+    /// fault to explain it.
+    BackupLiveness,
+    /// Members transmitted on more than one channel outside the
+    /// transition grace period.
+    ChannelOccupancy,
+    /// The medium's busy accounting disagrees with the oracle's
+    /// independent recomputation, or exceeds wall-clock time.
+    AirtimeConservation,
+}
+
+/// One structured invariant violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The broken invariant.
+    pub kind: OracleKind,
+    /// When the violation was detected.
+    pub time: SimTime,
+    /// The offending node, when attributable.
+    pub node: Option<NodeId>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The oracles' verdict on one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OracleReport {
+    /// Every violation, in detection order.
+    pub violations: Vec<Violation>,
+    /// Member transmissions checked.
+    pub checked_tx: u64,
+    /// Liveness misses explained by injected faults (documented
+    /// outcomes, not protocol bugs).
+    pub explained_liveness: u64,
+    /// FNV-1a digest of the foreground transmission trace (member
+    /// transmissions only, so pruning cannot change it) — the
+    /// byte-identical determinism fingerprint.
+    pub trace_digest: u64,
+}
+
+impl OracleReport {
+    /// Whether every invariant held.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Tunables of the oracle bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleConfig {
+    /// Disconnection → reassociation bound. The protocol's own budget —
+    /// client watchdog (600 ms) + a full backup-scan period (3 s) +
+    /// chirp collection (300 ms) + switch fallback — sums well under
+    /// 5 s; 10 s leaves headroom for contention without masking hangs.
+    pub liveness_bound: SimDuration,
+    /// How long after an observable transition (control frame, retune,
+    /// observed-map change) split-channel operation is tolerated.
+    pub transition_grace: SimDuration,
+    /// Whether the run is the adaptive protocol (true) or a pinned
+    /// baseline (false) — routes the global violation counters.
+    pub adaptive: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self {
+            liveness_bound: SimDuration::from_secs(10),
+            transition_grace: SimDuration::from_secs(1),
+            adaptive: true,
+        }
+    }
+}
+
+/// One mic activity interval, precompiled against a member's detection
+/// latency.
+#[derive(Debug, Clone, Copy)]
+struct MicWindow {
+    channel: UhfChannel,
+    /// Onset + detection delay + faulted extra: transmissions starting
+    /// strictly later, while the mic is still on, violate safety.
+    deadline_ns: u64,
+    /// Mic off time (exclusive).
+    off_ns: u64,
+}
+
+/// Per-member environment and liveness state.
+#[derive(Debug)]
+struct MemberEnv {
+    is_ap: bool,
+    /// Statically occupied channels (detectable TV stations): known to
+    /// the member from t = 0, so overlap is violating at any time.
+    static_occupied: SpectrumMap,
+    mic_windows: Vec<MicWindow>,
+    /// Open liveness window: time of the first unanswered chirp.
+    live_open: Option<SimTime>,
+    /// Channel of the member's most recent transmission start.
+    last_tx_channel: Option<WfChannel>,
+    last_tx_time: SimTime,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_word(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn kind_tag(kind: &FrameKind) -> u64 {
+    match kind {
+        FrameKind::Data { .. } => 0,
+        FrameKind::Report { .. } => 1,
+        FrameKind::Beacon { .. } => 2,
+        FrameKind::SwitchAnnounce { .. } => 3,
+        FrameKind::Chirp { .. } => 4,
+        FrameKind::Ack => 5,
+        FrameKind::Cts => 6,
+    }
+}
+
+fn width_tag(ch: WfChannel) -> u64 {
+    match ch.width() {
+        whitefi_spectrum::Width::W5 => 0,
+        whitefi_spectrum::Width::W10 => 1,
+        whitefi_spectrum::Width::W20 => 2,
+    }
+}
+
+struct Inner {
+    cfg: OracleConfig,
+    /// Member environments, indexed by node id (None for background).
+    members: Vec<Option<MemberEnv>>,
+    violations: Vec<Violation>,
+    checked_tx: u64,
+    digest: u64,
+    /// Member transmissions currently on the air.
+    fg_active: Vec<(u64, NodeId, WfChannel)>,
+    /// Most recent observable transition.
+    last_marker: SimTime,
+    /// Liveness misses awaiting fault correlation at finish.
+    pending_liveness: Vec<(NodeId, SimTime, SimTime)>,
+    /// Liveness misses explained by injected faults.
+    explained: u64,
+    /// Independent per-UHF busy recomputation (same union-of-overlaps
+    /// algorithm as the medium, fed from the observer hooks).
+    busy_ns: [u64; NUM_UHF_CHANNELS],
+    active_count: [u32; NUM_UHF_CHANNELS],
+    last_change_ns: [u64; NUM_UHF_CHANNELS],
+}
+
+impl Inner {
+    fn accrue(&mut self, u: UhfChannel, now_ns: u64) {
+        let i = u.index();
+        if self.active_count[i] > 0 {
+            self.busy_ns[i] += now_ns - self.last_change_ns[i];
+        }
+        self.last_change_ns[i] = now_ns;
+    }
+
+    fn is_member(&self, n: NodeId) -> bool {
+        self.members.get(n).is_some_and(|m| m.is_some())
+    }
+
+    fn violate(&mut self, kind: OracleKind, time: SimTime, node: Option<NodeId>, detail: String) {
+        self.violations.push(Violation {
+            kind,
+            time,
+            node,
+            detail,
+        });
+    }
+
+    fn tx_start(&mut self, now: SimTime, tx: &Transmission) {
+        let now_ns = now.as_nanos();
+        for u in tx.channel.spanned() {
+            self.accrue(u, now_ns);
+            self.active_count[u.index()] += 1;
+        }
+        if !self.is_member(tx.src) {
+            return;
+        }
+        self.checked_tx += 1;
+        let grace = self.cfg.transition_grace;
+        let bound = self.cfg.liveness_bound;
+
+        // A chirp or switch announcement is itself an observable
+        // transition: refresh the marker before judging occupancy.
+        if matches!(
+            tx.frame.kind,
+            FrameKind::Chirp { .. } | FrameKind::SwitchAnnounce { .. }
+        ) {
+            self.last_marker = now;
+        }
+
+        // --- Single-channel occupancy --------------------------------
+        // Split operation is violating only when sustained: another
+        // member transmitted on a different channel within the grace
+        // window (on the air now, or recently), and no observable
+        // transition happened within that window either.
+        if now.saturating_since(self.last_marker) > grace {
+            let split_live = self
+                .fg_active
+                .iter()
+                .any(|&(_, n, c)| n != tx.src && c != tx.channel);
+            let split_recent = self.members.iter().enumerate().any(|(n, m)| {
+                m.as_ref().is_some_and(|e| {
+                    n != tx.src
+                        && e.last_tx_channel.is_some_and(|c| c != tx.channel)
+                        && now.saturating_since(e.last_tx_time) <= grace
+                })
+            });
+            if split_live || split_recent {
+                self.violate(
+                    OracleKind::ChannelOccupancy,
+                    now,
+                    Some(tx.src),
+                    format!(
+                        "member {} on {} while the network occupies another channel, \
+                         >{:?} after the last transition",
+                        tx.src, tx.channel, grace
+                    ),
+                );
+            }
+        }
+
+        // --- Incumbent safety ----------------------------------------
+        let env = self.members[tx.src].as_ref().expect("member checked");
+        let static_hit = tx
+            .channel
+            .spanned()
+            .find(|&u| env.static_occupied.is_occupied(u));
+        let mic_hit = env
+            .mic_windows
+            .iter()
+            .find(|w| tx.channel.contains(w.channel) && now_ns > w.deadline_ns && now_ns < w.off_ns)
+            .copied();
+        if let Some(u) = static_hit {
+            self.violate(
+                OracleKind::IncumbentSafety,
+                now,
+                Some(tx.src),
+                format!(
+                    "member {} transmitted on {} over statically occupied UHF {}",
+                    tx.src,
+                    tx.channel,
+                    u.index()
+                ),
+            );
+        }
+        if let Some(w) = mic_hit {
+            self.violate(
+                OracleKind::IncumbentSafety,
+                now,
+                Some(tx.src),
+                format!(
+                    "member {} transmitted on {} over an active mic on UHF {} \
+                     ({} ns past its detection deadline)",
+                    tx.src,
+                    tx.channel,
+                    w.channel.index(),
+                    now_ns - w.deadline_ns
+                ),
+            );
+        }
+
+        // --- Backup liveness -----------------------------------------
+        let env = self.members[tx.src].as_mut().expect("member checked");
+        if !env.is_ap {
+            match tx.frame.kind {
+                FrameKind::Chirp { .. } => {
+                    if env.live_open.is_none() {
+                        env.live_open = Some(now);
+                    }
+                }
+                _ if tx.frame.dst.is_some() => {
+                    // Any unicast back to the network closes the window
+                    // (data, report, or an ACK of AP traffic — all
+                    // require a shared channel again).
+                    if let Some(open) = env.live_open.take() {
+                        if now.since(open) > bound {
+                            self.pending_liveness.push((tx.src, open, now));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let env = self.members[tx.src].as_mut().expect("member checked");
+        env.last_tx_channel = Some(tx.channel);
+        env.last_tx_time = now;
+        self.fg_active.push((tx.id, tx.src, tx.channel));
+    }
+
+    fn tx_end(&mut self, now: SimTime, tx: &Transmission, faulted_drop: bool) {
+        let now_ns = now.as_nanos();
+        for u in tx.channel.spanned() {
+            self.accrue(u, now_ns);
+            self.active_count[u.index()] -= 1;
+        }
+        if !self.is_member(tx.src) {
+            return;
+        }
+        if let Some(i) = self.fg_active.iter().position(|&(id, _, _)| id == tx.id) {
+            self.fg_active.swap_remove(i);
+        }
+        // Foreground trace digest: every field that determines protocol
+        // behaviour, member transmissions only.
+        let mut h = self.digest;
+        h = fnv1a_word(h, tx.src as u64);
+        h = fnv1a_word(h, tx.channel.low_index() as u64);
+        h = fnv1a_word(h, width_tag(tx.channel));
+        h = fnv1a_word(h, tx.start.as_nanos());
+        h = fnv1a_word(h, tx.end.as_nanos());
+        h = fnv1a_word(h, kind_tag(&tx.frame.kind));
+        h = fnv1a_word(h, tx.frame.bytes() as u64);
+        h = fnv1a_word(h, tx.frame.dst.map_or(u64::MAX, |d| d as u64));
+        h = fnv1a_word(h, faulted_drop as u64);
+        self.digest = h;
+    }
+}
+
+static ADAPTIVE_VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+static FIXED_VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+static EXPLAINED_LIVENESS: AtomicU64 = AtomicU64::new(0);
+static REPORTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide oracle totals, for experiment reporting (mirrors
+/// [`whitefi_mac::global_event_totals`]): snapshot before and after a
+/// workload and diff with [`OracleTotals::delta_since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleTotals {
+    /// Violations reported by adaptive (WhiteFi) runs — the protocol
+    /// bugs; must stay zero on seed scenarios.
+    pub adaptive_violations: u64,
+    /// Violations reported by pinned baseline runs. Static networks
+    /// transmit over incumbents by design — that is the paper's
+    /// motivating failure, not a simulator bug.
+    pub fixed_violations: u64,
+    /// Liveness misses explained by injected faults.
+    pub explained_liveness: u64,
+    /// Reports finalized.
+    pub reports: u64,
+}
+
+impl OracleTotals {
+    /// Counter-wise `self - earlier`.
+    pub fn delta_since(&self, earlier: OracleTotals) -> OracleTotals {
+        OracleTotals {
+            adaptive_violations: self
+                .adaptive_violations
+                .wrapping_sub(earlier.adaptive_violations),
+            fixed_violations: self.fixed_violations.wrapping_sub(earlier.fixed_violations),
+            explained_liveness: self
+                .explained_liveness
+                .wrapping_sub(earlier.explained_liveness),
+            reports: self.reports.wrapping_sub(earlier.reports),
+        }
+    }
+}
+
+/// Process-wide totals of every finalized [`OracleReport`].
+pub fn global_oracle_totals() -> OracleTotals {
+    OracleTotals {
+        adaptive_violations: ADAPTIVE_VIOLATIONS.load(Ordering::Relaxed),
+        fixed_violations: FIXED_VIOLATIONS.load(Ordering::Relaxed),
+        explained_liveness: EXPLAINED_LIVENESS.load(Ordering::Relaxed),
+        reports: REPORTS.load(Ordering::Relaxed),
+    }
+}
+
+/// The oracle bank: owns the invariant state, hands out a passive
+/// [`SimObserver`] tap, and finalizes into an [`OracleReport`].
+pub struct OracleBank {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl OracleBank {
+    /// An empty bank with the given configuration.
+    pub fn new(cfg: OracleConfig) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(Inner {
+                cfg,
+                members: Vec::new(),
+                violations: Vec::new(),
+                checked_tx: 0,
+                digest: FNV_OFFSET,
+                fg_active: Vec::new(),
+                last_marker: SimTime::ZERO,
+                pending_liveness: Vec::new(),
+                explained: 0,
+                busy_ns: [0; NUM_UHF_CHANNELS],
+                active_count: [0; NUM_UHF_CHANNELS],
+                last_change_ns: [0; NUM_UHF_CHANNELS],
+            })),
+        }
+    }
+
+    /// Registers a foreground member with its incumbent environment and
+    /// *total* detection latency (configured delay plus any faulted
+    /// extra). Non-registered nodes are background: they feed only the
+    /// airtime conservation check.
+    pub fn add_member(
+        &self,
+        node: NodeId,
+        is_ap: bool,
+        incumbents: &IncumbentSet,
+        detection_total: SimDuration,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        let mut static_occupied = SpectrumMap::all_free();
+        for tv in &incumbents.tv {
+            if tv.detectable_at(SCANNER_SENSITIVITY_DBM) {
+                static_occupied.set_occupied(tv.channel);
+            }
+        }
+        let mut mic_windows = Vec::new();
+        for mic in &incumbents.mics {
+            if mic.power_dbm < SCANNER_SENSITIVITY_DBM {
+                continue;
+            }
+            for iv in mic.schedule.intervals() {
+                mic_windows.push(MicWindow {
+                    channel: mic.channel,
+                    deadline_ns: iv.start + detection_total.as_nanos(),
+                    off_ns: iv.end,
+                });
+            }
+        }
+        if inner.members.len() <= node {
+            inner.members.resize_with(node + 1, || None);
+        }
+        inner.members[node] = Some(MemberEnv {
+            is_ap,
+            static_occupied,
+            mic_windows,
+            live_open: None,
+            last_tx_channel: None,
+            last_tx_time: SimTime::ZERO,
+        });
+    }
+
+    /// The passive engine tap; install with
+    /// [`Simulator::set_observer`].
+    pub fn observer(&self) -> Box<dyn SimObserver> {
+        Box::new(OracleObserver {
+            inner: Rc::clone(&self.inner),
+        })
+    }
+
+    /// Finalizes the bank against the finished simulation: runs the
+    /// airtime conservation check, closes liveness windows, correlates
+    /// misses with injected faults, and returns the report. Also feeds
+    /// the process-wide [`global_oracle_totals`] counters.
+    pub fn finish(&self, sim: &Simulator) -> OracleReport {
+        let mut inner = self.inner.borrow_mut();
+        let now = sim.now();
+        let now_ns = now.as_nanos();
+
+        // --- Airtime conservation ------------------------------------
+        for i in 0..NUM_UHF_CHANNELS {
+            let mut mine = inner.busy_ns[i];
+            if inner.active_count[i] > 0 {
+                mine += now_ns - inner.last_change_ns[i];
+            }
+            let u = UhfChannel::from_index(i);
+            let med = sim.medium().busy_total(u, now).as_nanos();
+            if mine != med {
+                inner.violate(
+                    OracleKind::AirtimeConservation,
+                    now,
+                    None,
+                    format!(
+                        "UHF {i}: medium busy {med} ns, independent recomputation {mine} ns"
+                    ),
+                );
+            }
+            if med > now_ns {
+                inner.violate(
+                    OracleKind::AirtimeConservation,
+                    now,
+                    None,
+                    format!("UHF {i}: busy {med} ns exceeds wall clock {now_ns} ns"),
+                );
+            }
+        }
+
+        // --- Backup liveness: close windows still open at the end ----
+        let bound = inner.cfg.liveness_bound;
+        let mut tail = Vec::new();
+        for (n, m) in inner.members.iter_mut().enumerate() {
+            if let Some(env) = m.as_mut() {
+                if let Some(open) = env.live_open.take() {
+                    if now.since(open) > bound {
+                        tail.push((n, open, now));
+                    }
+                    // A window younger than the bound at simulation end
+                    // is truncated, not judged.
+                }
+            }
+        }
+        inner.pending_liveness.extend(tail);
+
+        // A miss is *explained* when an injected fault plausibly caused
+        // it: any fault at a member node in (or shortly before) the
+        // window, a faulted detection stretch on a member, or a skewed
+        // scanner history horizon (which perturbs every chirp scan).
+        let skewed = sim
+            .fault_plan()
+            .is_some_and(|p| p.history_skew.is_some());
+        let pending = std::mem::take(&mut inner.pending_liveness);
+        for (node, open, close) in pending {
+            let explained = skewed
+                || sim.fault_events().iter().any(|e| {
+                    inner.is_member(e.node)
+                        && (matches!(e.kind, FaultEventKind::DetectionExtra(_))
+                            || (e.time <= close && e.time + bound >= open))
+                });
+            if explained {
+                // Count the explanation instead of a violation.
+                inner.explained += 1;
+                EXPLAINED_LIVENESS.fetch_add(1, Ordering::Relaxed);
+            } else {
+                inner.violate(
+                    OracleKind::BackupLiveness,
+                    close,
+                    Some(node),
+                    format!(
+                        "client {} disconnected at {:?} and had not reassociated \
+                         {:?} later (bound {:?}), with no fault to explain it",
+                        node,
+                        open,
+                        close.since(open),
+                        bound
+                    ),
+                );
+            }
+        }
+
+        let report = OracleReport {
+            violations: inner.violations.clone(),
+            checked_tx: inner.checked_tx,
+            explained_liveness: inner.explained,
+            trace_digest: inner.digest,
+        };
+        let bucket = if inner.cfg.adaptive {
+            &ADAPTIVE_VIOLATIONS
+        } else {
+            &FIXED_VIOLATIONS
+        };
+        bucket.fetch_add(report.violations.len() as u64, Ordering::Relaxed);
+        REPORTS.fetch_add(1, Ordering::Relaxed);
+        report
+    }
+}
+
+struct OracleObserver {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SimObserver for OracleObserver {
+    fn on_tx_start(&mut self, now: SimTime, tx: &Transmission) {
+        self.inner.borrow_mut().tx_start(now, tx);
+    }
+
+    fn on_tx_end(&mut self, now: SimTime, tx: &Transmission, faulted_drop: bool) {
+        self.inner.borrow_mut().tx_end(now, tx, faulted_drop);
+    }
+
+    fn on_retune(&mut self, now: SimTime, node: NodeId, _old: WfChannel, _new: WfChannel) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.is_member(node) {
+            inner.last_marker = now;
+        }
+    }
+
+    fn on_observed_map(&mut self, now: SimTime, node: NodeId, _map: &SpectrumMap) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.is_member(node) {
+            inner.last_marker = now;
+        }
+    }
+}

@@ -5,8 +5,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use whitefi::{
     backup_candidates, baseline_discovery, evaluate_all, j_sift_discovery, l_sift_discovery, mcham,
-    select_channel, NodeReport, SyntheticOracle,
+    select_channel, ChirpDetector, NodeReport, SyntheticOracle,
 };
+use whitefi_phy::synth::{Burst, BurstKind};
+use whitefi_phy::timing::chirp_bytes_for_slot;
+use whitefi_phy::{PhyTiming, SimDuration, SimTime, Synthesizer};
 use whitefi_spectrum::{
     AirtimeVector, ChannelLoad, SpectrumMap, UhfChannel, WfChannel, Width, NUM_UHF_CHANNELS,
 };
@@ -180,5 +183,47 @@ proptest! {
                 "wide preferred at heavy load {heavy} but not at light {light}"
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A noise-only backup-channel capture never produces chirp
+    /// detections: receiver noise stays below the SIFT burst threshold
+    /// for every noise seed.
+    #[test]
+    fn chirp_detector_silent_on_noise(seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = Synthesizer::new().synthesize(&[], SimDuration::from_millis(8), &mut rng);
+        let found = ChirpDetector::new().detect(&trace);
+        prop_assert!(found.is_empty(), "noise-only detections: {found:?}");
+    }
+
+    /// An injected chirp is always found and its identity slot decoded
+    /// from the on-air length, across slots, start offsets, amplitudes
+    /// and noise seeds (the length must match
+    /// `ChirpDetector::expected_samples` within SIFT's tolerance).
+    #[test]
+    fn chirp_detector_decodes_injected_slot(
+        slot in 0u8..16,
+        start_us in 100u64..2_000,
+        amplitude in 600.0f64..2_000.0,
+        seed in 0u64..1000,
+    ) {
+        let burst = Burst {
+            start: SimTime::from_micros(start_us),
+            duration: PhyTiming::for_width(Width::W5)
+                .frame_duration(chirp_bytes_for_slot(slot)),
+            width: Width::W5,
+            amplitude,
+            kind: BurstKind::Chirp,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace =
+            Synthesizer::new().synthesize(&[burst], SimDuration::from_millis(12), &mut rng);
+        let found = ChirpDetector::new().detect(&trace);
+        prop_assert_eq!(found.len(), 1, "slot {}: {:?}", slot, found);
+        prop_assert_eq!(found[0].slot, Some(slot));
     }
 }

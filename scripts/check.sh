@@ -8,6 +8,15 @@ cargo fmt --all --check
 cargo build --workspace --release
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+
+# Invariant torture lane: the full 256-plan randomized fault-injection
+# sweep plus its order-independence check (ignored by default — too slow
+# for the tier-1 lane above, which already runs a 24-case slice). Any
+# protocol-oracle Violation under an adaptive run fails here; the quick
+# experiment sweep below additionally exits non-zero if any seed
+# scenario reports an adaptive oracle violation.
+cargo test --release -q -p whitefi-bench --test sim_torture -- --ignored
+
 cargo run --release -p whitefi-bench --bin experiments -- all --quick --jobs 1
 
 # Wall-time regression gate: compare the sweep just run against the
