@@ -117,7 +117,7 @@ fn saturated_medium() -> Medium {
         // Half the load belongs to tracked networks 0..4, half is
         // SSID-less background (always foreign to every scanner).
         let ssid = if i % 2 == 0 {
-            Some((i % 5) as u32)
+            Some(u32::try_from(i % 5).unwrap_or(0)) // i % 5 < 5, always fits
         } else {
             None
         };

@@ -96,7 +96,9 @@ fn parse_args() -> Options {
                 usage();
             };
             match (a.as_str(), v.parse::<u64>()) {
-                ("--jobs", Ok(n)) => opts.jobs = (n as usize).max(1),
+                ("--jobs", Ok(n)) => {
+                    opts.jobs = usize::try_from(n).unwrap_or(usize::MAX).max(1);
+                }
                 ("--seed", Ok(s)) => opts.seed = s,
                 _ => {
                     eprintln!("invalid value for {a}: {v}");
@@ -258,8 +260,16 @@ fn main() {
             failed = true;
         }
         let path = format!("results/{}.json", f.id);
-        if let Err(e) = write_atomic(&path, &f.report.to_json()) {
-            eprintln!("warning: could not write {path}: {e}");
+        match f.report.to_json() {
+            Ok(json) => {
+                if let Err(e) = write_atomic(&path, &json) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not serialize report {}: {e}", f.id);
+                failed = true;
+            }
         }
     }
 
@@ -269,7 +279,10 @@ fn main() {
     // incumbent) and are reported but do not fail the run.
     let adaptive_violations: u64 = finished.iter().map(|f| f.oracles.adaptive_violations).sum();
     if adaptive_violations > 0 {
-        for f in finished.iter().filter(|f| f.oracles.adaptive_violations > 0) {
+        for f in finished
+            .iter()
+            .filter(|f| f.oracles.adaptive_violations > 0)
+        {
             eprintln!(
                 "error: {} adaptive oracle violation(s) during {}",
                 f.oracles.adaptive_violations, f.id
@@ -315,10 +328,16 @@ fn main() {
                 0.0
             },
         })).collect::<Vec<_>>(),
-    }))
-    .expect("summary serialization");
-    if let Err(e) = write_atomic("results/BENCH_experiments.json", &summary) {
-        eprintln!("warning: could not write results/BENCH_experiments.json: {e}");
+    }));
+    // The summary is advisory perf telemetry: a serialization failure is
+    // reported but does not fail the run.
+    match summary {
+        Ok(summary) => {
+            if let Err(e) = write_atomic("results/BENCH_experiments.json", &summary) {
+                eprintln!("warning: could not write results/BENCH_experiments.json: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize run summary: {e}"),
     }
     println!(
         "ran {} experiments in {total_wall_s:.1}s (jobs {}, overlap {outer}x{inner})",

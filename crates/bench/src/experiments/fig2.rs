@@ -64,7 +64,8 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
                     .max()
                     .unwrap_or(0)
             })
-            .unwrap()
+            // lint:allow(unwrap, the three labels are pushed unconditionally in the loop above; a miss is a harness bug)
+            .expect("histogram label present")
     };
     report.note(format!(
         "rural widest ({}) > suburban ({}) > urban ({}) — matches the paper's ordering",

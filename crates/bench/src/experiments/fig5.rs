@@ -67,6 +67,10 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
         let timing = PhyTiming::for_width(*width);
         let exchange_us = timing.exchange_duration(FIG5_BYTES).as_micros() as f64;
         exchanges.push(exchange_us);
+        // Truncating the f32 amplitudes to integers keeps the embedded
+        // trace snippet compact; the precision loss is intended.
+        #[allow(clippy::cast_possible_truncation)]
+        let trace_head: Vec<i64> = trace.iter().take(64).map(|&s| s as i64).collect();
         report.push_row(&[
             ("width_mhz", json!(width.mhz())),
             ("data_us", round4(data_us)),
@@ -74,10 +78,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
             ("ack_us", round4(ack_us)),
             ("exchange_us", round4(exchange_us)),
             ("paper_window_us", json!(paper_window)),
-            (
-                "trace_head",
-                json!(trace.iter().take(64).map(|&s| s as i64).collect::<Vec<_>>()),
-            ),
+            ("trace_head", json!(trace_head)),
         ]);
         assert!(
             exchange_us < *paper_window,

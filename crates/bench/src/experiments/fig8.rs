@@ -33,9 +33,24 @@ pub fn mean_scans(width: usize, trials: usize, seed: u64) -> (f64, f64, f64) {
     for _ in 0..trials {
         let ap = placements[rng.gen_range(0..placements.len())];
         let mk = |seed| SyntheticOracle::new(ap, super::rng(seed));
-        b.push(baseline_discovery(&mut mk(rng.gen()), map).unwrap().scans as f64);
-        l.push(l_sift_discovery(&mut mk(rng.gen()), map).unwrap().scans as f64);
-        j.push(j_sift_discovery(&mut mk(rng.gen()), map).unwrap().scans as f64);
+        b.push(
+            baseline_discovery(&mut mk(rng.gen()), map)
+                // lint:allow(unwrap, every map here has `width` free channels, so discovery always succeeds; None is a harness bug)
+                .expect("discovery")
+                .scans as f64,
+        );
+        l.push(
+            l_sift_discovery(&mut mk(rng.gen()), map)
+                // lint:allow(unwrap, every map here has `width` free channels, so discovery always succeeds; None is a harness bug)
+                .expect("discovery")
+                .scans as f64,
+        );
+        j.push(
+            j_sift_discovery(&mut mk(rng.gen()), map)
+                // lint:allow(unwrap, every map here has `width` free channels, so discovery always succeeds; None is a harness bug)
+                .expect("discovery")
+                .scans as f64,
+        );
     }
     (mean(&b), mean(&l), mean(&j))
 }

@@ -33,19 +33,22 @@ pub fn mean_times(class: LocaleClass, locales: usize, trials: usize, seed: u64) 
             let mk = |s| SyntheticOracle::new(ap, super::rng(s));
             b.push(
                 baseline_discovery(&mut mk(rng.gen()), locale.map)
-                    .unwrap()
+                    // lint:allow(unwrap, empty locales are skipped above, so discovery always succeeds; None is a harness bug)
+                    .expect("discovery")
                     .time
                     .as_secs_f64(),
             );
             l.push(
                 l_sift_discovery(&mut mk(rng.gen()), locale.map)
-                    .unwrap()
+                    // lint:allow(unwrap, empty locales are skipped above, so discovery always succeeds; None is a harness bug)
+                    .expect("discovery")
                     .time
                     .as_secs_f64(),
             );
             j.push(
                 j_sift_discovery(&mut mk(rng.gen()), locale.map)
-                    .unwrap()
+                    // lint:allow(unwrap, empty locales are skipped above, so discovery always succeeds; None is a harness bug)
+                    .expect("discovery")
                     .time
                     .as_secs_f64(),
             );

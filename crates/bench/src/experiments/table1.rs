@@ -66,7 +66,7 @@ pub fn detection_rate(width: Width, rate_kbps: u64, count: usize, seed: u64) -> 
 
 /// Runs the full Table 1 grid.
 pub fn run(ctx: &RunCtx) -> ExperimentReport {
-    let (runs, count) = if ctx.quick() { (3, 40) } else { (10, 110) };
+    let (runs, count) = if ctx.quick() { (3u64, 40) } else { (10, 110) };
     let mut report = ExperimentReport::new(
         "table1",
         "SIFT packet detection rate (median over runs)",
@@ -84,7 +84,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
                     width,
                     RATES_KBPS[ri],
                     count,
-                    ctx.seed(1000 + r as u64 * 31 + ri as u64),
+                    ctx.seed(1000 + r * 31 + ri as u64),
                 )
             })
             .collect();

@@ -150,7 +150,11 @@ impl ExperimentReport {
     }
 
     /// Serializes to pretty JSON.
-    pub fn to_json(&self) -> String {
+    ///
+    /// Fails only if a row holds a non-serializable `Value` (which
+    /// [`Self::validate`] would also reject); callers decide whether
+    /// that aborts the run or fails the one report.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string_pretty(&json!({
             "id": self.id,
             "title": self.title,
@@ -158,8 +162,15 @@ impl ExperimentReport {
             "rows": self.rows,
             "notes": self.notes,
         }))
-        .expect("report serialization")
     }
+}
+
+/// Series marker letter for index `i` (A..Z, wrapping).
+fn series_marker(i: usize) -> char {
+    // i % 26 < 26, so the cast is exact.
+    #[allow(clippy::cast_possible_truncation)]
+    let off = (i % 26) as u8;
+    char::from(b'A' + off)
 }
 
 impl ExperimentReport {
@@ -185,7 +196,7 @@ impl ExperimentReport {
             .iter()
             .enumerate()
             .map(|(i, col)| {
-                let marker = (b'A' + (i % 26) as u8) as char;
+                let marker = series_marker(i);
                 let ys = self
                     .rows
                     .iter()
@@ -209,6 +220,9 @@ impl ExperimentReport {
         for (marker, ys) in &series {
             for (x, y) in ys.iter().enumerate() {
                 if let Some(y) = y {
+                    // y ≥ min, so the rounded offset is nonnegative; the
+                    // `.min` on the next line clamps any overshoot.
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                     let row = ((y - min) / span * (HEIGHT - 1) as f64).round() as usize;
                     let row = HEIGHT - 1 - row.min(HEIGHT - 1);
                     grid[row][x] = if grid[row][x] == ' ' { *marker } else { '*' };
@@ -234,7 +248,7 @@ impl ExperimentReport {
         out.push('\n');
         out.push_str(&format!("   x: {}\n", xs.join(" ")));
         for (i, col) in y_cols.iter().enumerate() {
-            let marker = (b'A' + (i % 26) as u8) as char;
+            let marker = series_marker(i);
             out.push_str(&format!("   {marker} = {col}\n"));
         }
         out
@@ -258,7 +272,10 @@ pub fn mean(xs: &[f64]) -> f64 {
 pub fn median(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty());
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Metric samples are finite, so `total_cmp` sorts them exactly as
+    // `partial_cmp` did; it additionally gives NaN a defined order
+    // instead of a panic.
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -283,7 +300,7 @@ mod tests {
         assert!(text.contains("note: hello"));
         assert_eq!(r.columns, vec!["a", "b", "c"]);
         // JSON round-trips.
-        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        let v: Value = serde_json::from_str(&r.to_json().unwrap()).unwrap();
         assert_eq!(v["rows"].as_array().unwrap().len(), 2);
     }
 
@@ -298,7 +315,7 @@ mod tests {
         ]);
         assert_eq!(borrowed.columns, owned.columns);
         assert_eq!(borrowed.rows, owned.rows);
-        assert_eq!(borrowed.to_json(), owned.to_json());
+        assert_eq!(borrowed.to_json().unwrap(), owned.to_json().unwrap());
     }
 
     #[test]

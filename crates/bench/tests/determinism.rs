@@ -19,8 +19,8 @@ fn entry(id: &str) -> fn(&RunCtx) -> whitefi_bench::ExperimentReport {
 fn parallel_matches_sequential_byte_for_byte() {
     for id in ["scan_analysis", "hamming"] {
         let run = entry(id);
-        let sequential = run(&RunCtx::new(true, 1, 0)).to_json();
-        let parallel = run(&RunCtx::new(true, 4, 0)).to_json();
+        let sequential = run(&RunCtx::new(true, 1, 0)).to_json().expect("serializes");
+        let parallel = run(&RunCtx::new(true, 4, 0)).to_json().expect("serializes");
         assert_eq!(
             sequential, parallel,
             "{id}: --jobs 4 output diverged from --jobs 1"

@@ -6,8 +6,12 @@
 //! in `crates/whitefi/tests/sim_torture.rs` and shares the same case
 //! generator shape (a case is a pure function of its index).
 
-use whitefi_bench::RunCtx;
+// Case-mix arithmetic narrows small `Mix::below` draws into indices; the
+// values are single digits, the casts exact.
+#![allow(clippy::cast_possible_truncation)]
+
 use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
+use whitefi_bench::RunCtx;
 use whitefi_mac::FaultPlan;
 use whitefi_phy::{SimDuration, SimTime};
 use whitefi_spectrum::{
@@ -76,11 +80,9 @@ fn torture_scenario(case: u64) -> (Scenario, WfChannel) {
     if mix.below(2) == 0 {
         if let Some(backup) = whitefi::choose_backup(s.combined_map(), Some(initial)) {
             let second_at = strike_at + SimDuration::from_millis(50 + mix.below(400));
-            incumbents.mics.push(mic_on(
-                backup.center(),
-                second_at,
-                second_at + strike_len,
-            ));
+            incumbents
+                .mics
+                .push(mic_on(backup.center(), second_at, second_at + strike_len));
         }
     }
     s.ap_extra_incumbents = Some(incumbents.clone());
@@ -112,7 +114,11 @@ fn torture_scenario(case: u64) -> (Scenario, WfChannel) {
 #[test]
 #[ignore = "full 256-plan sweep; run via scripts/check.sh or -- --ignored"]
 fn full_torture_sweep_is_invariant_clean() {
-    let ctx = RunCtx::new(true, std::thread::available_parallelism().map_or(4, |n| n.get()), 0);
+    let ctx = RunCtx::new(
+        true,
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+        0,
+    );
     let failures: Vec<String> = ctx
         .map(256, |case| {
             let (s, initial) = torture_scenario(case as u64);

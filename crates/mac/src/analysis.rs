@@ -31,6 +31,9 @@ pub fn single_flow_goodput_mbps(width: Width, bytes: usize, params: &MacParams) 
 
 /// Solves Bianchi's fixed point for the per-slot transmission probability
 /// `τ` of `n` saturated stations with `CW_min = w`, `m` backoff stages.
+// `powi(n as i32)` over station counts: networks are a handful of nodes,
+// so the usize→i32 casts are exact.
+#[allow(clippy::cast_possible_truncation)]
 pub fn bianchi_tau(n: usize, w: u32, m: u32) -> f64 {
     assert!(n >= 1);
     let w = w as f64;
@@ -59,6 +62,10 @@ pub fn bianchi_tau(n: usize, w: u32, m: u32) -> f64 {
 
 /// Bianchi saturation goodput for `n` contenders sending `bytes`-byte
 /// frames at `width`, Mbps (aggregate across all flows).
+// As in `bianchi_tau`, the usize→i32 station-count casts are exact; the
+// backoff-stage count is a small nonnegative integer by construction, so
+// rounding it into a u32 is exact too.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 pub fn bianchi_saturation_goodput_mbps(
     n: usize,
     width: Width,

@@ -21,7 +21,7 @@
 use crate::frames::NodeId;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use whitefi_phy::{SimDuration, SimTime};
 
 /// Salt separating the fault RNG family from the node behaviour family
@@ -154,7 +154,7 @@ pub struct FaultState {
     /// registration.
     extras: Vec<SimDuration>,
     /// Decisions drawn at `start` awaiting their `finish`.
-    pending: HashMap<u64, FaultDecision>,
+    pending: BTreeMap<u64, FaultDecision>,
     events: Vec<FaultEvent>,
     stats: FaultStats,
     /// Combined fault-family seed (`splitmix64` of plan ⊕ sim seed).
@@ -170,7 +170,7 @@ impl FaultState {
             plan,
             rngs: Vec::new(),
             extras: Vec::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             events: Vec::new(),
             stats: FaultStats::default(),
             family_seed,
@@ -295,7 +295,12 @@ mod tests {
             assert_eq!(extra, SimDuration::ZERO);
         }
         for id in 0..200u64 {
-            fs.decide((id % 4) as NodeId, SimTime::from_micros(id), id, id % 2 == 0);
+            fs.decide(
+                (id % 4) as NodeId,
+                SimTime::from_micros(id),
+                id,
+                id % 2 == 0,
+            );
             assert!(fs.take(id).is_noop());
         }
         assert_eq!(fs.stats(), FaultStats::default());

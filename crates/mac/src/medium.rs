@@ -161,6 +161,7 @@ impl Medium {
             .active
             .iter()
             .position(|t| t.id == id)
+            // lint:allow(unwrap, TxEnd fires exactly once per `start` id; a miss is engine corruption, documented panic)
             .expect("finishing unknown transmission");
         let tx = self.active.swap_remove(idx);
         for ch in tx.channel.spanned() {
@@ -171,6 +172,7 @@ impl Medium {
                 let k = counts
                     .iter()
                     .position(|(s, _)| *s == ssid)
+                    // lint:allow(unwrap, ssid was counted at `start` of this same transmission; absence is engine corruption)
                     .expect("finishing transmission with untracked ssid");
                 counts[k].1 -= 1;
                 if counts[k].1 == 0 {
@@ -353,7 +355,7 @@ impl Medium {
                 seen.push(t.src);
             }
         }
-        seen.len() as u32
+        u32::try_from(seen.len()).unwrap_or(u32::MAX)
     }
 
     /// All transmissions (active or recent) overlapping `[from, to)`, as
@@ -734,7 +736,7 @@ mod tests {
         // return them oldest-first, then the active one.
         for k in 0..5u64 {
             let id = m.start(
-                k as NodeId,
+                NodeId::try_from(k).unwrap(),
                 false,
                 None,
                 c,
@@ -894,9 +896,15 @@ mod tests {
                 .as_micros(),
             100
         );
-        assert_eq!(m.busy_total(u12, SimTime::from_micros(120)).as_micros(), 120);
+        assert_eq!(
+            m.busy_total(u12, SimTime::from_micros(120)).as_micros(),
+            120
+        );
         m.finish(narrow, SimTime::from_micros(150));
-        assert_eq!(m.busy_total(u12, SimTime::from_micros(200)).as_micros(), 150);
+        assert_eq!(
+            m.busy_total(u12, SimTime::from_micros(200)).as_micros(),
+            150
+        );
         // A channel outside both spans never accrued.
         assert_eq!(
             m.busy_total(UhfChannel::from_index(13), SimTime::from_micros(200)),
@@ -904,6 +912,9 @@ mod tests {
         );
         // Zero-width query instant (now == last counter change) adds
         // nothing.
-        assert_eq!(m.busy_total(u12, SimTime::from_micros(150)).as_micros(), 150);
+        assert_eq!(
+            m.busy_total(u12, SimTime::from_micros(150)).as_micros(),
+            150
+        );
     }
 }

@@ -707,6 +707,7 @@ impl Core {
         }
         if let Some(obs) = self.observer.as_mut() {
             // The transmission just started is the newest active entry.
+            // lint:allow(unwrap, Medium::start pushed this entry immediately above; active cannot be empty here)
             let tx = self.medium.active().last().expect("just-started tx");
             obs.on_tx_start(self.now, tx);
         }
@@ -1097,7 +1098,9 @@ impl Simulator {
             if q.time > end {
                 break;
             }
-            let q = self.core.queue.pop().expect("peeked");
+            let Some(q) = self.core.queue.pop() else {
+                break; // unreachable: `peek` just returned an entry
+            };
             self.core.now = q.time;
             self.core.counters.handled += 1;
             self.handle(q.ev);
@@ -1106,6 +1109,7 @@ impl Simulator {
     }
 
     fn dispatch<F: FnOnce(&mut dyn Behavior, &mut Ctx)>(&mut self, node: NodeId, f: F) {
+        // lint:allow(unwrap, the slot is only empty while its own dispatch runs; re-entrancy is a documented panic)
         let mut b = self.behaviors[node].take().expect("behaviour re-entrancy");
         let mut ctx = Ctx {
             core: &mut self.core,
@@ -1185,6 +1189,7 @@ impl Simulator {
                 let frame = *self.core.nodes[node]
                     .queue
                     .front()
+                    // lint:allow(unwrap, a node only enters Pending with a queued frame and dequeues on TxEnd; documented panic)
                     .expect("pending tx with empty queue");
                 self.core.start_transmission(node, frame, true);
             }

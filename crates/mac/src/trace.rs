@@ -70,7 +70,9 @@ pub fn export(medium: &Medium, from: SimTime, to: SimTime) -> Vec<TraceRecord> {
         .iter()
         .map(record)
         .collect();
-    records.sort_by(|a, b| a.t_start_s.partial_cmp(&b.t_start_s).unwrap());
+    // `total_cmp` orders identically to `partial_cmp` here: start times
+    // are finite nonnegative seconds, so no NaN/-0.0 cases diverge.
+    records.sort_by(|a, b| a.t_start_s.total_cmp(&b.t_start_s));
     records
 }
 

@@ -132,6 +132,9 @@ impl MarkovOnOffSender {
         }
     }
 
+    // The draw is positive (u < 1 so ln(u) < 0) and truncating the
+    // sub-nanosecond remainder is the intended quantization.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     fn exp_sample(mean: SimDuration, rng: &mut impl Rng) -> SimDuration {
         if mean == SimDuration::ZERO {
             return SimDuration::ZERO;

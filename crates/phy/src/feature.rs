@@ -203,9 +203,11 @@ impl FeatureDetector {
     pub fn classify(&self, samples: &[Complex]) -> Incumbent {
         let psd = welch_psd(samples);
         let mut sorted = psd.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // PSD bins are finite and nonnegative, so `total_cmp` sorts them
+        // exactly as `partial_cmp` did (no NaN/-0.0 to diverge on).
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let median = sorted[FFT_SIZE / 2].max(f64::MIN_POSITIVE);
-        let peak = *sorted.last().unwrap();
+        let peak = sorted[FFT_SIZE - 1];
         // Broadband elevation must be measured on the *bulk* of the band:
         // exclude the strongest bins so a narrowband carrier sitting
         // in-band (a mic) does not masquerade as broadband energy.

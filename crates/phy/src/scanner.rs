@@ -53,10 +53,8 @@ impl Scanner {
         let s = scanned.index() as i64;
         (s - h..=s + h)
             .filter_map(|c| {
-                if c < 0 {
-                    return None;
-                }
-                UhfChannel::new(c as usize).and_then(|u| WfChannel::new(u, w))
+                let idx = usize::try_from(c).ok()?; // below-band centres fall out here
+                UhfChannel::new(idx).and_then(|u| WfChannel::new(u, w))
             })
             .collect()
     }

@@ -29,6 +29,21 @@ use crate::timing::PhyTiming;
 use serde::{Deserialize, Serialize};
 use whitefi_spectrum::Width;
 
+/// Sample count as `f64`, exactly. Counts are bounded by the capture
+/// length (milliseconds at the ~1 MS/s sample clock), far below 2^53,
+/// so the conversion is lossless for every input this crate produces.
+fn count_f64(n: usize) -> f64 {
+    // lint:allow(cast, sample counts are far below 2^53, conversion is exact)
+    n as f64
+}
+
+/// Sample count as `u64`. `usize` is at most 64 bits on every supported
+/// target, so this never truncates.
+fn count_u64(n: usize) -> u64 {
+    // lint:allow(cast, usize is at most 64 bits on all supported targets)
+    n as u64
+}
+
 /// SIFT detector parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SiftConfig {
@@ -102,7 +117,7 @@ pub struct Detection {
 impl Detection {
     /// Measured duration of the first frame in nanoseconds.
     pub fn first_duration_ns(&self) -> u64 {
-        self.first_len as u64 * SAMPLE_NS
+        count_u64(self.first_len) * SAMPLE_NS
     }
 }
 
@@ -147,22 +162,22 @@ impl Sift {
             return Vec::new();
         }
         let mut bursts = Vec::new();
-        let mut sum: f64 = samples[..w].iter().map(|&s| s as f64).sum();
+        let mut sum: f64 = samples[..w].iter().map(|&s| f64::from(s)).sum();
         let mut in_burst = false;
         let mut start = 0usize;
         let mut last_above = 0usize;
         for t in w - 1..samples.len() {
             if t >= w {
-                sum += samples[t] as f64 - samples[t - w] as f64;
+                sum += f64::from(samples[t]) - f64::from(samples[t - w]);
             }
-            let ma = sum / w as f64;
-            if samples[t] as f64 > thr {
+            let ma = sum / count_f64(w);
+            if f64::from(samples[t]) > thr {
                 last_above = t;
             }
             if !in_burst && ma > thr {
                 // Backtrack to the first supra-threshold sample in window.
                 let lo = t + 1 - w;
-                start = (lo..=t).find(|&i| samples[i] as f64 > thr).unwrap_or(t);
+                start = (lo..=t).find(|&i| f64::from(samples[i]) > thr).unwrap_or(t);
                 in_burst = true;
             } else if in_burst && ma <= thr {
                 let end = last_above.max(start);
@@ -207,10 +222,15 @@ impl Sift {
             for width in Width::ALL {
                 let sifs = Self::expected_sifs_samples(width);
                 let ack = Self::expected_ack_samples(width);
-                if (gap as f64 - sifs).abs() <= tol && (second.len as f64 - ack).abs() <= tol {
+                if (count_f64(gap) - sifs).abs() <= tol
+                    && (count_f64(second.len) - ack).abs() <= tol
+                {
                     // The second burst must not be longer than the first:
                     // an ACK never follows a frame shorter than itself.
-                    if second.len <= first.len + tol as usize {
+                    // (Both lengths are integers, so comparing against the
+                    // float tolerance is exactly the old `+ tol as usize`
+                    // integer check: n ≤ m + ⌊tol⌋ ⟺ n ≤ m + tol.)
+                    if count_f64(second.len) <= count_f64(first.len) + tol {
                         matched = Some(width);
                         break;
                     }
@@ -218,7 +238,7 @@ impl Sift {
             }
             if let Some(width) = matched {
                 let beacon = Self::expected_beacon_samples(width);
-                let kind = if (first.len as f64 - beacon).abs() <= tol {
+                let kind = if (count_f64(first.len) - beacon).abs() <= tol {
                     DetectionKind::BeaconCts
                 } else {
                     DetectionKind::DataAck
@@ -252,7 +272,7 @@ impl Sift {
             return 0.0;
         }
         let busy: usize = self.extract_bursts(samples).iter().map(|b| b.len).sum();
-        busy as f64 / samples.len() as f64
+        count_f64(busy) / count_f64(samples.len())
     }
 }
 

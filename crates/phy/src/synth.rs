@@ -188,6 +188,9 @@ impl Synthesizer {
                     b.kind,
                     BurstKind::Data | BurstKind::Beacon | BurstKind::Chirp
                 );
+                // Truncating the fractional sample is the intended floor;
+                // the product is nonnegative (fraction checked > 0).
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let head_len =
                     if b.width == Width::W5 && initiating && self.config.w5_head_fraction > 0.0 {
                         (len as f64 * self.config.w5_head_fraction) as usize
@@ -219,6 +222,9 @@ impl Synthesizer {
             out.clear();
             out.reserve(n);
             for &s in samples.iter() {
+                // Quantizing the f64 mix down to the scanner's f32 sample
+                // type is the point of this cast.
+                #[allow(clippy::cast_possible_truncation)]
                 out.push((s + self.noise.sample(rng)) as f32);
             }
         });
@@ -278,6 +284,9 @@ pub fn beacon_cts(start: SimTime, width: Width, amplitude: f64) -> [Burst; 2] {
 }
 
 #[cfg(test)]
+// Sample-index arithmetic in the assertions casts small u64 constants to
+// usize; the values are tiny, the casts are exact.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::timing::PhyTiming;

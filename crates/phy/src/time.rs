@@ -64,6 +64,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // lint:allow(unwrap, the panic is this method's documented contract; use saturating_since for the lenient form)
                 .expect("SimTime::since: earlier is after self"),
         )
     }

@@ -46,7 +46,7 @@ impl ChannelLoad {
 
     /// Expected share ρ of this channel (Equation 1).
     pub fn rho(self) -> f64 {
-        (1.0 - self.busy).max(1.0 / (self.aps as f64 + 1.0))
+        (1.0 - self.busy).max(1.0 / (f64::from(self.aps) + 1.0))
     }
 }
 

@@ -33,7 +33,8 @@ pub struct UhfChannel(u8);
 impl UhfChannel {
     /// Creates a channel from a raw index, returning `None` out of range.
     pub fn new(index: usize) -> Option<Self> {
-        (index < NUM_UHF_CHANNELS).then_some(Self(index as u8))
+        let raw = u8::try_from(index).ok()?;
+        (index < NUM_UHF_CHANNELS).then_some(Self(raw))
     }
 
     /// Creates a channel from a raw index, panicking if out of range.
@@ -41,6 +42,7 @@ impl UhfChannel {
     /// # Panics
     /// If `index >= NUM_UHF_CHANNELS`.
     pub fn from_index(index: usize) -> Self {
+        // lint:allow(unwrap, the panic is this constructor's documented contract; `new` is the fallible form)
         Self::new(index).expect("UHF channel index out of range")
     }
 
@@ -70,7 +72,7 @@ impl UhfChannel {
 
     /// Iterator over all UHF channels in index order.
     pub fn all() -> impl Iterator<Item = UhfChannel> {
-        (0..NUM_UHF_CHANNELS).map(|i| Self(i as u8))
+        (0u8..).take(NUM_UHF_CHANNELS).map(Self)
     }
 }
 
@@ -169,6 +171,7 @@ impl WfChannel {
     /// If the span does not fit in the band.
     pub fn from_parts(center_index: usize, width: Width) -> Self {
         Self::new(UhfChannel::from_index(center_index), width)
+            // lint:allow(unwrap, the panic is this constructor's documented contract; `new` is the fallible form)
             .expect("WhiteFi channel span exceeds band edge")
     }
 

@@ -95,7 +95,8 @@ impl Locale {
                 // Place adjacent to an existing station (clamped to band).
                 let base = occupied[rng.gen_range(0..occupied.len())];
                 let delta: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
-                (base as i64 + delta).clamp(0, NUM_UHF_CHANNELS as i64 - 1) as usize
+                let clamped = (base as i64 + delta).clamp(0, NUM_UHF_CHANNELS as i64 - 1);
+                usize::try_from(clamped).unwrap_or(0) // clamp bounds it to [0, 29]
             } else {
                 rng.gen_range(0..NUM_UHF_CHANNELS)
             };

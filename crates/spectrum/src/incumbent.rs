@@ -121,6 +121,9 @@ impl MicSchedule {
         mean_off_s: f64,
         mean_on_s: f64,
     ) -> Self {
+        // The draw is positive (u < 1 so ln(u) < 0) and truncating the
+        // sub-nanosecond remainder is the intended quantization.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let exp = |rng: &mut R, mean: f64| -> Nanos {
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
             ((-mean * u.ln()) * NANOS_PER_SEC as f64) as Nanos

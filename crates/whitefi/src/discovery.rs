@@ -273,6 +273,9 @@ pub fn expected_scans_l_sift(nc: usize) -> f64 {
 /// the paper, but this form reproduces both stated consequences — ≈
 /// `(NC + 4 + 1)/NW` for `NW = 3`, and the L-SIFT crossover at
 /// `NC ≈ 10`).
+// `nw` is the number of supported widths (3), so the usize→i32 cast for
+// `powi` is exact.
+#[allow(clippy::cast_possible_truncation)]
 pub fn expected_scans_j_sift(nc: usize, nw: usize) -> f64 {
     (nc as f64 + 2f64.powi(nw as i32 - 1) + (nw as f64 - 1.0) / 2.0) / nw as f64
 }

@@ -231,10 +231,8 @@ fn build(
     ap_cfg.downlink_bytes = Some(scenario.downlink_bytes);
     ap_cfg.downlink_interval = None;
 
-    let ap_incumbents = Scenario::incumbents_for(
-        scenario.ap_map,
-        scenario.ap_extra_incumbents.as_ref(),
-    );
+    let ap_incumbents =
+        Scenario::incumbents_for(scenario.ap_map, scenario.ap_extra_incumbents.as_ref());
     let ap_node_cfg = NodeConfig::on_channel(initial)
         .ap()
         .in_ssid(1)
@@ -261,7 +259,8 @@ fn build(
             .rng_stream(1 + i as u64)
             .with_incumbents(incumbents.clone());
         let detection = node_cfg.detection_delay;
-        let mut ccfg = ClientConfig::new(ap, (i % 16) as u8);
+        let slot = u8::try_from(i % 16).unwrap_or(0); // i % 16 < 16, always fits
+        let mut ccfg = ClientConfig::new(ap, slot);
         if let Some(bytes) = scenario.uplink_bytes {
             ccfg = ccfg.saturating_uplink(bytes);
         }
@@ -400,6 +399,7 @@ pub fn run_whitefi(scenario: &Scenario, initial: Option<WfChannel>) -> ScenarioO
             )
             .map(|(c, _)| c)
         })
+        // lint:allow(unwrap, a scenario whose map admits no channel at all cannot be driven; documented precondition)
         .expect("scenario has no admissible channel");
     let mut net = build(scenario, initial, true, None);
     measure(scenario, &mut net)

@@ -122,6 +122,13 @@ pub fn mcham_with(combiner: Combiner, airtime: &AirtimeVector, channel: WfChanne
     channel.width().capacity_factor() * combined
 }
 
+/// Client count (at least 1, so a clientless AP still weighs its own
+/// share) as `f64`, exactly: network sizes are tiny relative to 2^53.
+fn node_count_f64(clients: usize) -> f64 {
+    // lint:allow(cast, client counts are far below 2^53, conversion is exact)
+    clients.max(1) as f64
+}
+
 /// The channel-selection objective. The paper optimizes aggregate
 /// throughput and notes that "other metrics (such as metrics including
 /// fairness conditions) can easily be implemented instead".
@@ -175,7 +182,7 @@ pub fn select_channel_with(
         SpectrumMap::union_all(std::iter::once(ap.map).chain(clients.iter().map(|c| c.map)));
     let ap_table = RhoTable::new(&ap.airtime);
     let client_tables: Vec<RhoTable> = clients.iter().map(|c| RhoTable::new(&c.airtime)).collect();
-    let n = clients.len().max(1) as f64;
+    let n = node_count_f64(clients.len());
     let mut best: Option<(WfChannel, f64)> = None;
     for cand in combined.available_channels() {
         let ap_m = ap_table.mcham(cand);
@@ -215,7 +222,7 @@ pub fn select_channel_with(
 /// The AP's selection objective for one candidate channel:
 /// `N·MCham_AP + Σ_n MCham_n` (§4.1, "Channel selection").
 pub fn selection_score(ap: &NodeReport, clients: &[NodeReport], channel: WfChannel) -> f64 {
-    let n = clients.len().max(1) as f64;
+    let n = node_count_f64(clients.len());
     n * mcham(&ap.airtime, channel)
         + clients
             .iter()

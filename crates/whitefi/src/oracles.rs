@@ -274,7 +274,9 @@ impl Inner {
         }
 
         // --- Incumbent safety ----------------------------------------
-        let env = self.members[tx.src].as_ref().expect("member checked");
+        let Some(env) = self.members[tx.src].as_ref() else {
+            return; // unreachable: `is_member` checked on entry
+        };
         let static_hit = tx
             .channel
             .spanned()
@@ -314,13 +316,13 @@ impl Inner {
         }
 
         // --- Backup liveness -----------------------------------------
-        let env = self.members[tx.src].as_mut().expect("member checked");
+        let Some(env) = self.members[tx.src].as_mut() else {
+            return; // unreachable: `is_member` checked on entry
+        };
         if !env.is_ap {
             match tx.frame.kind {
                 FrameKind::Chirp { .. } => {
-                    if env.live_open.is_none() {
-                        env.live_open = Some(now);
-                    }
+                    env.live_open.get_or_insert(now);
                 }
                 _ if tx.frame.dst.is_some() => {
                     // Any unicast back to the network closes the window
@@ -336,7 +338,9 @@ impl Inner {
             }
         }
 
-        let env = self.members[tx.src].as_mut().expect("member checked");
+        let Some(env) = self.members[tx.src].as_mut() else {
+            return; // unreachable: `is_member` checked on entry
+        };
         env.last_tx_channel = Some(tx.channel);
         env.last_tx_time = now;
         self.fg_active.push((tx.id, tx.src, tx.channel));
@@ -520,9 +524,7 @@ impl OracleBank {
                     OracleKind::AirtimeConservation,
                     now,
                     None,
-                    format!(
-                        "UHF {i}: medium busy {med} ns, independent recomputation {mine} ns"
-                    ),
+                    format!("UHF {i}: medium busy {med} ns, independent recomputation {mine} ns"),
                 );
             }
             if med > now_ns {
@@ -555,9 +557,7 @@ impl OracleBank {
         // it: any fault at a member node in (or shortly before) the
         // window, a faulted detection stretch on a member, or a skewed
         // scanner history horizon (which perturbs every chirp scan).
-        let skewed = sim
-            .fault_plan()
-            .is_some_and(|p| p.history_skew.is_some());
+        let skewed = sim.fault_plan().is_some_and(|p| p.history_skew.is_some());
         let pending = std::mem::take(&mut inner.pending_liveness);
         for (node, open, close) in pending {
             let explained = skewed

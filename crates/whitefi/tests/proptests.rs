@@ -1,5 +1,9 @@
 //! Property-based tests for the WhiteFi protocol layer.
 
+// Candidate/channel counts are at most 84, so the usize→u32 narrowing in
+// the scan bounds is exact.
+#![allow(clippy::cast_possible_truncation)]
+
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

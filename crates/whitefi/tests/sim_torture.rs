@@ -15,6 +15,10 @@
 //! deterministic subset in the default test run. Case count:
 //! `SIM_TORTURE_CASES` (default 24).
 
+// Case-mix arithmetic narrows small `Mix::below` draws into indices; the
+// values are single digits, the casts exact.
+#![allow(clippy::cast_possible_truncation)]
+
 use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
 use whitefi_mac::FaultPlan;
 use whitefi_phy::{SimDuration, SimTime};
@@ -105,11 +109,9 @@ fn torture_scenario(case: u64) -> (Scenario, WfChannel) {
     if mix.below(2) == 0 {
         if let Some(backup) = whitefi::choose_backup(s.combined_map(), Some(initial)) {
             let second_at = strike_at + SimDuration::from_millis(50 + mix.below(400));
-            incumbents.mics.push(mic_on(
-                backup.center(),
-                second_at,
-                second_at + strike_len,
-            ));
+            incumbents
+                .mics
+                .push(mic_on(backup.center(), second_at, second_at + strike_len));
         }
     }
     s.ap_extra_incumbents = Some(incumbents.clone());
@@ -163,7 +165,10 @@ fn randomized_fault_plans_never_violate_invariants() {
             s.faults,
             out.oracle.violations
         );
-        assert!(out.oracle.checked_tx > 0, "case {case}: oracles saw nothing");
+        assert!(
+            out.oracle.checked_tx > 0,
+            "case {case}: oracles saw nothing"
+        );
     }
 }
 

@@ -1,0 +1,413 @@
+//! A minimal Rust lexer: just enough to walk a source file as a token
+//! stream with line numbers, while keeping comments (for waiver
+//! parsing) and skipping string/char literal *contents* so the rules
+//! never fire on text inside literals.
+//!
+//! This is deliberately not a full grammar. The whitefi-lint rules are
+//! token-level (banned identifiers, `.unwrap()` call shapes, `as`
+//! casts), so a faithful tokenizer plus light structure tracking in
+//! [`crate::rules`] covers them without pulling `syn`/`proc-macro2`
+//! into a crate that must build offline on a bare toolchain.
+//!
+//! Handled: line (`//`) and nested block (`/* */`) comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any number of
+//! `#`), byte and byte-raw strings, char literals (including escaped
+//! chars), lifetimes, identifiers (keywords included), numbers, and
+//! single-character punctuation.
+
+/// What a token is. Punctuation is kept one character at a time; the
+/// rule matcher reassembles multi-character operators (`::`) itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`as`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Numeric literal (value irrelevant to the rules).
+    Number,
+    /// String/char/byte literal — contents deliberately opaque.
+    Literal,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// One character of punctuation.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for `Punct`, exactly one character).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// A comment with its location; `text` excludes the delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without `//`, `/*`, `*/`.
+    pub text: String,
+    /// Whether any token precedes the comment on its starting line
+    /// (a trailing comment waives its own line, a standalone comment
+    /// waives the next line that has code).
+    pub trailing: bool,
+}
+
+/// The full lex of one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Lines (1-based) that carry at least one token.
+    pub fn token_lines(&self) -> Vec<u32> {
+        let mut lines: Vec<u32> = self.tokens.iter().map(|t| t.line).collect();
+        lines.dedup();
+        lines
+    }
+}
+
+/// Lexes `src`. Unterminated constructs (string running to EOF) are
+/// tolerated: the remainder is swallowed as one literal/comment so a
+/// half-edited file still produces diagnostics for its early lines.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_had_token = false;
+
+    // Scratch for deciding whether `r`/`b`/`br` starts a raw string.
+    fn raw_string_hashes(bytes: &[u8], mut j: usize) -> Option<usize> {
+        let mut hashes = 0usize;
+        while j < bytes.len() && bytes[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        (j < bytes.len() && bytes[j] == b'"').then_some(hashes)
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_had_token = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                    trailing: line_had_token,
+                });
+                i = j;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let trailing = line_had_token;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: String::from_utf8_lossy(&bytes[start..end]).into_owned(),
+                    trailing,
+                });
+                line_had_token = false;
+                i = j;
+            }
+            b'"' => {
+                let tok_line = line;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                line_had_token = true;
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): an identifier run NOT followed by a closing
+                // quote is a lifetime.
+                let mut j = i + 1;
+                let mut is_lifetime = false;
+                if j < bytes.len() && (bytes[j].is_ascii_alphabetic() || bytes[j] == b'_') {
+                    let mut k = j + 1;
+                    while k < bytes.len() && (bytes[k].is_ascii_alphanumeric() || bytes[k] == b'_')
+                    {
+                        k += 1;
+                    }
+                    if bytes.get(k) != Some(&b'\'') {
+                        is_lifetime = true;
+                        out.tokens.push(Token {
+                            kind: TokKind::Lifetime,
+                            text: String::from_utf8_lossy(&bytes[j..k]).into_owned(),
+                            line,
+                        });
+                        j = k;
+                    }
+                }
+                if !is_lifetime {
+                    // Char literal: skip escape, then to closing quote.
+                    if j < bytes.len() && bytes[j] == b'\\' {
+                        j += 2;
+                    } else if j < bytes.len() {
+                        // Possibly multi-byte UTF-8 char; advance to the
+                        // closing quote.
+                        j += 1;
+                    }
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        if bytes[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    j = (j + 1).min(bytes.len());
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+                line_had_token = true;
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                // Raw / byte string prefixes first.
+                let rest = &bytes[i..];
+                let raw_prefix = match (c, rest.get(1)) {
+                    (b'r', _) => Some(1),
+                    (b'b', Some(&b'r')) => Some(2),
+                    (b'b', Some(&b'"')) => {
+                        // b"…": plain byte string, reuse the string path
+                        // by skipping the prefix byte.
+                        None
+                    }
+                    _ => None,
+                };
+                if c == b'b' && rest.get(1) == Some(&b'"') {
+                    i += 1; // lex the `"` branch next
+                    continue;
+                }
+                if c == b'b' && rest.get(1) == Some(&b'\'') {
+                    i += 1; // byte char: lex the `'` branch next
+                    continue;
+                }
+                if let Some(off) = raw_prefix {
+                    if let Some(hashes) = raw_string_hashes(bytes, i + off) {
+                        let tok_line = line;
+                        // Skip prefix, hashes, opening quote.
+                        let mut j = i + off + hashes + 1;
+                        let closer: Vec<u8> = std::iter::once(b'"')
+                            .chain(std::iter::repeat_n(b'#', hashes))
+                            .collect();
+                        while j < bytes.len() {
+                            if bytes[j] == b'\n' {
+                                line += 1;
+                                j += 1;
+                            } else if bytes[j..].starts_with(&closer) {
+                                j += closer.len();
+                                break;
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        out.tokens.push(Token {
+                            kind: TokKind::Literal,
+                            text: String::new(),
+                            line: tok_line,
+                        });
+                        line_had_token = true;
+                        i = j;
+                        continue;
+                    }
+                }
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                    line,
+                });
+                line_had_token = true;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                // Numbers may contain `_`, hex digits, type suffixes, a
+                // decimal point, exponents. Consume the alphanumeric
+                // run plus embedded dots followed by digits (so `1.5`
+                // is one token but `x.unwrap` is not reachable here).
+                while j < bytes.len() {
+                    let b = bytes[j];
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        j += 1;
+                    } else if b == b'.' && bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Number,
+                    text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                    line,
+                });
+                line_had_token = true;
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                line_had_token = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_lines() {
+        let l = lex("fn main() {\n    foo.bar();\n}\n");
+        let bar = l.tokens.iter().find(|t| t.text == "bar").unwrap();
+        assert_eq!(bar.line, 2);
+        assert_eq!(bar.kind, TokKind::Ident);
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        assert_eq!(idents(r#"let s = "HashMap thread_rng";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"a \"quoted\" HashMap\"#; let t = 1;";
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        assert_eq!(
+            idents("let s = b\"HashMap\"; let c = b'x';"),
+            vec!["let", "s", "let", "c"]
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let lits = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn line_comments_captured_with_trailing_flag() {
+        let l = lex("let x = 1; // trailing note\n// standalone note\nlet y = 2;\n");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert_eq!(l.comments[0].text.trim(), "trailing note");
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ let x = 1;"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let l = lex("let s = \"line\nbreak\";\nlet y = 2;");
+        let y = l.tokens.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_absorb_method_calls() {
+        let l = lex("let x = 1.5f64; y.unwrap();");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "1.5f64"));
+    }
+}

@@ -1,0 +1,69 @@
+//! whitefi-lint: a workspace determinism/safety linter.
+//!
+//! The simulator's core guarantees — byte-identical results across
+//! sequential and parallel runs, pruned==unpruned equality, golden
+//! trace digests (DESIGN.md §7–§10) — are conventions about *how* code
+//! is written: ordered containers in sim state, seeded per-node RNG
+//! streams, no wall-clock reads in sim paths. This crate turns those
+//! conventions into machine-checked rules that run at check time
+//! (`cargo run -p xtask -- lint`), before any simulation executes.
+//!
+//! Rules (full rationale and waiver policy in DESIGN.md §11):
+//!
+//! - **R1-hashmap** — no `HashMap`/`HashSet` in the sim-deterministic
+//!   crates (`mac`, `whitefi`, `spectrum`, `bench`).
+//! - **R2-nondet** — no `thread_rng`, `rand::random`,
+//!   `SystemTime::now`, `Instant::now` outside the wall-clock
+//!   allowlist (bench runner timing, criterion benches).
+//! - **R3-rng** — no `from_entropy`/`from_os_rng`; RNGs go through
+//!   `seed_from_u64` + `set_stream`.
+//! - **R4-unwrap** — no `.unwrap()`/`.expect(…)` in library code
+//!   outside `#[cfg(test)]` without a reasoned waiver.
+//! - **R5-cast** — no `as` numeric casts in the hot numeric kernels
+//!   (`phy::sift`, `spectrum::airtime`, `whitefi::mcham`).
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use diag::Diagnostic;
+use rules::FileCtx;
+use std::io;
+use std::path::Path;
+
+/// Outcome of linting a workspace tree.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Violations (and malformed waivers) that must be fixed.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files: usize,
+    /// Violations silenced by a valid waiver.
+    pub waived: usize,
+}
+
+impl LintOutcome {
+    /// Whether the tree is clean.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints the workspace rooted at `root`.
+pub fn lint_root(root: &Path) -> io::Result<LintOutcome> {
+    let mut outcome = LintOutcome::default();
+    for rel in walk::workspace_files(root)? {
+        let Some(ctx) = FileCtx::classify(&rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let report = rules::check_file(&ctx, &src);
+        outcome.files += 1;
+        outcome.waived += report.waived;
+        outcome.diagnostics.extend(report.diagnostics);
+    }
+    Ok(outcome)
+}

@@ -1,0 +1,77 @@
+//! `cargo run -p xtask -- lint` — the whitefi-lint CLI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--root PATH]\n\
+         \n\
+         Enforces the workspace determinism/safety rules (DESIGN.md §11):\n\
+         R1-hashmap, R2-nondet, R3-rng, R4-unwrap, R5-cast.\n\
+         Exits 0 when clean, 1 on violations, 2 on usage errors."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    if cmd != "lint" {
+        eprintln!("unknown subcommand: {cmd}");
+        return usage();
+    }
+    let mut root = PathBuf::from(".");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    eprintln!("--root requires a value");
+                    return usage();
+                };
+                root = PathBuf::from(p);
+            }
+            "--fix-waivers" => {
+                eprintln!(
+                    "--fix-waivers is not supported: waivers are intentionally manual. \
+                     Every waiver needs a human-written reason explaining why the \
+                     invariant holds at that site (DESIGN.md §11); auto-inserting them \
+                     would turn the lint into a rubber stamp. Add the comment by hand:\n\
+                     \x20   // lint:allow(<rule>, <reason>)"
+                );
+                return ExitCode::from(2);
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    let outcome = match xtask::lint_root(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("whitefi-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &outcome.diagnostics {
+        println!("{d}\n");
+    }
+    println!(
+        "whitefi-lint: {} file(s) scanned, {} violation(s), {} waived",
+        outcome.files,
+        outcome.diagnostics.len(),
+        outcome.waived
+    );
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,71 @@
+//! Deterministic workspace file discovery for the linter.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory trees scanned relative to the workspace root. Everything
+/// the workspace compiles lives under one of these.
+const ROOT_TREES: [&str; 3] = ["src", "tests", "examples"];
+
+/// Collects every `.rs` file the linter covers, as root-relative paths
+/// with forward slashes, sorted. Skips any directory named `fixtures`
+/// (xtask's own test fixtures carry seeded violations) and `target`.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    if !root.is_dir() {
+        // A typo'd --root must not report a clean scan of zero files.
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("lint root {} is not a directory", root.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    for tree in ROOT_TREES {
+        collect(&root.join(tree), root, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for krate in entries {
+            if !krate.is_dir() {
+                continue;
+            }
+            for tree in ["src", "tests", "benches", "examples"] {
+                collect(&krate.join(tree), root, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            collect(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}

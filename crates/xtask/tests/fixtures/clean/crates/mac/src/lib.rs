@@ -1,0 +1,27 @@
+//! Clean fixture: everything the rules want to see.
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+pub fn node_rng(seed: u64, stream: u64) -> ChaCha8Rng {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    r.set_stream(stream);
+    r
+}
+
+pub fn ordered() -> BTreeMap<u32, &'static str> {
+    BTreeMap::from([(1, "HashMap in a string literal is fine")])
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    v.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::total(&[1.0]).to_string().parse::<f64>().unwrap(), 1.0);
+    }
+}

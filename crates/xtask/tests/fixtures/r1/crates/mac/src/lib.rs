@@ -1,0 +1,7 @@
+//! R1 fixture: unordered containers in a sim-deterministic crate.
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn build() -> (HashMap<u32, u32>, BTreeMap<u32, u32>) {
+    (HashMap::new(), BTreeMap::new())
+}

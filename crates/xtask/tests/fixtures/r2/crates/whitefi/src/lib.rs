@@ -1,0 +1,8 @@
+//! R2 fixture: ambient nondeterminism in a sim path.
+use std::time::Instant;
+
+pub fn elapsed_jitter() -> u64 {
+    let start = Instant::now();
+    let r: u8 = rand::thread_rng().gen();
+    start.elapsed().as_nanos() as u64 + r as u64
+}

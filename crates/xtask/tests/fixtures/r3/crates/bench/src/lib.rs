@@ -1,0 +1,12 @@
+//! R3 fixture: RNG construction outside the per-node stream API.
+use rand_chacha::ChaCha8Rng;
+
+pub fn rng_good(seed: u64, stream: u64) -> ChaCha8Rng {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    r.set_stream(stream);
+    r
+}
+
+pub fn rng_bad() -> ChaCha8Rng {
+    ChaCha8Rng::from_entropy()
+}

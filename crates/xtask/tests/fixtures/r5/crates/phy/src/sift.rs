@@ -1,0 +1,21 @@
+//! R5 fixture: `as` casts in a hot numeric kernel.
+
+pub fn lossless(x: f32) -> f64 {
+    f64::from(x)
+}
+
+pub fn lossy(n: usize) -> f64 {
+    n as f64
+}
+
+pub fn truncating(x: f64) -> usize {
+    x as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_fine() {
+        assert_eq!(3usize as f64, 3.0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Waiver fixture: a waiver without a reason does not silence anything.
+
+pub fn nope(xs: &[u32]) -> u32 {
+    // lint:allow(unwrap)
+    *xs.first().unwrap()
+}

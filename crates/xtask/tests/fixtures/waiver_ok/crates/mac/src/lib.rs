@@ -1,0 +1,10 @@
+//! Waiver fixture: reasoned waivers silence their target line only.
+
+pub fn trailing(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty by contract") // lint:allow(unwrap, caller guarantees a non-empty slice)
+}
+
+pub fn standalone(xs: &[u32]) -> u32 {
+    // lint:allow(unwrap, index 0 exists: the constructor always pushes one element)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,131 @@
+//! Per-rule fixture tests: each seeded violation is detected with the
+//! exact rule id and line number, waivers behave, and the clean fixture
+//! stays clean.
+
+use std::path::PathBuf;
+use xtask::diag::RuleId;
+use xtask::lint_root;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// (rule id, file, line) triples, sorted, for compact assertions.
+fn findings(name: &str) -> (Vec<(String, String, u32)>, usize) {
+    let out = lint_root(&fixture(name)).expect("fixture tree scans");
+    let mut v: Vec<(String, String, u32)> = out
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.id().to_string(), d.file.clone(), d.line))
+        .collect();
+    v.sort();
+    (v, out.waived)
+}
+
+#[test]
+fn r1_hashmap_detected_at_exact_lines() {
+    let (v, waived) = findings("r1");
+    assert_eq!(
+        v,
+        vec![
+            ("R1-hashmap".into(), "crates/mac/src/lib.rs".into(), 3),
+            ("R1-hashmap".into(), "crates/mac/src/lib.rs".into(), 5),
+            ("R1-hashmap".into(), "crates/mac/src/lib.rs".into(), 6),
+        ]
+    );
+    assert_eq!(waived, 0);
+}
+
+#[test]
+fn r2_nondet_detected() {
+    let (v, _) = findings("r2");
+    assert_eq!(
+        v,
+        vec![
+            ("R2-nondet".into(), "crates/whitefi/src/lib.rs".into(), 5),
+            ("R2-nondet".into(), "crates/whitefi/src/lib.rs".into(), 6),
+        ]
+    );
+}
+
+#[test]
+fn r3_rng_construction_detected() {
+    let (v, _) = findings("r3");
+    assert_eq!(
+        v,
+        vec![("R3-rng".into(), "crates/bench/src/lib.rs".into(), 11)]
+    );
+}
+
+#[test]
+fn r4_unwrap_detected_outside_cfg_test_only() {
+    let (v, _) = findings("r4");
+    assert_eq!(
+        v,
+        vec![
+            ("R4-unwrap".into(), "crates/spectrum/src/lib.rs".into(), 4),
+            ("R4-unwrap".into(), "crates/spectrum/src/lib.rs".into(), 8),
+        ]
+    );
+}
+
+#[test]
+fn r5_casts_detected_in_kernel_only() {
+    let (v, _) = findings("r5");
+    assert_eq!(
+        v,
+        vec![
+            ("R5-cast".into(), "crates/phy/src/sift.rs".into(), 8),
+            ("R5-cast".into(), "crates/phy/src/sift.rs".into(), 12),
+        ]
+    );
+}
+
+#[test]
+fn reasoned_waivers_silence_and_are_counted() {
+    let (v, waived) = findings("waiver_ok");
+    assert!(v.is_empty(), "waived sites must not report: {v:?}");
+    assert_eq!(waived, 2);
+}
+
+#[test]
+fn waiver_missing_reason_is_rejected() {
+    let out = lint_root(&fixture("waiver_missing_reason")).expect("fixture tree scans");
+    let mut pairs: Vec<(String, u32)> = out
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.id().to_string(), d.line))
+        .collect();
+    pairs.sort();
+    // The bad waiver itself plus the unsilenced unwrap.
+    assert_eq!(pairs, vec![("R4-unwrap".into(), 5), ("waiver".into(), 4)]);
+    assert_eq!(out.waived, 0);
+    let w = out
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == RuleId::Waiver)
+        .expect("waiver diagnostic present");
+    assert!(w.message.contains("missing its reason"), "{}", w.message);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let (v, waived) = findings("clean");
+    assert!(v.is_empty(), "clean fixture flagged: {v:?}");
+    assert_eq!(waived, 0);
+}
+
+#[test]
+fn diagnostics_render_with_location_rule_snippet_and_hint() {
+    let out = lint_root(&fixture("r1")).expect("fixture tree scans");
+    let rendered = format!("{}", out.diagnostics[0]);
+    assert!(rendered.contains("crates/mac/src/lib.rs:3"), "{rendered}");
+    assert!(rendered.contains("[R1-hashmap]"), "{rendered}");
+    assert!(
+        rendered.contains("use std::collections::HashMap;"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("hint:"), "{rendered}");
+}

@@ -103,8 +103,10 @@ fn main() {
     // How would a static network have fared? A pinned 20 MHz network on
     // the same day ignores the mics entirely.
     let favourite = UhfChannel::from_index(4);
-    let pinned =
-        whitefi::driver::run_fixed(&scenario, WfChannel::new(favourite, Width::W20).unwrap());
+    let pinned = whitefi::driver::run_fixed(
+        &scenario,
+        WfChannel::new(favourite, Width::W20).expect("channel 4 at 20 MHz fits the band"),
+    );
     println!(
         "static 20 MHz network on the same day: {:.2} Mbps with {} incumbent violations — it tramples the mics",
         pinned.aggregate_mbps, pinned.violations

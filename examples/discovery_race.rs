@@ -6,6 +6,10 @@
 //! cargo run --release --example discovery_race
 //! ```
 
+// Rounded mean dwell counts become bar lengths; the f64→usize floor is
+// the intended quantization.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use whitefi::{
@@ -31,9 +35,15 @@ fn main() {
         for _ in 0..trials {
             let ap = placements[rng.gen_range(0..placements.len())];
             let mk = |s| SyntheticOracle::new(ap, rand_chacha::ChaCha8Rng::seed_from_u64(s));
-            sums[0] += baseline_discovery(&mut mk(rng.gen()), map).unwrap().scans as f64;
-            sums[1] += l_sift_discovery(&mut mk(rng.gen()), map).unwrap().scans as f64;
-            sums[2] += j_sift_discovery(&mut mk(rng.gen()), map).unwrap().scans as f64;
+            sums[0] += baseline_discovery(&mut mk(rng.gen()), map)
+                .expect("map has free channels")
+                .scans as f64;
+            sums[1] += l_sift_discovery(&mut mk(rng.gen()), map)
+                .expect("map has free channels")
+                .scans as f64;
+            sums[2] += j_sift_discovery(&mut mk(rng.gen()), map)
+                .expect("map has free channels")
+                .scans as f64;
         }
         let [b, l, j] = sums.map(|s| s / trials as f64);
         let winner = if l <= j { 'L' } else { 'J' };

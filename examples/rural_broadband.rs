@@ -38,7 +38,7 @@ fn main() {
         scenario.warmup = SimDuration::from_secs(1);
         scenario.duration = SimDuration::from_secs(5);
         let out = run_whitefi(&scenario, None);
-        let final_ch = out.samples.last().unwrap().ap_channel;
+        let final_ch = out.samples.last().expect("run produces samples").ap_channel;
         println!(
             "WhiteFi settles on {final_ch}: aggregate {:.2} Mbps across 4 clients",
             out.aggregate_mbps
@@ -59,14 +59,14 @@ fn main() {
             let mut o = SyntheticOracle::new(ap, rand_chacha::ChaCha8Rng::seed_from_u64(seed + t));
             trials_base.push(
                 baseline_discovery(&mut o, locale.map)
-                    .unwrap()
+                    .expect("placements nonempty")
                     .time
                     .as_secs_f64(),
             );
             let mut o = SyntheticOracle::new(ap, rand_chacha::ChaCha8Rng::seed_from_u64(seed + t));
             trials_j.push(
                 j_sift_discovery(&mut o, locale.map)
-                    .unwrap()
+                    .expect("placements nonempty")
                     .time
                     .as_secs_f64(),
             );

@@ -7,6 +7,13 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo build --workspace --release
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Determinism/safety linter (DESIGN.md §11): R1 ordered containers,
+# R2 no ambient nondeterminism, R3 seeded+streamed RNG construction,
+# R4 no unwrap/expect in library code, R5 no lossy `as` casts in hot
+# kernels. Exits non-zero with file:line diagnostics on any violation.
+cargo run --release -p xtask -- lint
+
 cargo test --workspace -q
 
 # Invariant torture lane: the full 256-plan randomized fault-injection

@@ -52,6 +52,7 @@ pub fn scripted_mic(channel: usize, on: SimTime, off: SimTime) -> WirelessMic {
 
 /// Convenience: a `SimDuration` from fractional seconds (test/bench
 /// ergonomics; truncates to nanoseconds).
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 pub fn secs_f(s: f64) -> SimDuration {
     SimDuration::from_nanos((s * 1e9) as u64)
 }

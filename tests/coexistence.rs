@@ -4,6 +4,10 @@
 //! of Equation 1) and the two should settle on disjoint spectrum when
 //! enough is available.
 
+// Client slot indices are tiny (a handful of clients per network), so
+// the usize→u8 narrowing is exact.
+#![allow(clippy::cast_possible_truncation)]
+
 use whitefi::{ApBehavior, ApConfig, ClientBehavior, ClientConfig};
 use whitefi_mac::{NodeConfig, NodeId, Simulator};
 use whitefi_phy::SimTime;
