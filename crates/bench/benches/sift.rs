@@ -1,11 +1,13 @@
 //! Criterion benches for the SIFT detector: burst extraction and full
-//! classification over Table 1-style traces.
+//! classification over Table 1-style traces, plus the scalar-reference
+//! vs batched-kernel comparisons backing the README performance table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use whitefi_bench::experiments::table1::cbr_schedule;
-use whitefi_phy::{Sift, Synthesizer};
+use whitefi_phy::kernels;
+use whitefi_phy::{Sift, StreamingSift, Synthesizer};
 use whitefi_spectrum::Width;
 
 fn bench_sift(c: &mut Criterion) {
@@ -54,9 +56,91 @@ fn bench_sift(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched lane kernels vs their scalar references on the sample-domain
+/// hot path: moving-average envelope extraction and full burst
+/// extraction (threshold crossing + edge refinement).
+fn bench_sift_scalar_vs_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sift_scalar_vs_batched");
+    let (bursts, window) = cbr_schedule(Width::W20, 1000, 30);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let trace = Synthesizer::new().synthesize(&bursts, window, &mut rng);
+    let sift = Sift::default();
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let w = sift.config.window;
+    group.bench_with_input(BenchmarkId::new("envelope", "batched"), &trace, |b, t| {
+        let mut sums = Vec::new();
+        b.iter(|| {
+            kernels::window_sums(t, w, &mut sums);
+            sums.len()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("envelope", "scalar"), &trace, |b, t| {
+        let mut sums = Vec::new();
+        b.iter(|| {
+            kernels::window_sums_ref(t, w, &mut sums);
+            sums.len()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("extract", "batched"), &trace, |b, t| {
+        b.iter(|| sift.extract_bursts(t))
+    });
+    group.bench_with_input(BenchmarkId::new("extract", "scalar"), &trace, |b, t| {
+        b.iter(|| sift.extract_bursts_ref(t))
+    });
+    group.finish();
+}
+
+/// Batched synthesis (pair-reusing Box–Muller + lane ripple) vs the
+/// per-sample scalar reference, over the same noisy Table 1 workload.
+fn bench_synth_scalar_vs_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth_scalar_vs_batched");
+    let (bursts, window) = cbr_schedule(Width::W20, 1000, 30);
+    let synth = Synthesizer::new();
+    group.bench_with_input(BenchmarkId::new("synth", "batched"), &bursts, |b, bs| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| synth.synthesize(bs, window, &mut rng))
+    });
+    group.bench_with_input(BenchmarkId::new("synth", "scalar"), &bursts, |b, bs| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| synth.synthesize_ref(bs, window, &mut rng))
+    });
+    group.finish();
+}
+
+/// End-to-end synthesis → detection: the buffered path (whole trace
+/// materialized, then `Sift::detect`) vs the streaming path
+/// (`SynthStream` blocks fed straight into `StreamingSift`).
+fn bench_streaming_vs_buffered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_vs_buffered");
+    let (bursts, window) = cbr_schedule(Width::W20, 1000, 30);
+    let synth = Synthesizer::new();
+    let sift = Sift::default();
+    group.bench_with_input(BenchmarkId::new("e2e", "buffered"), &bursts, |b, bs| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            let trace = synth.synthesize(bs, window, &mut rng);
+            sift.detect(&trace).len()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("e2e", "streaming"), &bursts, |b, bs| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            let mut stream = synth.stream(bs, window, &mut rng);
+            let mut s = StreamingSift::new(sift.config);
+            let mut n = 0usize;
+            while let Some(block) = stream.next_block() {
+                n += s.push_block(block).count();
+            }
+            n += s.finish().count();
+            n
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sift
+    targets = bench_sift, bench_sift_scalar_vs_batched, bench_synth_scalar_vs_batched, bench_streaming_vs_buffered
 }
 criterion_main!(benches);

@@ -14,19 +14,15 @@ use crate::report::{mean, round4, ExperimentReport};
 use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_phy::synth::SAMPLE_NS;
-use whitefi_phy::{PhyTiming, Sift, Synthesizer};
+use whitefi_phy::{PhyTiming, Synthesizer};
 use whitefi_spectrum::Width;
 
 /// SIFT-measured total busy seconds for one run.
 pub fn measured_busy_secs(width: Width, rate_kbps: u64, count: usize, seed: u64) -> f64 {
     let (bursts, window) = cbr_schedule(width, rate_kbps, count);
     let mut rng = super::rng(seed);
-    super::with_trace_buf(|trace| {
-        Synthesizer::new().synthesize_into(&bursts, window, &mut rng, trace);
-        let sift = Sift::default();
-        let busy_samples: usize = sift.extract_bursts(trace).iter().map(|b| b.len).sum();
-        busy_samples as f64 * SAMPLE_NS as f64 / 1e9
-    })
+    let (_, busy_samples) = super::stream_sift(&Synthesizer::new(), &bursts, window, &mut rng);
+    busy_samples as f64 * SAMPLE_NS as f64 / 1e9
 }
 
 /// Ground-truth busy seconds of the same workload.

@@ -17,7 +17,7 @@ use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_phy::attenuation::{amplitude_after, NoiseModel, TX_REFERENCE_AMPLITUDE};
 use whitefi_phy::synth::data_ack_exchange;
-use whitefi_phy::{DetectionKind, Sift, SimDuration, SimTime, Sniffer, Synthesizer};
+use whitefi_phy::{DetectionKind, SimDuration, SimTime, Sniffer, Synthesizer};
 use whitefi_spectrum::Width;
 
 /// SIFT detection fraction at the given attenuation.
@@ -32,15 +32,12 @@ pub fn sift_fraction(attenuation_db: f64, packets: usize, seed: u64) -> f64 {
     }
     let window = SimDuration::from_nanos(t.as_nanos() + 1_000_000);
     let mut rng = super::rng(seed);
-    super::with_trace_buf(|trace| {
-        Synthesizer::new().synthesize_into(&bursts, window, &mut rng, trace);
-        let found = Sift::default()
-            .detect(trace)
-            .into_iter()
-            .filter(|d| d.kind == DetectionKind::DataAck && d.width == Width::W20)
-            .count();
-        found.min(packets) as f64 / packets as f64
-    })
+    let (detections, _) = super::stream_sift(&Synthesizer::new(), &bursts, window, &mut rng);
+    let found = detections
+        .into_iter()
+        .filter(|d| d.kind == DetectionKind::DataAck && d.width == Width::W20)
+        .count();
+    found.min(packets) as f64 / packets as f64
 }
 
 /// Sniffer decode fraction (Monte Carlo over the decode model).

@@ -22,20 +22,30 @@ pub mod table1;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::cell::RefCell;
+use whitefi_phy::synth::Burst;
+use whitefi_phy::{Detection, Sift, SimDuration, StreamingSift, Synthesizer};
 
 /// Deterministic RNG for experiment `id`/replica.
 pub(crate) fn rng(seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
 }
 
-/// Runs `f` with a per-thread reusable trace buffer, so the synthesis
-/// loops (Table 1, Figures 6/7) stop allocating a fresh ~100k-sample
-/// `Vec` per trial. Safe with the parallel trial runner: each worker
-/// thread owns its own buffer.
-pub(crate) fn with_trace_buf<T>(f: impl FnOnce(&mut Vec<f32>) -> T) -> T {
-    thread_local! {
-        static BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+/// Synthesizes the capture block-at-a-time and runs [`StreamingSift`]
+/// over it, returning the detections and the total busy samples. The
+/// synthesis loops (Table 1, Figures 6/7) never materialize a whole
+/// ~100k-sample trace; only `BLOCK_SAMPLES`-sized blocks exist.
+pub(crate) fn stream_sift(
+    synth: &Synthesizer,
+    bursts: &[Burst],
+    window: SimDuration,
+    rng: &mut ChaCha8Rng,
+) -> (Vec<Detection>, u64) {
+    let mut stream = synth.stream(bursts, window, rng);
+    let mut sift = StreamingSift::new(Sift::default().config);
+    let mut out = Vec::new();
+    while let Some(block) = stream.next_block() {
+        out.extend(sift.push_block(block));
     }
-    BUF.with(|b| f(&mut b.borrow_mut()))
+    out.extend(sift.finish());
+    (out, sift.busy_samples())
 }

@@ -17,7 +17,7 @@ use crate::report::{median, round4, ExperimentReport};
 use crate::runner::RunCtx;
 use serde_json::json;
 use whitefi_phy::synth::{data_ack_exchange, duration_to_samples, Burst};
-use whitefi_phy::{DetectionKind, PhyTiming, Sift, SimDuration, SimTime, Synthesizer};
+use whitefi_phy::{DetectionKind, PhyTiming, SimDuration, SimTime, Synthesizer};
 use whitefi_spectrum::Width;
 
 /// Offered loads of the paper's sweep, in kbps.
@@ -48,20 +48,16 @@ pub fn detection_rate(width: Width, rate_kbps: u64, count: usize, seed: u64) -> 
     let mut rng = super::rng(seed);
     let expected_len =
         duration_to_samples(PhyTiming::for_width(width).frame_duration(PACKET_BYTES));
-    super::with_trace_buf(|trace| {
-        Synthesizer::new().synthesize_into(&bursts, window, &mut rng, trace);
-        let sift = Sift::default();
-        let detected = sift
-            .detect(trace)
-            .into_iter()
-            .filter(|d| {
-                d.width == width
-                    && d.kind == DetectionKind::DataAck
-                    && (d.first_len as f64 - expected_len).abs() <= expected_len * 0.05
-            })
-            .count();
-        detected.min(count) as f64 / count as f64
-    })
+    let (detections, _) = super::stream_sift(&Synthesizer::new(), &bursts, window, &mut rng);
+    let detected = detections
+        .into_iter()
+        .filter(|d| {
+            d.width == width
+                && d.kind == DetectionKind::DataAck
+                && (d.first_len as f64 - expected_len).abs() <= expected_len * 0.05
+        })
+        .count();
+    detected.min(count) as f64 / count as f64
 }
 
 /// Runs the full Table 1 grid.

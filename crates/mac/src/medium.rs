@@ -360,7 +360,9 @@ impl Medium {
 
     /// All transmissions (active or recent) overlapping `[from, to)`, as
     /// scanner-visible bursts. Feed these to
-    /// [`whitefi_phy::Scanner::capture`] for signal-level SIFT.
+    /// [`whitefi_phy::Scanner::capture_stream`] for block-at-a-time
+    /// signal-level SIFT (or [`whitefi_phy::Scanner::capture`] when a
+    /// whole materialized trace is wanted, e.g. for trace export).
     ///
     /// Output order is oldest-first history, then active in start order —
     /// consumers like the AP's chirp scan take the *first* matching

@@ -1,0 +1,594 @@
+//! Batched sample-domain kernels for the PHY hot path.
+//!
+//! SIFT and the waveform synthesizer process 1 MS/s amplitude traces;
+//! per-sample scalar loops over those traces dominated the experiment
+//! sweeps' wall time. This module rewrites the four sample-domain
+//! primitives as **4-wide lane kernels**: manual chunking over plain
+//! slices (no nightly/portable-SIMD dependency) shaped so LLVM's
+//! auto-vectorizer emits SIMD for the lane bodies.
+//!
+//! Every kernel comes in two forms:
+//!
+//! * the batched kernel (`window_sums`, `above_runs`, …) — the
+//!   production path;
+//! * a `_ref` scalar reference — the semantic contract, kept forever so
+//!   differential tests (`crates/phy/tests/kernel_differential.rs`,
+//!   plus the in-module suites below) can assert **bit-identical**
+//!   output on every change.
+//!
+//! Bit-identity across the scalar/batched pair is by construction, not
+//! by luck: each output element is an *independent* expression with a
+//! fixed per-lane evaluation order (f64 additions left-to-right within
+//! one element, RNG draws sample-major), so no cross-element
+//! accumulator exists whose rounding could depend on chunk width. That
+//! is also what makes the streaming SIFT chunking-invariant: an
+//! element's value never depends on where a block boundary falls. See
+//! `DESIGN.md` §12 for the full contract.
+
+use crate::sift::RawBurst;
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// Lane width of the chunked kernels. Four f64 lanes fill one AVX2
+/// register; the remainder loops reuse the identical per-element
+/// expressions, so lane width is a pure performance knob.
+pub const LANES: usize = 4;
+
+/// Sample count as `u64`. `usize` is at most 64 bits on every supported
+/// target, so this never truncates.
+fn count_u64(n: usize) -> u64 {
+    // lint:allow(cast, usize is at most 64 bits on all supported targets)
+    n as u64
+}
+
+/// Quantizes one accumulated f64 amplitude down to the scanner's f32
+/// sample type — the only lossy conversion on the synthesis path, and
+/// the point of the kernel's output format.
+fn quantize(s: f64) -> f32 {
+    // Quantizing the f64 mix to f32 is the kernel's output contract.
+    #[allow(clippy::cast_possible_truncation)]
+    // lint:allow(cast, quantizing the f64 mix to the f32 sample type is the kernel's contract)
+    let q = s as f32;
+    q
+}
+
+/// Moving-window envelope sums: `out[i] = Σ f64::from(samples[i..i+w])`,
+/// added **left-to-right**, for every window fully inside `samples`
+/// (`out.len() == samples.len() - w + 1`; empty when the trace is
+/// shorter than the window).
+///
+/// SIFT's moving average at position `t` is `out[t - w + 1] / w`; the
+/// detector compares `out` against `threshold · w` instead of dividing.
+/// Unlike the classic running sum (`+ newest − oldest`), each element
+/// is an independent w-term chain, so the value is identical no matter
+/// how the trace is chunked — the property the streaming SIFT leans on.
+pub fn window_sums(samples: &[f32], w: usize, out: &mut Vec<f64>) {
+    out.clear();
+    if w == 0 || samples.len() < w {
+        return;
+    }
+    let n_out = samples.len() - w + 1;
+    out.reserve(n_out);
+    let mut i = 0;
+    while i + LANES <= n_out {
+        let mut acc = [0f64; LANES];
+        for j in 0..w {
+            // One contiguous 4-lane load per window step; the copy into
+            // a fixed-size array lets LLVM drop the per-lane bounds
+            // checks and vectorize the adds.
+            let mut lane = [0f32; LANES];
+            lane.copy_from_slice(&samples[i + j..i + j + LANES]);
+            for (a, s) in acc.iter_mut().zip(lane) {
+                *a += f64::from(s);
+            }
+        }
+        out.extend_from_slice(&acc);
+        i += LANES;
+    }
+    while i < n_out {
+        let mut a = 0f64;
+        for j in 0..w {
+            a += f64::from(samples[i + j]);
+        }
+        out.push(a);
+        i += 1;
+    }
+}
+
+/// Scalar reference for [`window_sums`]; the per-element add order is
+/// the same left-to-right chain, so outputs are bit-identical.
+pub fn window_sums_ref(samples: &[f32], w: usize, out: &mut Vec<f64>) {
+    out.clear();
+    if w == 0 || samples.len() < w {
+        return;
+    }
+    for i in 0..=samples.len() - w {
+        let mut a = 0f64;
+        for j in 0..w {
+            a += f64::from(samples[i + j]);
+        }
+        out.push(a);
+    }
+}
+
+/// Threshold crossing / edge detection: appends every maximal run
+/// `[start, end)` of indices where `sums[i] > thr` to `out` (cleared
+/// first). A run still open at the end of the slice is reported with
+/// `end == sums.len()`; the caller decides whether that edge is a real
+/// down-crossing or a block boundary.
+///
+/// The batched path tests four lanes at a time and skips whole chunks
+/// that cannot contain an edge (all-below while idle, all-above while
+/// inside a run) — on real traces the signal is bursty, so most chunks
+/// take the skip path.
+pub fn above_runs(sums: &[f64], thr: f64, out: &mut Vec<(usize, usize)>) {
+    out.clear();
+    let n = sums.len();
+    let mut open: Option<usize> = None;
+    let mut i = 0;
+    while i + LANES <= n {
+        let a0 = sums[i] > thr;
+        let a1 = sums[i + 1] > thr;
+        let a2 = sums[i + 2] > thr;
+        let a3 = sums[i + 3] > thr;
+        if open.is_none() {
+            if !(a0 || a1 || a2 || a3) {
+                i += LANES;
+                continue;
+            }
+        } else if a0 && a1 && a2 && a3 {
+            i += LANES;
+            continue;
+        }
+        for (k, above) in [a0, a1, a2, a3].into_iter().enumerate() {
+            match (open, above) {
+                (None, true) => open = Some(i + k),
+                (Some(s), false) => {
+                    out.push((s, i + k));
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        i += LANES;
+    }
+    while i < n {
+        match (open, sums[i] > thr) {
+            (None, true) => open = Some(i),
+            (Some(s), false) => {
+                out.push((s, i));
+                open = None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(s) = open {
+        out.push((s, n));
+    }
+}
+
+/// Scalar reference for [`above_runs`].
+pub fn above_runs_ref(sums: &[f64], thr: f64, out: &mut Vec<(usize, usize)>) {
+    out.clear();
+    let mut open: Option<usize> = None;
+    for (i, &s) in sums.iter().enumerate() {
+        match (open, s > thr) {
+            (None, true) => open = Some(i),
+            (Some(st), false) => {
+                out.push((st, i));
+                open = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(st) = open {
+        out.push((st, sums.len()));
+    }
+}
+
+/// Burst-edge refinement: index of the **last** sample with
+/// `f64::from(samples[i]) > thr`, scanning backward in lane-width
+/// chunks. SIFT calls this on the interior of a closing burst, where
+/// the answer is almost always within the trailing few samples, so the
+/// reverse scan is O(1) amortized.
+pub fn rlast_above(samples: &[f32], thr: f64) -> Option<usize> {
+    let mut i = samples.len();
+    while i >= LANES {
+        let base = i - LANES;
+        let mut any = false;
+        let mut a = [false; LANES];
+        for (l, flag) in a.iter_mut().enumerate() {
+            *flag = f64::from(samples[base + l]) > thr;
+            any |= *flag;
+        }
+        if any {
+            for l in (0..LANES).rev() {
+                if a[l] {
+                    return Some(base + l);
+                }
+            }
+        }
+        i = base;
+    }
+    while i > 0 {
+        i -= 1;
+        if f64::from(samples[i]) > thr {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Scalar reference for [`rlast_above`].
+pub fn rlast_above_ref(samples: &[f32], thr: f64) -> Option<usize> {
+    samples.iter().rposition(|&s| f64::from(s) > thr)
+}
+
+/// Busy-fraction accumulation: total sample count of a batch of bursts,
+/// reduced across four independent u64 lanes (integer addition is
+/// associative, so lane order cannot change the result). The streaming
+/// SIFT feeds each block's newly finalized bursts through this to keep
+/// the airtime numerator without a per-sample pass.
+pub fn sum_lens(bursts: &[RawBurst]) -> u64 {
+    let mut acc = [0u64; LANES];
+    let mut chunks = bursts.chunks_exact(LANES);
+    for c in &mut chunks {
+        for (l, a) in acc.iter_mut().enumerate() {
+            *a += count_u64(c[l].len);
+        }
+    }
+    let mut total: u64 = acc.iter().sum();
+    for b in chunks.remainder() {
+        total += count_u64(b.len);
+    }
+    total
+}
+
+/// Scalar reference for [`sum_lens`].
+pub fn sum_lens_ref(bursts: &[RawBurst]) -> u64 {
+    bursts.iter().map(|b| count_u64(b.len)).sum()
+}
+
+/// Ripple synthesis: `seg[i] += amp · U[lo, hi)`, one uniform draw per
+/// sample in sample order (no draws at all when `lo == hi` — the ideal
+/// ripple-free synthesizer must consume no randomness). `seg` is the
+/// slice of the f64 mixing scratch covered by one burst within one
+/// block; the caller splits the 5 MHz low-amplitude head from the body
+/// by calling this twice with different `amp`.
+pub fn accumulate_ripple<R: Rng + ?Sized>(
+    seg: &mut [f64],
+    amp: f64,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) {
+    if lo == hi {
+        let add = amp * lo;
+        let mut chunks = seg.chunks_exact_mut(LANES);
+        for c in &mut chunks {
+            for s in c {
+                *s += add;
+            }
+        }
+        for s in chunks.into_remainder() {
+            *s += add;
+        }
+        return;
+    }
+    let mut chunks = seg.chunks_exact_mut(LANES);
+    for c in &mut chunks {
+        let mut r = [0f64; LANES];
+        for v in &mut r {
+            *v = rng.gen_range(lo..hi);
+        }
+        for (s, ripple) in c.iter_mut().zip(r) {
+            *s += amp * ripple;
+        }
+    }
+    for s in chunks.into_remainder() {
+        *s += amp * rng.gen_range(lo..hi);
+    }
+}
+
+/// Scalar reference for [`accumulate_ripple`] — same draws, same order,
+/// same per-element expression.
+pub fn accumulate_ripple_ref<R: Rng + ?Sized>(
+    seg: &mut [f64],
+    amp: f64,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) {
+    for s in seg {
+        let ripple = if lo == hi { lo } else { rng.gen_range(lo..hi) };
+        *s += amp * ripple;
+    }
+}
+
+/// One Box–Muller transform: two uniforms → **two** independent
+/// standard normals `(r·cos θ, r·sin θ)`. The noise kernels consume
+/// both halves of every pair (the committed scalar baseline burned a
+/// full transform per sample and discarded the sine branch — reusing it
+/// halves the uniform draws *and* the `ln`/`sqrt` work, which is where
+/// the synthesis speedup comes from).
+fn normal_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// AWGN quantization: appends `(acc[i] + |N(0,1)·σ|) as f32` for every
+/// mixed sample — or no draws at all when `σ == 0`, matching
+/// [`crate::attenuation::NoiseModel::sample`]'s draw-free noiseless
+/// path. Normals come from Box–Muller **pairs**: even-numbered noise
+/// samples draw a fresh pair and stash the sine half in `carry`,
+/// odd-numbered ones consume it. Threading `carry` across calls is what
+/// makes the streaming synthesizer chunk-invariant — sample `i` gets
+/// the same normal no matter where the block boundary falls. Pass a
+/// fresh `None` for a one-shot buffer. `out` is appended to, not
+/// cleared: successive blocks land in one caller buffer.
+pub fn add_noise<R: Rng + ?Sized>(
+    acc: &[f64],
+    sigma: f64,
+    carry: &mut Option<f64>,
+    out: &mut Vec<f32>,
+    rng: &mut R,
+) {
+    out.reserve(acc.len());
+    if sigma == 0.0 {
+        let mut chunks = acc.chunks_exact(LANES);
+        for c in &mut chunks {
+            for &s in c {
+                out.push(quantize(s));
+            }
+        }
+        for &s in chunks.remainder() {
+            out.push(quantize(s));
+        }
+        return;
+    }
+    let mut chunks = acc.chunks_exact(LANES);
+    for c in &mut chunks {
+        let mut g = [0f64; LANES];
+        for v in &mut g {
+            *v = next_normal(carry, rng);
+        }
+        let mut q = [0f32; LANES];
+        for (o, (s, z)) in q.iter_mut().zip(c.iter().zip(g)) {
+            *o = quantize(s + (z * sigma).abs());
+        }
+        out.extend_from_slice(&q);
+    }
+    for &s in chunks.remainder() {
+        let z = next_normal(carry, rng);
+        out.push(quantize(s + (z * sigma).abs()));
+    }
+}
+
+/// Takes the carried sine half if present, otherwise draws a fresh
+/// Box–Muller pair and stashes its second half.
+fn next_normal<R: Rng + ?Sized>(carry: &mut Option<f64>, rng: &mut R) -> f64 {
+    match carry.take() {
+        Some(z) => z,
+        None => {
+            let (z0, z1) = normal_pair(rng);
+            *carry = Some(z1);
+            z0
+        }
+    }
+}
+
+/// Scalar reference for [`add_noise`] — same pair-reuse draw schedule,
+/// same per-element expression.
+pub fn add_noise_ref<R: Rng + ?Sized>(
+    acc: &[f64],
+    sigma: f64,
+    carry: &mut Option<f64>,
+    out: &mut Vec<f32>,
+    rng: &mut R,
+) {
+    for &s in acc {
+        if sigma == 0.0 {
+            out.push(quantize(s));
+        } else {
+            let z = next_normal(carry, rng);
+            out.push(quantize(s + (z * sigma).abs()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Sizes that cover every lane-remainder class plus degenerate and
+    /// realistic lengths.
+    const SIZES: [usize; 10] = [0, 1, 3, 4, 5, 7, 8, 33, 100, 1023];
+
+    fn trace(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                // Mix of sub- and supra-threshold values, including
+                // negatives and near-threshold ulp fodder.
+                let base: f64 = rng.gen_range(-50.0..400.0);
+                quantize(base)
+            })
+            .collect()
+    }
+
+    fn assert_f64_bits_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "index {i}: {x} vs {y}");
+        }
+    }
+
+    fn assert_f32_bits_eq(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn window_sums_matches_reference_bitwise() {
+        for (k, &n) in SIZES.iter().enumerate() {
+            for w in [1usize, 2, 5, 7] {
+                let s = trace(n, 10 + k as u64);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                window_sums(&s, w, &mut a);
+                window_sums_ref(&s, w, &mut b);
+                assert_f64_bits_eq(&a, &b);
+                if n >= w {
+                    assert_eq!(a.len(), n - w + 1, "n {n} w {w}");
+                } else {
+                    assert!(a.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_sums_zero_window_is_empty() {
+        let mut out = vec![1.0];
+        window_sums(&[1.0, 2.0], 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn above_runs_matches_reference() {
+        for (k, &n) in SIZES.iter().enumerate() {
+            let s = trace(n, 40 + k as u64);
+            let mut sums = Vec::new();
+            window_sums(&s, 1, &mut sums);
+            for thr in [-100.0, 0.0, 150.0, 1e9] {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                above_runs(&sums, thr, &mut a);
+                above_runs_ref(&sums, thr, &mut b);
+                assert_eq!(a, b, "n {n} thr {thr}");
+            }
+        }
+    }
+
+    #[test]
+    fn above_runs_reports_open_tail_run() {
+        let mut out = Vec::new();
+        above_runs(&[0.0, 5.0, 5.0], 1.0, &mut out);
+        assert_eq!(out, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn rlast_above_matches_reference() {
+        for (k, &n) in SIZES.iter().enumerate() {
+            let s = trace(n, 70 + k as u64);
+            for thr in [-100.0, 150.0, 1e9] {
+                assert_eq!(
+                    rlast_above(&s, thr),
+                    rlast_above_ref(&s, thr),
+                    "n {n} thr {thr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_lens_matches_reference() {
+        for n in SIZES {
+            let bursts: Vec<RawBurst> = (0..n)
+                .map(|i| RawBurst {
+                    start: i * 10,
+                    len: i + 1,
+                })
+                .collect();
+            assert_eq!(sum_lens(&bursts), sum_lens_ref(&bursts));
+        }
+    }
+
+    #[test]
+    fn accumulate_ripple_matches_reference_bitwise() {
+        for (k, &n) in SIZES.iter().enumerate() {
+            for (lo, hi) in [(0.55, 1.45), (1.0, 1.0)] {
+                let mut a = vec![7.5f64; n];
+                let mut b = a.clone();
+                let mut ra = ChaCha8Rng::seed_from_u64(100 + k as u64);
+                let mut rb = ra.clone();
+                accumulate_ripple(&mut a, 321.0, lo, hi, &mut ra);
+                accumulate_ripple_ref(&mut b, 321.0, lo, hi, &mut rb);
+                assert_f64_bits_eq(&a, &b);
+                // Identical draw counts: the streams stay in lockstep.
+                assert_eq!(ra.gen::<u64>(), rb.gen::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_ripple_consumes_no_randomness() {
+        let mut seg = vec![0f64; 9];
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let before = rng.clone().gen::<u64>();
+        accumulate_ripple(&mut seg, 2.0, 1.0, 1.0, &mut rng);
+        assert_eq!(rng.gen::<u64>(), before);
+        assert!(seg.iter().all(|&s| s == 2.0));
+    }
+
+    #[test]
+    fn add_noise_matches_reference_bitwise() {
+        for (k, &n) in SIZES.iter().enumerate() {
+            for sigma in [0.0, 30.0] {
+                let acc: Vec<f64> = trace(n, 200 + k as u64)
+                    .iter()
+                    .map(|&s| f64::from(s))
+                    .collect();
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                let mut ra = ChaCha8Rng::seed_from_u64(300 + k as u64);
+                let mut rb = ra.clone();
+                let (mut ca, mut cb) = (None, None);
+                add_noise(&acc, sigma, &mut ca, &mut a, &mut ra);
+                add_noise_ref(&acc, sigma, &mut cb, &mut b, &mut rb);
+                assert_f32_bits_eq(&a, &b);
+                assert_eq!(ca.map(f64::to_bits), cb.map(f64::to_bits));
+                assert_eq!(ra.gen::<u64>(), rb.gen::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn add_noise_carry_makes_chunking_invisible() {
+        let acc: Vec<f64> = trace(101, 9).iter().map(|&s| f64::from(s)).collect();
+        let mut whole = Vec::new();
+        let mut rw = ChaCha8Rng::seed_from_u64(11);
+        add_noise(&acc, 30.0, &mut None, &mut whole, &mut rw);
+        for chunk in [1usize, 2, 3, 7, 64] {
+            let mut split = Vec::new();
+            let mut rs = ChaCha8Rng::seed_from_u64(11);
+            let mut carry = None;
+            for c in acc.chunks(chunk) {
+                add_noise(c, 30.0, &mut carry, &mut split, &mut rs);
+            }
+            assert_f32_bits_eq(&whole, &split);
+        }
+    }
+
+    #[test]
+    fn add_noise_sigma_zero_draws_nothing() {
+        let mut out = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let before = rng.clone().gen::<u64>();
+        add_noise(&[2.0, 3.0], 0.0, &mut None, &mut out, &mut rng);
+        assert_eq!(rng.gen::<u64>(), before);
+    }
+
+    #[test]
+    fn add_noise_appends_rather_than_clears() {
+        let mut out = vec![1.0f32];
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        add_noise(&[2.0], 0.0, &mut None, &mut out, &mut rng);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+}

@@ -16,9 +16,13 @@
 //! * [`synth`] — synthesis of raw amplitude (`sqrt(I² + Q²)`) sample
 //!   traces from a schedule of bursts, including the low-amplitude head
 //!   of 5 MHz packets visible in Figure 5;
+//! * [`kernels`] — the batched 4-wide lane kernels behind both
+//!   [`synth`] and [`sift`], each paired with a scalar reference that
+//!   differential tests hold bit-identical;
 //! * [`sift`] — the SIFT detector itself: moving-average burst
 //!   extraction, data/ACK (and beacon/CTS-to-self) matching, channel-width
-//!   classification, and airtime measurement;
+//!   classification, airtime measurement, and the block-at-a-time
+//!   [`StreamingSift`] front end;
 //! * [`sniffer`] — a packet-sniffer decode model (the Figure 7
 //!   comparison baseline);
 //! * [`scanner`] — the USRP-like scanner: which transmissions are
@@ -33,6 +37,7 @@
 pub mod attenuation;
 pub mod feature;
 pub mod fft;
+pub mod kernels;
 pub mod platform;
 pub mod scanner;
 pub mod sift;
@@ -46,8 +51,10 @@ pub use feature::{FeatureDetector, Incumbent, IqSynthesizer};
 pub use fft::{dft_naive, fft, ifft, Complex};
 pub use platform::{AtherosDriver, KnowsDevice, UhfTranslator};
 pub use scanner::{Scanner, VisibleBurst};
-pub use sift::{Detection, DetectionKind, RawBurst, Sift, SiftConfig};
+pub use sift::{Detection, DetectionKind, RawBurst, Sift, SiftConfig, StreamingSift};
 pub use sniffer::Sniffer;
-pub use synth::{Burst, BurstKind, Synthesizer, SynthesizerConfig, SAMPLE_NS};
+pub use synth::{
+    Burst, BurstKind, SynthStream, Synthesizer, SynthesizerConfig, BLOCK_SAMPLES, SAMPLE_NS,
+};
 pub use time::{SimDuration, SimTime};
 pub use timing::{PhyTiming, ACK_BYTES, BEACON_BYTES, CHIRP_BYTES, CTS_BYTES};

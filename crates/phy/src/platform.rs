@@ -20,7 +20,7 @@
 
 use crate::feature::{FeatureDetector, Incumbent, IqSynthesizer};
 use crate::scanner::{Scanner, VisibleBurst};
-use crate::sift::{Detection, Sift};
+use crate::sift::{Detection, Sift, StreamingSift};
 use crate::time::{SimDuration, SimTime};
 use crate::timing::PhyTiming;
 use rand::Rng;
@@ -140,7 +140,8 @@ impl KnowsDevice {
 
     /// Runs one scanner dwell on `scan_center` over the given on-air
     /// transmissions, returning SIFT's detections (the AP-discovery
-    /// primitive).
+    /// primitive). Samples flow block-at-a-time from the scanner into
+    /// [`StreamingSift`]; the dwell's trace is never materialized whole.
     pub fn sift_dwell<R: Rng + ?Sized>(
         &self,
         scan_center: UhfChannel,
@@ -149,10 +150,16 @@ impl KnowsDevice {
         dwell: SimDuration,
         rng: &mut R,
     ) -> Vec<Detection> {
-        let trace = self
+        let mut stream = self
             .scanner
-            .capture(scan_center, on_air, window_start, dwell, rng);
-        self.sift.detect(&trace)
+            .capture_stream(scan_center, on_air, window_start, dwell, rng);
+        let mut sift = StreamingSift::new(self.sift.config);
+        let mut out = Vec::new();
+        while let Some(block) = stream.next_block() {
+            out.extend(sift.push_block(block));
+        }
+        out.extend(sift.finish());
+        out
     }
 
     /// Runs the frequency-domain incumbent classifier on a synthetic

@@ -9,7 +9,7 @@
 //! `E = ±W/2`: the width is known exactly, the centre only to within the
 //! transmitter's own span.
 
-use crate::synth::{Burst, Synthesizer};
+use crate::synth::{Burst, SynthStream, Synthesizer};
 use crate::time::{SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -59,20 +59,16 @@ impl Scanner {
             .collect()
     }
 
-    /// Captures the amplitude trace seen while dwelling on `center` during
-    /// `[window_start, window_start + dwell)`.
-    ///
-    /// Transmissions whose channel does not span `center` are invisible;
-    /// visible ones are re-based to the window origin, clipped, and
-    /// synthesized.
-    pub fn capture<R: Rng + ?Sized>(
-        &self,
+    /// The bursts visible while dwelling on `center` during
+    /// `[window_start, window_start + dwell)`: transmissions whose
+    /// channel does not span `center` are invisible; visible ones are
+    /// clipped to the window and re-based to its origin.
+    fn visible_in_window(
         center: UhfChannel,
         on_air: &[VisibleBurst],
         window_start: SimTime,
         dwell: SimDuration,
-        rng: &mut R,
-    ) -> Vec<f32> {
+    ) -> Vec<Burst> {
         let window_end = window_start + dwell;
         let mut local = Vec::new();
         for vb in on_air {
@@ -97,7 +93,39 @@ impl Scanner {
                 ..b
             });
         }
+        local
+    }
+
+    /// Captures the amplitude trace seen while dwelling on `center` during
+    /// `[window_start, window_start + dwell)`, materialized as one buffer
+    /// (tests and offline analysis; the scan path uses
+    /// [`Self::capture_stream`]).
+    pub fn capture<R: Rng + ?Sized>(
+        &self,
+        center: UhfChannel,
+        on_air: &[VisibleBurst],
+        window_start: SimTime,
+        dwell: SimDuration,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let local = Self::visible_in_window(center, on_air, window_start, dwell);
         self.synth.synthesize(&local, dwell, rng)
+    }
+
+    /// Block-at-a-time capture of the same dwell: the USRP hands the PC
+    /// 2048-sample blocks, and this path models that — the full trace is
+    /// never materialized, and the emitted blocks concatenate bit-exactly
+    /// to [`Self::capture`] under the same RNG state.
+    pub fn capture_stream<R: Rng + ?Sized>(
+        &self,
+        center: UhfChannel,
+        on_air: &[VisibleBurst],
+        window_start: SimTime,
+        dwell: SimDuration,
+        rng: &mut R,
+    ) -> SynthStream {
+        let local = Self::visible_in_window(center, on_air, window_start, dwell);
+        self.synth.stream(&local, dwell, rng)
     }
 }
 

@@ -23,10 +23,24 @@
 //! Besides detection, SIFT measures **airtime utilization** (the busy
 //! fraction of the trace) — the input to the MCham spectrum-assignment
 //! metric — and estimates the number of distinct transmitters.
+//!
+//! Two front ends share one pipeline:
+//!
+//! * the buffered [`Sift`] runs the batched [`crate::kernels`] over a
+//!   whole capture at once;
+//! * [`StreamingSift`] consumes USRP-sized blocks as they arrive,
+//!   carrying window/burst/merge/classify state across block boundaries
+//!   and yielding **exactly** the detections the buffered path would
+//!   produce on the concatenated trace (the moving average is defined
+//!   per-window, with no cross-window accumulator, so every window sum
+//!   is independent of where block boundaries fall — see `DESIGN.md`
+//!   §12).
 
+use crate::kernels;
 use crate::synth::{duration_to_samples, SAMPLE_NS};
 use crate::timing::PhyTiming;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use whitefi_spectrum::Width;
 
 /// Sample count as `f64`, exactly. Counts are bounded by the capture
@@ -42,6 +56,13 @@ fn count_f64(n: usize) -> f64 {
 fn count_u64(n: usize) -> u64 {
     // lint:allow(cast, usize is at most 64 bits on all supported targets)
     n as u64
+}
+
+/// Burst-sample total as `f64`, exactly: totals are bounded by the
+/// stream length, far below 2^53.
+fn busy_f64(n: u64) -> f64 {
+    // lint:allow(cast, burst totals are far below 2^53, conversion is exact)
+    n as f64
 }
 
 /// SIFT detector parameters.
@@ -151,51 +172,76 @@ impl Sift {
 
     /// Extracts energy bursts by thresholding the moving average.
     ///
-    /// Start/end refinement: when the average crosses the threshold we
-    /// backtrack to the first (resp. last) individual sample above the
-    /// threshold, which keeps measured burst edges accurate to ±1 sample
+    /// The moving average at window position `i` (covering samples
+    /// `i..i+w`) is above threshold iff the window *sum* exceeds
+    /// `threshold · w`; maximal runs of above-threshold windows become
+    /// bursts. Start/end refinement: the burst start backtracks to the
+    /// first individual supra-threshold sample inside the opening window
+    /// (falling back to the window's trailing edge), and the end is the
+    /// last supra-threshold sample at or before the trailing edge of the
+    /// first below-threshold window — edges stay accurate to ±1 sample
     /// across signal strengths.
+    ///
+    /// This is the batched production path (see [`crate::kernels`]);
+    /// [`Self::extract_bursts_ref`] is the scalar reference held
+    /// bit-identical by the differential suite.
     pub fn extract_bursts(&self, samples: &[f32]) -> Vec<RawBurst> {
         let w = self.config.window;
         let thr = self.config.threshold;
-        if samples.len() < w {
-            return Vec::new();
-        }
-        let mut bursts = Vec::new();
-        let mut sum: f64 = samples[..w].iter().map(|&s| f64::from(s)).sum();
-        let mut in_burst = false;
-        let mut start = 0usize;
-        let mut last_above = 0usize;
-        for t in w - 1..samples.len() {
-            if t >= w {
-                sum += f64::from(samples[t]) - f64::from(samples[t - w]);
-            }
-            let ma = sum / count_f64(w);
-            if f64::from(samples[t]) > thr {
-                last_above = t;
-            }
-            if !in_burst && ma > thr {
-                // Backtrack to the first supra-threshold sample in window.
-                let lo = t + 1 - w;
-                start = (lo..=t).find(|&i| f64::from(samples[i]) > thr).unwrap_or(t);
-                in_burst = true;
-            } else if in_burst && ma <= thr {
-                let end = last_above.max(start);
-                bursts.push(RawBurst {
-                    start,
-                    len: end - start + 1,
-                });
-                in_burst = false;
-            }
-        }
-        if in_burst {
-            let end = last_above.max(start);
+        let mut sums = Vec::new();
+        kernels::window_sums(samples, w, &mut sums);
+        let mut runs = Vec::new();
+        kernels::above_runs(&sums, thr * count_f64(w), &mut runs);
+        let mut bursts = Vec::with_capacity(runs.len());
+        for (i0, i1) in runs {
+            let start = (i0..i0 + w)
+                .find(|&j| f64::from(samples[j]) > thr)
+                .unwrap_or(i0 + w - 1);
+            // Trailing edge of the first below-threshold window, clipped
+            // to the trace when the run is still open at the end.
+            let bound = (i1 + w).min(samples.len());
+            let end = match kernels::rlast_above(&samples[start..bound], thr) {
+                Some(p) => start + p,
+                None => start,
+            };
             bursts.push(RawBurst {
                 start,
                 len: end - start + 1,
             });
         }
-        // Merge fragments separated by sub-SIFS gaps.
+        self.merge(bursts)
+    }
+
+    /// Scalar reference for [`Self::extract_bursts`]: the same pipeline
+    /// over the `_ref` kernels, one element at a time.
+    pub fn extract_bursts_ref(&self, samples: &[f32]) -> Vec<RawBurst> {
+        let w = self.config.window;
+        let thr = self.config.threshold;
+        let mut sums = Vec::new();
+        kernels::window_sums_ref(samples, w, &mut sums);
+        let mut runs = Vec::new();
+        kernels::above_runs_ref(&sums, thr * count_f64(w), &mut runs);
+        let mut bursts = Vec::with_capacity(runs.len());
+        for (i0, i1) in runs {
+            let start = (i0..i0 + w)
+                .find(|&j| f64::from(samples[j]) > thr)
+                .unwrap_or(i0 + w - 1);
+            let bound = (i1 + w).min(samples.len());
+            let end = match kernels::rlast_above_ref(&samples[start..bound], thr) {
+                Some(p) => start + p,
+                None => start,
+            };
+            bursts.push(RawBurst {
+                start,
+                len: end - start + 1,
+            });
+        }
+        self.merge(bursts)
+    }
+
+    /// Merges fragments separated by sub-SIFS gaps (ripple artifacts of
+    /// a near-threshold signal).
+    fn merge(&self, bursts: Vec<RawBurst>) -> Vec<RawBurst> {
         let mut merged: Vec<RawBurst> = Vec::with_capacity(bursts.len());
         for b in bursts {
             match merged.last_mut() {
@@ -208,42 +254,32 @@ impl Sift {
         merged
     }
 
-    /// Matches consecutive bursts into data/ACK and beacon/CTS exchanges,
-    /// classifying channel width.
-    pub fn classify(&self, bursts: &[RawBurst]) -> Vec<Detection> {
+    /// Tests one consecutive burst pair against the width signature
+    /// table: the gap must be one SIFS and the second burst one ACK/CTS
+    /// at the same width (±tolerance), and the second burst must not be
+    /// longer than the first — an ACK never follows a frame shorter than
+    /// itself. The first burst's length then tells a beacon from a data
+    /// frame.
+    pub fn classify_pair(&self, first: RawBurst, second: RawBurst) -> Option<Detection> {
         let tol = self.config.match_tolerance;
-        let mut out = Vec::new();
-        let mut i = 0;
-        while i + 1 < bursts.len() {
-            let first = bursts[i];
-            let second = bursts[i + 1];
-            let gap = second.start.saturating_sub(first.end());
-            let mut matched = None;
-            for width in Width::ALL {
-                let sifs = Self::expected_sifs_samples(width);
-                let ack = Self::expected_ack_samples(width);
-                if (count_f64(gap) - sifs).abs() <= tol
-                    && (count_f64(second.len) - ack).abs() <= tol
-                {
-                    // The second burst must not be longer than the first:
-                    // an ACK never follows a frame shorter than itself.
-                    // (Both lengths are integers, so comparing against the
-                    // float tolerance is exactly the old `+ tol as usize`
-                    // integer check: n ≤ m + ⌊tol⌋ ⟺ n ≤ m + tol.)
-                    if count_f64(second.len) <= count_f64(first.len) + tol {
-                        matched = Some(width);
-                        break;
-                    }
-                }
-            }
-            if let Some(width) = matched {
+        let gap = second.start.saturating_sub(first.end());
+        for width in Width::ALL {
+            let sifs = Self::expected_sifs_samples(width);
+            let ack = Self::expected_ack_samples(width);
+            if (count_f64(gap) - sifs).abs() <= tol
+                && (count_f64(second.len) - ack).abs() <= tol
+                // Both lengths are integers, so comparing against the
+                // float tolerance is exactly the integer check
+                // n ≤ m + ⌊tol⌋ ⟺ n ≤ m + tol.
+                && count_f64(second.len) <= count_f64(first.len) + tol
+            {
                 let beacon = Self::expected_beacon_samples(width);
                 let kind = if (count_f64(first.len) - beacon).abs() <= tol {
                     DetectionKind::BeaconCts
                 } else {
                     DetectionKind::DataAck
                 };
-                out.push(Detection {
+                return Some(Detection {
                     width,
                     kind,
                     first_start: first.start,
@@ -251,6 +287,20 @@ impl Sift {
                     second_len: second.len,
                     gap,
                 });
+            }
+        }
+        None
+    }
+
+    /// Matches consecutive bursts into data/ACK and beacon/CTS exchanges,
+    /// classifying channel width: a greedy left-to-right scan that
+    /// consumes both bursts of a matched pair.
+    pub fn classify(&self, bursts: &[RawBurst]) -> Vec<Detection> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i + 1 < bursts.len() {
+            if let Some(d) = self.classify_pair(bursts[i], bursts[i + 1]) {
+                out.push(d);
                 i += 2; // consume the ACK/CTS burst
             } else {
                 i += 1;
@@ -271,8 +321,295 @@ impl Sift {
         if samples.is_empty() {
             return 0.0;
         }
-        let busy: usize = self.extract_bursts(samples).iter().map(|b| b.len).sum();
-        count_f64(busy) / count_f64(samples.len())
+        let busy = kernels::sum_lens(&self.extract_bursts(samples));
+        busy_f64(busy) / count_f64(samples.len())
+    }
+}
+
+/// A moving-average run that has not yet seen its down-crossing.
+#[derive(Debug, Clone, Copy)]
+struct OpenRun {
+    /// Refined burst start (absolute sample index).
+    start: usize,
+    /// Last supra-threshold sample observed so far inside the burst
+    /// (absolute index), across all fully-processed extended blocks.
+    last_above: Option<usize>,
+}
+
+/// Block-at-a-time SIFT front end.
+///
+/// The USRP "delivers blocks of 2048 samples at a time" (§4.2.1);
+/// `StreamingSift` consumes those blocks directly, so the scan path
+/// never materializes a whole capture. Feed each block to
+/// [`Self::push_block`] and drain the detections it yields; call
+/// [`Self::finish`] once after the last block to flush state held back
+/// at the final boundary.
+///
+/// Equality contract: for any partition of a trace into blocks —
+/// including 1-sample blocks — the concatenated detections of
+/// `push_block` + `finish` are exactly `Sift::detect` of the whole
+/// trace, and [`Self::busy_samples`] equals the burst-sample total the
+/// buffered [`Sift::airtime_fraction`] numerator uses. The proptest in
+/// `crates/phy/tests/kernel_differential.rs` holds this for arbitrary
+/// chunkings. Internally the carry is: the last `window − 1` samples
+/// (so windows straddling the boundary are computable), the open
+/// moving-average run with its refined start and last supra-threshold
+/// sample, the merge-stage burst that a future sub-SIFS neighbor could
+/// still extend, and the classify queue's unpaired burst.
+#[derive(Debug, Clone)]
+pub struct StreamingSift {
+    sift: Sift,
+    /// Last `window − 1` samples of the stream (fewer near the start).
+    carry: Vec<f32>,
+    /// Total samples consumed so far.
+    samples_seen: usize,
+    /// Moving-average run still above threshold at the last boundary.
+    open: Option<OpenRun>,
+    /// Merge stage: most recent burst, extendable by a near neighbor.
+    pending: Option<RawBurst>,
+    /// Classify stage: finalized bursts not yet consumed by the greedy
+    /// pair scan (holds at most one burst between drains).
+    unclassified: VecDeque<RawBurst>,
+    /// Detections ready to be yielded.
+    ready: Vec<Detection>,
+    /// Total samples inside finalized bursts (airtime numerator).
+    busy: u64,
+    /// Scratch: carry + current block.
+    ext: Vec<f32>,
+    /// Scratch: window sums over `ext`.
+    sums: Vec<f64>,
+    /// Scratch: above-threshold runs over `sums`.
+    runs: Vec<(usize, usize)>,
+    /// Scratch: bursts finalized by the current call, batched for
+    /// [`kernels::sum_lens`].
+    finalized: Vec<RawBurst>,
+}
+
+impl StreamingSift {
+    /// A streaming detector with the given configuration.
+    pub fn new(config: SiftConfig) -> Self {
+        Self {
+            sift: Sift::new(config),
+            carry: Vec::new(),
+            samples_seen: 0,
+            open: None,
+            pending: None,
+            unclassified: VecDeque::new(),
+            ready: Vec::new(),
+            busy: 0,
+            ext: Vec::new(),
+            sums: Vec::new(),
+            runs: Vec::new(),
+            finalized: Vec::new(),
+        }
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &SiftConfig {
+        &self.sift.config
+    }
+
+    /// Total samples consumed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    /// Total samples inside finalized bursts so far. After
+    /// [`Self::finish`] this equals the buffered airtime numerator.
+    pub fn busy_samples(&self) -> u64 {
+        self.busy
+    }
+
+    /// Busy airtime fraction over everything consumed so far; exact
+    /// (equal to [`Sift::airtime_fraction`]) after [`Self::finish`].
+    pub fn airtime_fraction(&self) -> f64 {
+        if self.samples_seen == 0 {
+            return 0.0;
+        }
+        busy_f64(self.busy) / count_f64(self.samples_seen)
+    }
+
+    /// Consumes one block of samples and yields every detection whose
+    /// classification can no longer be affected by future samples.
+    /// Blocks may be any length (the USRP's is
+    /// [`crate::synth::BLOCK_SAMPLES`]); dropping the iterator discards
+    /// nothing — undrained detections are lost only if the caller drops
+    /// *it* mid-iteration, as with any `drain`.
+    pub fn push_block(&mut self, block: &[f32]) -> impl Iterator<Item = Detection> + '_ {
+        self.process_block(block);
+        self.ready.drain(..)
+    }
+
+    /// Flushes the final boundary: closes a still-open run at the end of
+    /// the trace, finalizes the merge stage, and yields the remaining
+    /// detections. The detector is then exhausted for this trace.
+    pub fn finish(&mut self) -> impl Iterator<Item = Detection> + '_ {
+        if let Some(open) = self.open.take() {
+            // Run still above threshold at the end of the trace: the
+            // buffered path scans to the end of the capture, and the
+            // per-block `last_above` updates have covered exactly that.
+            let end = match open.last_above {
+                Some(la) if la >= open.start => la,
+                _ => open.start,
+            };
+            let burst = RawBurst {
+                start: open.start,
+                len: end - open.start + 1,
+            };
+            self.merge_push(burst);
+        }
+        if let Some(p) = self.pending.take() {
+            self.finalized.push(p);
+        }
+        self.flush_finalized();
+        self.carry.clear();
+        self.ready.drain(..)
+    }
+
+    fn process_block(&mut self, block: &[f32]) {
+        let w = self.sift.config.window;
+        let thr = self.sift.config.threshold;
+        if w == 0 {
+            self.samples_seen += block.len();
+            return;
+        }
+        // Extended block: the carried `w − 1` tail plus the new samples,
+        // so every window straddling the boundary is computable. Window
+        // index `i` in `sums` is the window starting at absolute sample
+        // `carry_abs + i`; consecutive extended blocks cover contiguous
+        // window-start ranges, so runs stitch seamlessly.
+        let carry_abs = self.samples_seen - self.carry.len();
+        self.samples_seen += block.len();
+        self.ext.clear();
+        self.ext.extend_from_slice(&self.carry);
+        self.ext.extend_from_slice(block);
+        kernels::window_sums(&self.ext, w, &mut self.sums);
+        kernels::above_runs(&self.sums, thr * count_f64(w), &mut self.runs);
+        let n_windows = self.sums.len();
+
+        // The carried open run either continues through this block's
+        // first run (which then begins at window 0) or closes at the
+        // first below-threshold window, which is window 0.
+        let mut next_run = 0;
+        if let Some(open) = self.open.take() {
+            if n_windows == 0 {
+                self.open = Some(open);
+            } else if let Some(&(0, i1)) = self.runs.first() {
+                next_run = 1;
+                if i1 < n_windows {
+                    self.close_run(open, i1, carry_abs);
+                } else {
+                    self.open = Some(open);
+                }
+            } else {
+                self.close_run(open, 0, carry_abs);
+            }
+        }
+        // Remaining runs open fresh bursts; all but an open tail close
+        // within this block.
+        while next_run < self.runs.len() {
+            let (i0, i1) = self.runs[next_run];
+            next_run += 1;
+            let start = (i0..i0 + w)
+                .find(|&j| f64::from(self.ext[j]) > thr)
+                .unwrap_or(i0 + w - 1)
+                + carry_abs;
+            let open = OpenRun {
+                start,
+                last_above: None,
+            };
+            if i1 < n_windows {
+                self.close_run(open, i1, carry_abs);
+            } else {
+                self.open = Some(open);
+            }
+        }
+        // An open run absorbs this block's supra-threshold samples into
+        // its carried `last_above`: every future down-crossing edge lies
+        // past the end of this extended block, so all of them qualify.
+        if let Some(open) = &mut self.open {
+            let from = open.start.saturating_sub(carry_abs).min(self.ext.len());
+            if let Some(p) = kernels::rlast_above(&self.ext[from..], thr) {
+                open.last_above = Some(carry_abs + from + p);
+            }
+        }
+        // Merge-stage finalization: a future burst starts no earlier
+        // than the first window not yet fully observed, so once the
+        // pending burst is more than `merge_gap` behind that bound (and
+        // no run is open), nothing can extend it.
+        if self.open.is_none() {
+            if let (Some(p), Some(next_start)) =
+                (self.pending, (self.samples_seen + 1).checked_sub(w))
+            {
+                if p.end() + self.sift.config.merge_gap < next_start {
+                    self.pending = None;
+                    self.finalized.push(p);
+                }
+            }
+        }
+        self.flush_finalized();
+        let keep = self.ext.len().min(w - 1);
+        self.carry.clear();
+        self.carry
+            .extend_from_slice(&self.ext[self.ext.len() - keep..]);
+    }
+
+    /// Closes a run whose first below-threshold window is `i1` (relative
+    /// to the current extended block) and pushes the refined burst into
+    /// the merge stage.
+    fn close_run(&mut self, open: OpenRun, i1: usize, carry_abs: usize) {
+        let w = self.sift.config.window;
+        let thr = self.sift.config.threshold;
+        // Last sample of the first below-threshold window — the same
+        // scan bound the buffered path uses.
+        let from = open.start.saturating_sub(carry_abs);
+        let to = i1 + w;
+        let end = match kernels::rlast_above(&self.ext[from..to], thr) {
+            Some(p) => carry_abs + from + p,
+            None => match open.last_above {
+                Some(la) if la >= open.start => la,
+                _ => open.start,
+            },
+        };
+        let burst = RawBurst {
+            start: open.start,
+            len: end - open.start + 1,
+        };
+        self.merge_push(burst);
+    }
+
+    /// Merge stage: extends the pending burst when the gap is sub-SIFS,
+    /// otherwise finalizes it and makes `b` the new pending burst.
+    fn merge_push(&mut self, b: RawBurst) {
+        match &mut self.pending {
+            Some(prev) if b.start.saturating_sub(prev.end()) <= self.sift.config.merge_gap => {
+                prev.len = b.end() - prev.start;
+            }
+            Some(prev) => {
+                self.finalized.push(*prev);
+                *prev = b;
+            }
+            None => self.pending = Some(b),
+        }
+    }
+
+    /// Accounts finalized bursts toward the airtime numerator and runs
+    /// the greedy pair scan over the classify queue.
+    fn flush_finalized(&mut self) {
+        if self.finalized.is_empty() {
+            return;
+        }
+        self.busy += kernels::sum_lens(&self.finalized);
+        self.unclassified.extend(self.finalized.drain(..));
+        while self.unclassified.len() >= 2 {
+            let first = self.unclassified[0];
+            let second = self.unclassified[1];
+            if let Some(d) = self.sift.classify_pair(first, second) {
+                self.ready.push(d);
+                self.unclassified.pop_front();
+            }
+            self.unclassified.pop_front();
+        }
     }
 }
 
@@ -475,5 +812,56 @@ mod tests {
     fn burst_end_accessor() {
         let b = RawBurst { start: 10, len: 5 };
         assert_eq!(b.end(), 15);
+    }
+
+    #[test]
+    fn buffered_matches_scalar_reference() {
+        let synth = Synthesizer::new();
+        let sift = Sift::default();
+        let mut bursts = Vec::new();
+        let mut t = SimTime::from_micros(200);
+        for width in [Width::W5, Width::W10, Width::W20] {
+            let ex = data_ack_exchange(t, width, 700, 900.0);
+            t = ex[1].start + ex[1].duration + SimDuration::from_micros(250);
+            bursts.extend(ex);
+        }
+        let trace = synth.synthesize(&bursts, SimDuration::from_millis(20), &mut rng());
+        assert_eq!(sift.extract_bursts(&trace), sift.extract_bursts_ref(&trace));
+    }
+
+    #[test]
+    fn streaming_matches_buffered_on_block_sized_chunks() {
+        let synth = Synthesizer::new();
+        let sift = Sift::default();
+        let mut bursts = Vec::new();
+        let mut t = SimTime::from_micros(300);
+        for _ in 0..8 {
+            let ex = data_ack_exchange(t, Width::W10, 800, 1000.0);
+            t = ex[1].start + ex[1].duration + SimDuration::from_micros(400);
+            bursts.extend(ex);
+        }
+        let trace = synth.synthesize(&bursts, SimDuration::from_millis(30), &mut rng());
+        let buffered = sift.detect(&trace);
+        let mut stream = StreamingSift::new(sift.config);
+        let mut streamed = Vec::new();
+        for block in trace.chunks(crate::synth::BLOCK_SAMPLES) {
+            streamed.extend(stream.push_block(block));
+        }
+        streamed.extend(stream.finish());
+        assert_eq!(buffered, streamed);
+        assert_eq!(
+            stream.busy_samples(),
+            kernels::sum_lens(&sift.extract_bursts(&trace))
+        );
+        assert_eq!(stream.samples_seen(), trace.len());
+    }
+
+    #[test]
+    fn streaming_empty_trace_is_empty() {
+        let mut stream = StreamingSift::new(SiftConfig::default());
+        assert_eq!(stream.push_block(&[]).count(), 0);
+        assert_eq!(stream.finish().count(), 0);
+        assert_eq!(stream.busy_samples(), 0);
+        assert_eq!(stream.airtime_fraction(), 0.0);
     }
 }

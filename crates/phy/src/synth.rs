@@ -17,10 +17,32 @@
 //!   "sometimes fail to accurately match the length of the detected packet"
 //!   (§5.1) — modelled as a random low-amplitude head applied to 5 MHz
 //!   bursts only.
+//!
+//! The synthesizer runs on the batched [`crate::kernels`] and exists in
+//! two forms with one randomness contract:
+//!
+//! * [`Synthesizer::synthesize`] / [`Synthesizer::synthesize_into`] fill
+//!   a whole capture at once;
+//! * [`SynthStream`] (from [`Synthesizer::stream`]) emits the identical
+//!   trace one USRP-sized block at a time, never materializing the
+//!   capture.
+//!
+//! The contract that makes them bit-identical: when the configuration is
+//! stochastic at all, exactly **one** `u64` is drawn from the caller's
+//! RNG per capture, seeding a family of derived ChaCha8 streams — stream
+//! 0 for receiver noise, stream `1 + i` for input burst `i`. Each
+//! burst's head/ripple draws happen in that burst's own stream in sample
+//! order, and noise draws happen in stream 0 in sample order (Box–Muller
+//! pairs, both halves used, odd tails carried), so no draw's position
+//! depends on block boundaries or on which other bursts exist. An ideal
+//! (ripple-free, noiseless, headless) configuration consumes no
+//! randomness whatsoever.
 
 use crate::attenuation::NoiseModel;
+use crate::kernels;
 use crate::time::{SimDuration, SimTime};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use whitefi_spectrum::Width;
 
@@ -136,6 +158,14 @@ impl Synthesizer {
         }
     }
 
+    /// Whether this configuration draws any randomness at all. When
+    /// false, synthesis consumes **nothing** from the caller's RNG.
+    fn is_stochastic(&self) -> bool {
+        self.config.ripple_low != self.config.ripple_high
+            || self.noise.sigma != 0.0
+            || self.config.w5_head_fraction > 0.0
+    }
+
     /// Synthesizes the amplitude trace of a capture window of length
     /// `window`, containing the given bursts (positions relative to the
     /// window; bursts extending past either edge are clipped).
@@ -165,75 +195,299 @@ impl Synthesizer {
         thread_local! {
             static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
         }
-        let n = (window.as_nanos() / SAMPLE_NS) as usize;
+        let mut stream = self.stream(bursts, window, rng);
+        out.clear();
         SCRATCH.with(|scratch| {
-            let mut samples = scratch.borrow_mut();
-            samples.clear();
-            samples.resize(n, 0f64);
-            for b in bursts {
-                let start = (b.start.as_nanos() / SAMPLE_NS) as usize;
-                let end_ns = b.start.as_nanos() + b.duration.as_nanos();
-                let end = (end_ns / SAMPLE_NS) as usize; // exclusive
-                let start = start.min(n);
-                let end = end.min(n);
-                if start >= end {
-                    continue;
-                }
-                let len = end - start;
-                // Per-burst head droop for 5 MHz frames. The droop is a
-                // power-ramp artifact of initiating a transmission from an
-                // idle chain, so it affects data/beacon/chirp frames; an ACK
-                // or CTS follows one SIFS behind with the chain still warm.
-                let initiating = matches!(
-                    b.kind,
-                    BurstKind::Data | BurstKind::Beacon | BurstKind::Chirp
-                );
-                // Truncating the fractional sample is the intended floor;
-                // the product is nonnegative (fraction checked > 0).
-                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                let head_len =
-                    if b.width == Width::W5 && initiating && self.config.w5_head_fraction > 0.0 {
-                        (len as f64 * self.config.w5_head_fraction) as usize
-                    } else {
-                        0
-                    };
-                let head_factor = if head_len > 0 {
-                    let g = {
-                        // Box–Muller standard normal.
-                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                        let u2: f64 = rng.gen_range(0.0..1.0);
-                        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-                    };
-                    (self.config.w5_head_mean + g * self.config.w5_head_sd).clamp(0.02, 1.0)
-                } else {
-                    1.0
-                };
-                for (i, s) in samples[start..end].iter_mut().enumerate() {
-                    let ripple = if self.config.ripple_low == self.config.ripple_high {
-                        self.config.ripple_low
-                    } else {
-                        rng.gen_range(self.config.ripple_low..self.config.ripple_high)
-                    };
-                    let head = if i < head_len { head_factor } else { 1.0 };
-                    *s += b.amplitude * ripple * head;
-                }
-            }
-            // Additive receiver noise everywhere.
-            out.clear();
-            out.reserve(n);
-            for &s in samples.iter() {
-                // Quantizing the f64 mix down to the scanner's f32 sample
-                // type is the point of this cast.
-                #[allow(clippy::cast_possible_truncation)]
-                out.push((s + self.noise.sample(rng)) as f32);
-            }
+            let mut acc = scratch.borrow_mut();
+            // One whole-window block: the same per-stream draw schedule
+            // as block-at-a-time emission, so the trace is bit-identical
+            // to draining a [`SynthStream`].
+            stream.fill_into(&mut acc, out, stream.total_samples());
         });
+    }
+
+    /// Scalar reference for the whole synthesis pipeline: the same draw
+    /// schedule and per-sample expressions over the `_ref` kernels, one
+    /// sample at a time. Kept forever as the semantic contract; the
+    /// differential suite asserts bit-identity with
+    /// [`Self::synthesize`] and with [`SynthStream`] emission.
+    pub fn synthesize_ref<R: Rng + ?Sized>(
+        &self,
+        bursts: &[Burst],
+        window: SimDuration,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let n = (window.as_nanos() / SAMPLE_NS) as usize;
+        let base = if self.is_stochastic() {
+            rng.gen::<u64>()
+        } else {
+            0
+        };
+        let mut acc = vec![0f64; n];
+        let mut pending = clip_bursts(&self.config, bursts, n);
+        pending.sort_by_key(|c| (c.start, c.stream));
+        for c in &pending {
+            let mut burst_rng = derive_stream(base, c.stream);
+            let amp_head = c.amplitude * head_factor(&self.config, c.head_len, &mut burst_rng);
+            let head_end = c.start + c.head_len;
+            kernels::accumulate_ripple_ref(
+                &mut acc[c.start..head_end],
+                amp_head,
+                self.config.ripple_low,
+                self.config.ripple_high,
+                &mut burst_rng,
+            );
+            kernels::accumulate_ripple_ref(
+                &mut acc[head_end..c.end],
+                c.amplitude,
+                self.config.ripple_low,
+                self.config.ripple_high,
+                &mut burst_rng,
+            );
+        }
+        let mut out = Vec::new();
+        let mut noise_rng = derive_stream(base, 0);
+        let mut carry = None;
+        kernels::add_noise_ref(&acc, self.noise.sigma, &mut carry, &mut out, &mut noise_rng);
+        out
+    }
+
+    /// Begins block-at-a-time synthesis of a capture window. Draws the
+    /// single stream-family seed from `rng` up front (nothing at all for
+    /// an ideal configuration), so the caller's RNG is released before
+    /// the first block is emitted.
+    pub fn stream<R: Rng + ?Sized>(
+        &self,
+        bursts: &[Burst],
+        window: SimDuration,
+        rng: &mut R,
+    ) -> SynthStream {
+        let n = (window.as_nanos() / SAMPLE_NS) as usize;
+        let base = if self.is_stochastic() {
+            rng.gen::<u64>()
+        } else {
+            0
+        };
+        let mut pending = clip_bursts(&self.config, bursts, n);
+        pending.sort_by_key(|c| (c.start, c.stream));
+        SynthStream {
+            config: self.config,
+            sigma: self.noise.sigma,
+            base,
+            total: n,
+            emitted: 0,
+            pending,
+            next_pending: 0,
+            active: Vec::new(),
+            noise_rng: derive_stream(base, 0),
+            noise_carry: None,
+            acc: Vec::new(),
+            out: Vec::new(),
+        }
     }
 }
 
 impl Default for Synthesizer {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// One derived ChaCha8 stream of the per-capture family.
+fn derive_stream(base: u64, stream: u64) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(base);
+    rng.set_stream(stream);
+    rng
+}
+
+/// A burst clipped to the capture window, keyed by its derived-stream id
+/// (`1 + input index`, so the assignment is independent of clipping).
+#[derive(Debug, Clone, Copy)]
+struct ClippedBurst {
+    start: usize,
+    end: usize,
+    head_len: usize,
+    amplitude: f64,
+    stream: u64,
+}
+
+/// Clips bursts to the `n`-sample window and computes each one's 5 MHz
+/// head length from its **clipped** length (the droop is a power-ramp
+/// artifact of initiating a transmission from an idle chain, so it
+/// affects data/beacon/chirp frames; an ACK or CTS follows one SIFS
+/// behind with the chain still warm).
+fn clip_bursts(config: &SynthesizerConfig, bursts: &[Burst], n: usize) -> Vec<ClippedBurst> {
+    let mut out = Vec::with_capacity(bursts.len());
+    for (idx, b) in bursts.iter().enumerate() {
+        let start = ((b.start.as_nanos() / SAMPLE_NS) as usize).min(n);
+        let end_ns = b.start.as_nanos() + b.duration.as_nanos();
+        let end = ((end_ns / SAMPLE_NS) as usize).min(n); // exclusive
+        if start >= end {
+            continue;
+        }
+        let len = end - start;
+        let initiating = matches!(
+            b.kind,
+            BurstKind::Data | BurstKind::Beacon | BurstKind::Chirp
+        );
+        // Truncating the fractional sample is the intended floor; the
+        // product is nonnegative (fraction checked > 0).
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let head_len = if b.width == Width::W5 && initiating && config.w5_head_fraction > 0.0 {
+            (len as f64 * config.w5_head_fraction) as usize
+        } else {
+            0
+        };
+        out.push(ClippedBurst {
+            start,
+            end,
+            head_len,
+            amplitude: b.amplitude,
+            stream: 1 + idx as u64,
+        });
+    }
+    out
+}
+
+/// Draws the per-burst head amplitude factor (first draw in the burst's
+/// stream), or 1.0 without drawing when the burst has no head.
+fn head_factor<R: Rng + ?Sized>(config: &SynthesizerConfig, head_len: usize, rng: &mut R) -> f64 {
+    if head_len == 0 {
+        return 1.0;
+    }
+    let g = {
+        // Box–Muller standard normal (cos branch; a once-per-burst draw,
+        // not worth pair bookkeeping).
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    };
+    (config.w5_head_mean + g * config.w5_head_sd).clamp(0.02, 1.0)
+}
+
+/// A burst currently overlapping the emission cursor, with its derived
+/// RNG stream live so emission resumes in O(1) at each block.
+#[derive(Debug, Clone)]
+struct ActiveBurst {
+    start: usize,
+    end: usize,
+    /// Absolute end of the low-amplitude head region.
+    head_end: usize,
+    amp_head: f64,
+    amp_body: f64,
+    rng: ChaCha8Rng,
+}
+
+/// Block-at-a-time trace emission (see [`Synthesizer::stream`]).
+///
+/// Each [`Self::next_block`] call yields the next up-to-
+/// [`BLOCK_SAMPLES`] samples of the capture, bit-identical to the
+/// corresponding slice of [`Synthesizer::synthesize`] under the same
+/// caller-RNG state. Only the bursts overlapping the current block are
+/// touched (activation is a cursor over the start-sorted schedule), and
+/// the working buffers are one block long — streaming a capture
+/// allocates O(block + active bursts), not O(capture).
+#[derive(Debug, Clone)]
+pub struct SynthStream {
+    config: SynthesizerConfig,
+    sigma: f64,
+    base: u64,
+    total: usize,
+    emitted: usize,
+    pending: Vec<ClippedBurst>,
+    next_pending: usize,
+    active: Vec<ActiveBurst>,
+    noise_rng: ChaCha8Rng,
+    noise_carry: Option<f64>,
+    acc: Vec<f64>,
+    out: Vec<f32>,
+}
+
+impl SynthStream {
+    /// Total samples this capture will emit.
+    pub fn total_samples(&self) -> usize {
+        self.total
+    }
+
+    /// Samples emitted so far.
+    pub fn samples_emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Emits the next block of up to [`BLOCK_SAMPLES`] samples, or
+    /// `None` once the capture is complete. The slice borrows the
+    /// stream's internal block buffer and is valid until the next call.
+    pub fn next_block(&mut self) -> Option<&[f32]> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        let len = BLOCK_SAMPLES.min(self.total - self.emitted);
+        let (mut acc, mut out) = (std::mem::take(&mut self.acc), std::mem::take(&mut self.out));
+        self.fill_into(&mut acc, &mut out, len);
+        self.acc = acc;
+        self.out = out;
+        Some(&self.out)
+    }
+
+    /// Accumulates the next `len` samples into `acc` and appends their
+    /// quantized form to `out` (cleared first). Shared by block emission
+    /// and the whole-capture [`Synthesizer::synthesize_into`], which is
+    /// what makes the two paths identical by construction.
+    fn fill_into(&mut self, acc: &mut Vec<f64>, out: &mut Vec<f32>, len: usize) {
+        let lo = self.emitted;
+        let hi = lo + len;
+        acc.clear();
+        acc.resize(len, 0f64);
+        // Activate bursts whose first sample falls inside this range;
+        // `pending` is (start, stream)-sorted, so `active` stays in the
+        // global burst order and per-sample superposition adds in the
+        // same order as the buffered pass.
+        while let Some(c) = self.pending.get(self.next_pending).copied() {
+            if c.start >= hi {
+                break;
+            }
+            self.next_pending += 1;
+            let mut rng = derive_stream(self.base, c.stream);
+            let amp_head = c.amplitude * head_factor(&self.config, c.head_len, &mut rng);
+            self.active.push(ActiveBurst {
+                start: c.start,
+                end: c.end,
+                head_end: c.start + c.head_len,
+                amp_head,
+                amp_body: c.amplitude,
+                rng,
+            });
+        }
+        for a in &mut self.active {
+            let seg_lo = a.start.max(lo);
+            let seg_hi = a.end.min(hi);
+            // Head and body segments of this burst inside the block.
+            let cut = a.head_end.clamp(seg_lo, seg_hi);
+            kernels::accumulate_ripple(
+                &mut acc[seg_lo - lo..cut - lo],
+                a.amp_head,
+                self.config.ripple_low,
+                self.config.ripple_high,
+                &mut a.rng,
+            );
+            kernels::accumulate_ripple(
+                &mut acc[cut - lo..seg_hi - lo],
+                a.amp_body,
+                self.config.ripple_low,
+                self.config.ripple_high,
+                &mut a.rng,
+            );
+        }
+        self.active.retain(|a| a.end > hi);
+        out.clear();
+        kernels::add_noise(
+            acc,
+            self.sigma,
+            &mut self.noise_carry,
+            out,
+            &mut self.noise_rng,
+        );
+        self.emitted = hi;
     }
 }
 
@@ -317,6 +571,22 @@ mod tests {
         assert!(trace[..start].iter().all(|&s| s == 0.0));
         assert!(trace[start..end].iter().all(|&s| (s - 1000.0).abs() < 1e-3));
         assert!(trace[end..].iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn ideal_synthesis_consumes_no_randomness() {
+        let synth = Synthesizer::ideal();
+        let burst = Burst {
+            start: SimTime::from_micros(100),
+            duration: SimDuration::from_micros(200),
+            width: Width::W5,
+            amplitude: 1000.0,
+            kind: BurstKind::Data,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let before = rng.clone().gen::<u64>();
+        let _ = synth.synthesize(&[burst], SimDuration::from_micros(500), &mut rng);
+        assert_eq!(rng.gen::<u64>(), before);
     }
 
     #[test]
@@ -419,6 +689,49 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         synth.synthesize_into(&ex, SimDuration::from_millis(2), &mut rng, &mut b);
         assert_eq!(c, b);
+    }
+
+    #[test]
+    fn stream_blocks_concatenate_to_buffered_trace() {
+        let synth = Synthesizer::new();
+        let ex = data_ack_exchange(SimTime::from_micros(50), Width::W5, 400, 900.0);
+        let window = SimDuration::from_millis(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let buffered = synth.synthesize(&ex, window, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut stream = synth.stream(&ex, window, &mut rng);
+        assert_eq!(stream.total_samples(), buffered.len());
+        let mut streamed = Vec::new();
+        while let Some(block) = stream.next_block() {
+            assert!(block.len() <= BLOCK_SAMPLES);
+            streamed.extend_from_slice(block);
+        }
+        assert_eq!(stream.samples_emitted(), buffered.len());
+        for (i, (a, b)) in buffered.iter().zip(&streamed).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "sample {i}");
+        }
+        assert_eq!(buffered.len(), streamed.len());
+    }
+
+    #[test]
+    fn stream_matches_scalar_reference_bitwise() {
+        let synth = Synthesizer::new();
+        let mut bursts = Vec::new();
+        let mut t = SimTime::from_micros(100);
+        for width in [Width::W5, Width::W20] {
+            let ex = data_ack_exchange(t, width, 600, 800.0);
+            t = ex[1].start + ex[1].duration + SimDuration::from_micros(200);
+            bursts.extend(ex);
+        }
+        let window = SimDuration::from_millis(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let reference = synth.synthesize_ref(&bursts, window, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let batched = synth.synthesize(&bursts, window, &mut rng);
+        for (i, (a, b)) in reference.iter().zip(&batched).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "sample {i}");
+        }
+        assert_eq!(reference.len(), batched.len());
     }
 
     #[test]

@@ -37,7 +37,8 @@ const WALL_CLOCK_ALLOWLIST: [&str; 2] = [
 ];
 
 /// The hot numeric kernels held to R5 (no `as` numeric casts).
-const NUMERIC_KERNELS: [&str; 3] = [
+const NUMERIC_KERNELS: [&str; 4] = [
+    "crates/phy/src/kernels.rs",
     "crates/phy/src/sift.rs",
     "crates/spectrum/src/airtime.rs",
     "crates/whitefi/src/mcham.rs",

@@ -1,0 +1,13 @@
+//! R5 fixture: the batched lane kernels are hot numeric kernels too.
+
+pub fn widen(lane: [f32; 4]) -> [f64; 4] {
+    lane.map(f64::from)
+}
+
+pub fn lossy_lane_sum(lane: [f64; 4]) -> f32 {
+    (lane[0] + lane[1] + lane[2] + lane[3]) as f32
+}
+
+pub fn waived(n: u64) -> f64 {
+    n as f64 // lint:allow(cast, fixture: a reasoned waiver stays silent here)
+}

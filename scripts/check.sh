@@ -16,6 +16,12 @@ cargo run --release -p xtask -- lint
 
 cargo test --workspace -q
 
+# Scalar-vs-batched differential gate: the lane kernels, the streaming
+# SIFT front end and the block synthesizer must stay bit-identical to
+# their scalar/buffered references (DESIGN.md §12). Runs explicitly so
+# a filtered `cargo test` invocation can never silently skip it.
+cargo test --release -q -p whitefi-phy --test kernel_differential
+
 # Invariant torture lane: the full 256-plan randomized fault-injection
 # sweep plus its order-independence check (ignored by default — too slow
 # for the tier-1 lane above, which already runs a 24-case slice). Any

@@ -10,7 +10,7 @@ use whitefi::{
 };
 use whitefi_mac::traffic::Sink;
 use whitefi_mac::{NodeConfig, Simulator};
-use whitefi_phy::{DetectionKind, Scanner, Sift, SimDuration, SimTime};
+use whitefi_phy::{DetectionKind, Scanner, Sift, SimDuration, SimTime, StreamingSift};
 use whitefi_spectrum::{SpectrumMap, UhfChannel, WfChannel, Width};
 
 /// A scan oracle backed by the live simulator: each dwell advances the
@@ -60,11 +60,18 @@ impl ScanOracle for MediumOracle {
     fn sift_scan(&mut self, ch: UhfChannel) -> Option<Width> {
         let (from, to) = self.advance();
         let on_air = self.sim.medium().visible_bursts(from, to);
-        let trace = self
+        // Block-at-a-time, like the real USRP → PC path: the dwell's
+        // trace is never materialized whole.
+        let mut stream = self
             .scanner
-            .capture(ch, &on_air, from, self.dwell, &mut self.rng);
-        self.sift
-            .detect(&trace)
+            .capture_stream(ch, &on_air, from, self.dwell, &mut self.rng);
+        let mut sift = StreamingSift::new(self.sift.config);
+        let mut detections = Vec::new();
+        while let Some(block) = stream.next_block() {
+            detections.extend(sift.push_block(block));
+        }
+        detections.extend(sift.finish());
+        detections
             .into_iter()
             .find(|d| d.kind == DetectionKind::BeaconCts || d.kind == DetectionKind::DataAck)
             .map(|d| d.width)
