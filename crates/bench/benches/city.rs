@@ -1,0 +1,48 @@
+//! Criterion bench for the influence-sharded city core: sharded runs
+//! (sequential and pooled) against the single-simulator reference on
+//! the same city, plus per-event throughput of the unsharded run. The
+//! sharded/sequential pair isolates the sharding overhead (shard
+//! planning, lookahead barriers, outcome merge) from the parallel win,
+//! which the `city` experiment measures wall-clock into
+//! `results/BENCH_experiments.json` for `scripts/bench_compare.sh`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use whitefi::{run_city, CityScenario};
+use whitefi_bench::experiments::city::{bench_city, timed_run};
+use whitefi_bench::RunCtx;
+use whitefi_phy::SimDuration;
+
+fn small_city() -> CityScenario {
+    bench_city(7, 16, 1, SimDuration::from_millis(400))
+}
+
+fn bench_city_sharded_vs_sequential(c: &mut Criterion) {
+    let city = small_city();
+    let ctx = RunCtx::sequential(true);
+    let mut group = c.benchmark_group("city_sharded_vs_sequential");
+    group.sample_size(10);
+    // Sequential ladder: same thread, increasing shard counts. Measures
+    // pure sharding overhead (ideally flat).
+    for shards in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("sequential", shards), &shards, |b, &s| {
+            b.iter(|| run_city(&city, s))
+        });
+    }
+    // Pooled: 4 shard groups fanned across 4 workers (the experiment
+    // harness's code path). On a multi-core host this is the speedup.
+    group.bench_with_input(BenchmarkId::new("pooled", 4usize), &4usize, |b, &s| {
+        b.iter(|| timed_run(&ctx, &city, s))
+    });
+    group.finish();
+
+    // Headline per-event throughput of the unsharded city run.
+    let (_, stats) = run_city(&city, 1);
+    let mut group = c.benchmark_group("city_events");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stats.events.handled));
+    group.bench_function("unsharded_16_aps", |b| b.iter(|| run_city(&city, 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_city_sharded_vs_sequential);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! City sharding smoke: runs one small grid city and prints a canonical
+//! JSON summary of the outcome to stdout.
+//!
+//! ```text
+//! city_smoke [--aps N] [--clients N] [--shards S] [--seed X]
+//! ```
+//!
+//! The output is a pure function of `(--aps, --clients, --seed)` — it
+//! deliberately contains **no** wall-clock readings and **no**
+//! scheduling metadata (shard count, group sizes, barrier rounds go to
+//! stderr only), so `scripts/check.sh` can diff the stdout of a
+//! `--shards 1` run against a `--shards 4` run byte for byte. That diff
+//! is the end-to-end form of the sharding contract (DESIGN.md §13):
+//! sharded and unsharded runs are identical, oracle reports and fault
+//! events included.
+//!
+//! The grid uses range above spacing, so neighbouring cells couple into
+//! multi-cell components and the smoke exercises real shard merging; a
+//! deterministic fault plan derived from the seed keeps the fault layer
+//! in the loop.
+
+use whitefi::{run_city, CityScenario};
+use whitefi_mac::{FaultEventKind, FaultPlan};
+use whitefi_phy::SimDuration;
+
+fn usage() -> ! {
+    eprintln!("usage: city_smoke [--aps N] [--clients N] [--shards S] [--seed X]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut aps = 9usize;
+    let mut clients = 1usize;
+    let mut shards = 1usize;
+    let mut seed = 5u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else { usage() };
+        let Ok(value) = value.parse::<u64>() else {
+            eprintln!("invalid value for {flag}: {value}");
+            usage();
+        };
+        match flag {
+            "--aps" => aps = usize::try_from(value).unwrap_or(usize::MAX),
+            "--clients" => clients = usize::try_from(value).unwrap_or(usize::MAX),
+            "--shards" => shards = usize::try_from(value).unwrap_or(usize::MAX).max(1),
+            "--seed" => seed = value,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut city = CityScenario::grid(seed, aps, clients, 100.0, 105.0);
+    city.warmup = SimDuration::from_millis(300);
+    city.duration = SimDuration::from_millis(600);
+    city.sample_interval = SimDuration::from_millis(200);
+    city.sync_window = SimDuration::from_millis(150);
+    city.faults = Some(FaultPlan {
+        seed: seed ^ 0x5A0C_E5ED,
+        drop_prob: 0.06,
+        dup_prob: 0.04,
+        delay_prob: 0.04,
+        max_delay: SimDuration::from_micros(800),
+        max_detection_extra: SimDuration::from_millis(25),
+        history_skew: None,
+    });
+
+    let (out, stats) = run_city(&city, shards);
+    eprintln!(
+        "city_smoke: {} APs, {} nodes, shards {} -> groups {}, components {}, \
+         sync_rounds {}, events handled {}",
+        aps,
+        city.total_nodes(),
+        shards,
+        stats.groups,
+        stats.components,
+        stats.sync_rounds,
+        stats.events.handled,
+    );
+
+    let cells: Vec<serde_json::Value> = out
+        .cells
+        .iter()
+        .map(|c| {
+            serde_json::json!({
+                "aggregate_mbps": c.aggregate_mbps,
+                "per_client_mbps": c.per_client_mbps,
+                "violations": c.violations,
+                "oracle_violations": c.oracle.violations.len(),
+                "checked_tx": c.oracle.checked_tx,
+                "explained_liveness": c.oracle.explained_liveness,
+                "trace_digest": c.oracle.trace_digest,
+                "samples": c.samples.iter().map(|s| {
+                    serde_json::json!([
+                        s.t.as_nanos(),
+                        format!("{}", s.ap_channel),
+                        s.bytes_delta,
+                    ])
+                }).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    let fault_events: Vec<serde_json::Value> = out
+        .fault_events
+        .iter()
+        .map(|e| {
+            let kind = match e.kind {
+                FaultEventKind::Drop => "drop".to_string(),
+                FaultEventKind::Duplicate => "dup".to_string(),
+                FaultEventKind::Delay(d) => format!("delay:{}", d.as_nanos()),
+                FaultEventKind::DetectionExtra(d) => format!("detect:{}", d.as_nanos()),
+            };
+            serde_json::json!([e.time.as_nanos(), e.node, kind])
+        })
+        .collect();
+    let summary = serde_json::json!({
+        "seed": seed,
+        "aps": aps,
+        "nodes": city.total_nodes(),
+        "aggregate_mbps": out.aggregate_mbps,
+        "violations": out.violations(),
+        "oracle_violations": out.oracle_violations(),
+        "fault_events": fault_events,
+        "cells": cells,
+    });
+    match serde_json::to_string_pretty(&summary) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("error: could not serialize summary: {e}");
+            std::process::exit(1);
+        }
+    }
+}

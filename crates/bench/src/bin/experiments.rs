@@ -304,30 +304,51 @@ fn main() {
         // overlap > 1 concurrent experiments bleed into each other's
         // windows and attribution is only approximate.
         "event_attribution": if outer > 1 { "overlapped" } else { "exclusive" },
-        "experiments": finished.iter().map(|f| serde_json::json!({
-            "id": f.id,
-            "wall_s": (f.wall_s * 1e3).round() / 1e3,
-            "trials": f.trials,
-            "jobs": f.jobs,
-            "events": {
-                "scheduled": f.events.scheduled,
-                "handled": f.events.handled,
-                "stale_tentative": f.events.stale_tentative,
-                "stale_ack_timeout": f.events.stale_ack_timeout,
-                "lazy_elided": f.events.lazy_elided,
-            },
-            "oracle": {
-                "adaptive_violations": f.oracles.adaptive_violations,
-                "fixed_violations": f.oracles.fixed_violations,
-                "explained_liveness": f.oracles.explained_liveness,
-                "reports": f.oracles.reports,
-            },
-            "events_per_sec": if f.wall_s > 0.0 {
-                (f.events.handled as f64 / f.wall_s).round()
-            } else {
-                0.0
-            },
-        })).collect::<Vec<_>>(),
+        "experiments": finished.iter().map(|f| {
+            let mut entry = serde_json::json!({
+                "id": f.id,
+                "wall_s": (f.wall_s * 1e3).round() / 1e3,
+                "trials": f.trials,
+                "jobs": f.jobs,
+                "events": {
+                    "scheduled": f.events.scheduled,
+                    "handled": f.events.handled,
+                    "stale_tentative": f.events.stale_tentative,
+                    "stale_ack_timeout": f.events.stale_ack_timeout,
+                    "lazy_elided": f.events.lazy_elided,
+                },
+                "oracle": {
+                    "adaptive_violations": f.oracles.adaptive_violations,
+                    "fixed_violations": f.oracles.fixed_violations,
+                    "explained_liveness": f.oracles.explained_liveness,
+                    "reports": f.oracles.reports,
+                },
+                "events_per_sec": if f.wall_s > 0.0 {
+                    (f.events.handled as f64 / f.wall_s).round()
+                } else {
+                    0.0
+                },
+            });
+            // The city scaling ladder (shards, sync rounds, events/sec,
+            // wall time per shard count) is perf telemetry, so its rows
+            // ride along in the perf summary.
+            if f.id == "city" {
+                if let serde_json::Value::Object(map) = &mut entry {
+                    map.insert(
+                        "scaling_rows".to_string(),
+                        serde_json::Value::Array(
+                            f.report
+                                .rows
+                                .iter()
+                                .cloned()
+                                .map(serde_json::Value::Object)
+                                .collect(),
+                        ),
+                    );
+                }
+            }
+            entry
+        }).collect::<Vec<_>>(),
     }));
     // The summary is advisory perf telemetry: a serialization failure is
     // reported but does not fail the run.

@@ -1,0 +1,224 @@
+//! Scale: city-wide multi-AP simulation on the influence-sharded
+//! parallel event core (DESIGN.md §13).
+//!
+//! Lays a grid of WhiteFi cells (urban/suburban/rural locale mix) with
+//! sites spaced beyond radio range, so the influence graph decomposes
+//! into one component per cell and the shard planner can balance
+//! freely — the regime where sharding pays and the one the paper's
+//! deployment model (disjoint home networks, §5.1) corresponds to.
+//! Coupled topologies (range above spacing) are the differential
+//! suite's territory; they reduce the available parallelism to the
+//! component structure without changing the outcome.
+//!
+//! Each row runs the same city at one shard count with a worker pool
+//! sized to that count, and reports groups, components, barrier rounds,
+//! handled events, events/sec and wall time. Every sharded outcome is
+//! asserted byte-identical to the unsharded reference before the row is
+//! emitted, and every run must stay oracle-clean (the experiments
+//! binary additionally gates on the process-wide adaptive-violation
+//! totals).
+//!
+//! Determinism note: outcome columns (`aggregate_mbps`, `sync_rounds`,
+//! `events_handled`, …) are pure functions of the scenario; the timing
+//! columns (`wall_s`, `events_per_sec`, `speedup`) are wall-clock
+//! measurements and vary run to run. `scripts/bench_compare.sh` tracks
+//! the experiment's total wall time across runs via
+//! `results/BENCH_experiments.json`, which also embeds these scaling
+//! rows.
+
+use crate::report::{round4, ExperimentReport};
+use crate::runner::{RunCtx, Runner};
+use serde_json::json;
+use whitefi::{merge_city, run_city_group, shard_plan, CityOutcome, CityRunStats, CityScenario};
+use whitefi_phy::SimDuration;
+
+/// The bench city: `n_aps` cells on a grid spaced beyond radio range
+/// (150 m spacing, 60 m range), locale mix drawn from the seed.
+pub fn bench_city(
+    seed: u64,
+    n_aps: usize,
+    clients_per_ap: usize,
+    duration: SimDuration,
+) -> CityScenario {
+    let mut city = CityScenario::grid(seed, n_aps, clients_per_ap, 150.0, 60.0);
+    city.warmup = SimDuration::from_millis(300);
+    city.duration = duration;
+    city.sample_interval = SimDuration::from_millis(100);
+    city
+}
+
+/// Runs `city` at the given shard count on a worker pool of the same
+/// size (a scaling row measures "S shards on S workers", independent of
+/// the harness `--jobs` budget) and returns the merged outcome, the run
+/// stats and the measured wall seconds. The outcome is a pure function
+/// of `(city, shards)` — only the wall time varies.
+pub fn timed_run(
+    ctx: &RunCtx,
+    city: &CityScenario,
+    shards: usize,
+) -> (CityOutcome, CityRunStats, f64) {
+    let plan = shard_plan(city, shards);
+    let n_groups = plan.groups.len();
+    let pool = Runner::new(shards, 0);
+    let (groups, wall_s) =
+        ctx.time(|| pool.map(n_groups, |g| run_city_group(city, &plan.groups[g])));
+    let (outcome, sync_rounds, events) = merge_city(city, groups);
+    (
+        outcome,
+        CityRunStats {
+            groups: n_groups,
+            components: plan.components,
+            sync_rounds,
+            events,
+        },
+        wall_s,
+    )
+}
+
+/// Runs one city size across a ladder of shard counts (ascending, first
+/// entry the unsharded reference), asserting byte-identity and
+/// cleanliness per row, and returns the peak speedup observed.
+fn scale_rows(
+    ctx: &RunCtx,
+    report: &mut ExperimentReport,
+    city: &CityScenario,
+    n_aps: usize,
+    shard_counts: &[usize],
+) -> f64 {
+    let mut base: Option<(CityOutcome, f64)> = None;
+    let mut peak = 0.0f64;
+    for &shards in shard_counts {
+        let (outcome, stats, wall_s) = timed_run(ctx, city, shards);
+        assert_eq!(
+            outcome.violations(),
+            0,
+            "{n_aps} APs / {shards} shards: incumbent violations"
+        );
+        assert_eq!(
+            outcome.oracle_violations(),
+            0,
+            "{n_aps} APs / {shards} shards: oracle violations"
+        );
+        if let Some((reference, _)) = &base {
+            assert!(
+                *reference == outcome,
+                "{n_aps} APs: {shards}-shard outcome diverged from the unsharded \
+                 reference — influence sharding unsound"
+            );
+        }
+        let wall_ref = base.as_ref().map_or(wall_s, |&(_, w)| w);
+        let speedup = if wall_s > 0.0 { wall_ref / wall_s } else { 1.0 };
+        peak = peak.max(speedup);
+        // Event totals are bounded well below 2^53, so the cast is exact.
+        #[allow(clippy::cast_precision_loss)]
+        let events_per_sec = if wall_s > 0.0 {
+            (stats.events.handled as f64 / wall_s).round()
+        } else {
+            0.0
+        };
+        report.push_row(&[
+            ("aps", json!(n_aps)),
+            ("nodes", json!(city.total_nodes())),
+            ("shards", json!(shards)),
+            ("groups", json!(stats.groups)),
+            ("components", json!(stats.components)),
+            ("sync_rounds", json!(stats.sync_rounds)),
+            ("events_handled", json!(stats.events.handled)),
+            ("events_per_sec", json!(events_per_sec)),
+            ("wall_s", round4(wall_s)),
+            ("speedup", round4(speedup)),
+            ("aggregate_mbps", round4(outcome.aggregate_mbps)),
+        ]);
+        if base.is_none() {
+            base = Some((outcome, wall_s));
+        }
+    }
+    peak
+}
+
+/// Runs the city scaling ladder.
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "city",
+        "City-scale sharded simulation: wall time vs shard count",
+        &[
+            "aps",
+            "nodes",
+            "shards",
+            "groups",
+            "components",
+            "sync_rounds",
+            "events_handled",
+            "events_per_sec",
+            "wall_s",
+            "speedup",
+            "aggregate_mbps",
+        ],
+    );
+    let (n_aps, clients, shard_counts, duration): (usize, usize, &[usize], SimDuration) =
+        if ctx.quick() {
+            (16, 1, &[1, 4], SimDuration::from_millis(500))
+        } else {
+            (64, 2, &[1, 2, 4, 8], SimDuration::from_millis(1_500))
+        };
+    let city = bench_city(ctx.seed(9_100), n_aps, clients, duration);
+    let peak = scale_rows(ctx, &mut report, &city, n_aps, shard_counts);
+    report.note(format!(
+        "{n_aps} APs: sharded outcomes byte-identical to the unsharded reference; \
+         peak speedup {peak:.2}x (wall-clock, machine-dependent)"
+    ));
+    if !ctx.quick() {
+        // The headline city scale: ~1000 APs, 2000 nodes, a short
+        // measurement window. Runs under the full per-cell oracle banks;
+        // the assertions in `scale_rows` (and the process-wide
+        // adaptive-violation gate in the experiments binary) require it
+        // to finish clean.
+        let n_aps = 1_000;
+        let big = bench_city(ctx.seed(9_200), n_aps, 1, SimDuration::from_millis(400));
+        let peak = scale_rows(ctx, &mut report, &big, n_aps, &[1, 8]);
+        report.note(format!(
+            "{n_aps} APs: completed oracle-clean; 8-shard speedup {peak:.2}x"
+        ));
+    }
+    report.note(
+        "timing columns (wall_s, events_per_sec, speedup) are wall-clock measurements; \
+         all other columns are deterministic functions of the scenario",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_city_decomposes_per_cell_and_shards_exactly() {
+        let ctx = RunCtx::sequential(true);
+        let city = bench_city(5, 6, 1, SimDuration::from_millis(300));
+        let (reference, stats1, _) = timed_run(&ctx, &city, 1);
+        assert_eq!(stats1.groups, 1);
+        assert_eq!(stats1.components, 6, "bench grid cells must decouple");
+        let (out, stats, _) = timed_run(&ctx, &city, 3);
+        assert_eq!(stats.groups, 3);
+        assert_eq!(reference, out, "pooled run diverged from sequential");
+        assert_eq!(out.violations(), 0);
+        assert_eq!(out.oracle_violations(), 0);
+    }
+
+    #[test]
+    fn quick_report_has_expected_shape() {
+        let report = run(&RunCtx::sequential(true));
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.validate().is_ok());
+        for row in &report.rows {
+            assert_eq!(row["aps"].as_f64(), Some(16.0));
+            assert_eq!(row["components"].as_f64(), Some(16.0));
+        }
+        // Identical outcomes across rows, by construction. (Scheduling
+        // counters like sync_rounds legitimately differ per sharding.)
+        assert_eq!(
+            report.rows[0]["aggregate_mbps"],
+            report.rows[1]["aggregate_mbps"]
+        );
+    }
+}

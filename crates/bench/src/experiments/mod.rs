@@ -2,6 +2,7 @@
 //! experiment index and `EXPERIMENTS.md` for the recorded outcomes.
 
 pub mod ablation;
+pub mod city;
 pub mod disconnection;
 pub mod fig10;
 pub mod fig11;

@@ -105,5 +105,10 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Section 4.2.2: expected scan counts, closed form vs Monte Carlo",
             scan_analysis::run,
         ),
+        (
+            "city",
+            "Scale: influence-sharded city simulation, wall time vs shard count",
+            city::run,
+        ),
     ]
 }

@@ -154,6 +154,20 @@ impl RunCtx {
     {
         self.runner.map(n, f)
     }
+
+    /// Runs `f` and returns its result together with the elapsed wall
+    /// time in seconds. The only sanctioned wall-clock access for
+    /// experiment code: keeping the `Instant` here (inside the
+    /// allowlisted runner) lets the determinism linter forbid clock
+    /// reads everywhere simulation state lives.
+    pub fn time<T, F>(&self, f: F) -> (T, f64)
+    where
+        F: FnOnce() -> T,
+    {
+        let start = std::time::Instant::now();
+        let out = f();
+        (out, start.elapsed().as_secs_f64())
+    }
 }
 
 #[cfg(test)]

@@ -296,6 +296,23 @@ impl Medium {
         to: SimTime,
         exclude_ssid: Option<u32>,
     ) -> f64 {
+        self.airtime_in_window_filtered(ch, from, to, exclude_ssid, |_| true)
+    }
+
+    /// Like [`Medium::airtime_in_window_excluding`], restricted to
+    /// transmitters for which `hears` is true — the scanning radio only
+    /// measures signals that physically reach it. The engine passes its
+    /// reachability predicate here so a scan at one node is independent
+    /// of out-of-range traffic (the property city sharding relies on,
+    /// DESIGN.md §13).
+    pub fn airtime_in_window_filtered(
+        &self,
+        ch: UhfChannel,
+        from: SimTime,
+        to: SimTime,
+        exclude_ssid: Option<u32>,
+        hears: impl Fn(NodeId) -> bool,
+    ) -> f64 {
         assert!(to > from, "empty airtime window");
         let mut busy = 0u64;
         // Only active transmissions spanning `ch` can contribute; the
@@ -312,6 +329,9 @@ impl Medium {
                 continue;
             }
             if exclude_ssid.is_some() && t.ssid == exclude_ssid {
+                continue;
+            }
+            if !hears(t.src) {
                 continue;
             }
             let s = t.start.max(from);
@@ -337,6 +357,20 @@ impl Medium {
         to: SimTime,
         exclude_ssid: Option<u32>,
     ) -> u32 {
+        self.ap_count_in_window_filtered(ch, from, to, exclude_ssid, |_| true)
+    }
+
+    /// Like [`Medium::ap_count_in_window_excluding`], restricted to
+    /// transmitters for which `hears` is true (see
+    /// [`Medium::airtime_in_window_filtered`]).
+    pub fn ap_count_in_window_filtered(
+        &self,
+        ch: UhfChannel,
+        from: SimTime,
+        to: SimTime,
+        exclude_ssid: Option<u32>,
+        hears: impl Fn(NodeId) -> bool,
+    ) -> u32 {
         let mut seen: Vec<NodeId> = Vec::new();
         let active: &[Transmission] = if self.active_count[ch.index()] > 0 {
             &self.active
@@ -351,6 +385,7 @@ impl Medium {
                 && t.overlaps_window(from, to)
                 && !seen.contains(&t.src)
                 && !(exclude_ssid.is_some() && t.ssid == exclude_ssid)
+                && hears(t.src)
             {
                 seen.push(t.src);
             }
@@ -368,16 +403,28 @@ impl Medium {
     /// consumers like the AP's chirp scan take the *first* matching
     /// burst, so the backwards history scan is reversed before returning.
     pub fn visible_bursts(&self, from: SimTime, to: SimTime) -> Vec<VisibleBurst> {
+        self.visible_bursts_filtered(from, to, |_| true)
+    }
+
+    /// Like [`Medium::visible_bursts`], restricted to transmitters for
+    /// which `hears` is true (see
+    /// [`Medium::airtime_in_window_filtered`]). Same output order.
+    pub fn visible_bursts_filtered(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        hears: impl Fn(NodeId) -> bool,
+    ) -> Vec<VisibleBurst> {
         let mut out: Vec<VisibleBurst> = self
             .recent_history(from)
-            .filter(|t| t.overlaps_window(from, to))
+            .filter(|t| t.overlaps_window(from, to) && hears(t.src))
             .map(|t| t.to_visible())
             .collect();
         out.reverse();
         out.extend(
             self.active
                 .iter()
-                .filter(|t| t.overlaps_window(from, to))
+                .filter(|t| t.overlaps_window(from, to) && hears(t.src))
                 .map(|t| t.to_visible()),
         );
         out
@@ -536,14 +583,16 @@ mod tests {
     fn ssid_excluded_sensing_ignores_own_network_only() {
         let mut m = Medium::new();
         let c = ch(10, Width::W5);
-        // Our own network (SSID 7) is transmitting.
+        // Our own network (SSID 7) is transmitting. It stays on the air
+        // through the whole test: `finish` requires nondecreasing end
+        // times (history stays sorted), so `own` ends last, at 3 ms.
         let own = m.start(
             0,
             true,
             Some(7),
             c,
             SimTime::ZERO,
-            SimTime::from_millis(2),
+            SimTime::from_millis(3),
             frame(),
             1000.0,
         );
@@ -777,6 +826,62 @@ mod tests {
     #[should_panic(expected = "empty airtime window")]
     fn empty_window_panics() {
         Medium::new().airtime_in_window(UhfChannel::from_index(0), SimTime::ZERO, SimTime::ZERO);
+    }
+
+    /// The `hears` predicate excludes out-of-range transmitters from
+    /// every scanner-facing query, and an always-true predicate matches
+    /// the unfiltered queries exactly.
+    #[test]
+    fn filtered_queries_drop_unheard_sources() {
+        let mut m = Medium::new();
+        let c = ch(5, Width::W5);
+        for src in [0usize, 1] {
+            let id = m.start(
+                src,
+                true,
+                None,
+                c,
+                SimTime::ZERO + SimDuration::from_millis(src as u64),
+                SimTime::from_millis(10),
+                frame(),
+                1000.0,
+            );
+            m.finish(id, SimTime::from_millis(10));
+        }
+        let u = UhfChannel::from_index(5);
+        let from = SimTime::ZERO;
+        let to = SimTime::from_millis(10);
+        // Hearing only node 1: 9 of 10 ms busy, one AP, one burst.
+        let f = m.airtime_in_window_filtered(u, from, to, None, |s| s == 1);
+        assert!((f - 0.9).abs() < 1e-9, "f {f}");
+        assert_eq!(
+            m.ap_count_in_window_filtered(u, from, to, None, |s| s == 1),
+            1
+        );
+        assert_eq!(m.visible_bursts_filtered(from, to, |s| s == 1).len(), 1);
+        // Hearing nothing: all quiet.
+        assert_eq!(
+            m.airtime_in_window_filtered(u, from, to, None, |_| false),
+            0.0
+        );
+        assert_eq!(
+            m.ap_count_in_window_filtered(u, from, to, None, |_| false),
+            0
+        );
+        assert!(m.visible_bursts_filtered(from, to, |_| false).is_empty());
+        // Hearing everything == the unfiltered queries.
+        assert_eq!(
+            m.airtime_in_window_filtered(u, from, to, None, |_| true),
+            m.airtime_in_window(u, from, to)
+        );
+        assert_eq!(
+            m.ap_count_in_window_filtered(u, from, to, None, |_| true),
+            m.ap_count_in_window(u, from, to)
+        );
+        assert_eq!(
+            m.visible_bursts_filtered(from, to, |_| true).len(),
+            m.visible_bursts(from, to).len()
+        );
     }
 
     /// Exact boundary semantics of [`Transmission::overlaps_window`]:

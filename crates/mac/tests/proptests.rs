@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use whitefi_mac::traffic::Sink;
 use whitefi_mac::{
-    influence_closure, influences, CbrSender, NodeConfig, NodeSite, SaturatingSender, Simulator,
+    influence_closure, influences, potential_influences, shard_components, CbrSender, NodeConfig,
+    NodeSite, SaturatingSender, ShardSite, Simulator,
 };
 use whitefi_phy::{SimDuration, SimTime};
 use whitefi_spectrum::{UhfChannel, WfChannel, Width};
@@ -187,6 +188,81 @@ proptest! {
             if !changed { break; }
         }
         prop_assert_eq!(influence_closure(&sites, &roots), brute);
+    }
+
+    /// Shard partitions are truly influence-closed: across random
+    /// footprints, positions and ranges, `shard_components` labels two
+    /// sites alike exactly when a brute-force O(n²) fixpoint over the
+    /// symmetrized potential-influence edge relation connects them —
+    /// so no possible retune can ever create a cross-shard edge.
+    #[test]
+    fn shard_components_match_bruteforce_reachability(
+        nodes in prop::collection::vec(
+            (0u32..(1 << 30),
+             -500.0f64..500.0, -500.0f64..500.0, 10.0f64..800.0),
+            1..24,
+        ),
+    ) {
+        let sites: Vec<ShardSite> = nodes
+            .iter()
+            .map(|&(footprint, x, y, range)| {
+                let mut s = ShardSite::new((x, y), range);
+                s.footprint = footprint;
+                s
+            })
+            .collect();
+        let n = sites.len();
+        // Brute-force edge relation from first principles: footprints
+        // share a UHF bit AND either endpoint's range covers the pair.
+        let edge = |u: usize, v: usize| -> bool {
+            let dx = sites[u].pos.0 - sites[v].pos.0;
+            let dy = sites[u].pos.1 - sites[v].pos.1;
+            let d = (dx * dx + dy * dy).sqrt();
+            sites[u].footprint & sites[v].footprint != 0
+                && (d <= sites[u].range || d <= sites[v].range)
+        };
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(
+                    potential_influences(&sites[u], &sites[v]), edge(u, v),
+                    "edge predicate mismatch at ({}, {})", u, v
+                );
+            }
+        }
+        // Fixpoint transitive closure of the (symmetric) edge relation.
+        let mut reach: Vec<Vec<bool>> = (0..n)
+            .map(|u| (0..n).map(|v| u == v || edge(u, v)).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for w in 0..n {
+                for u in 0..n {
+                    for v in 0..n {
+                        if !reach[u][v] && reach[u][w] && reach[w][v] {
+                            reach[u][v] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed { break; }
+        }
+        let labels = shard_components(&sites);
+        prop_assert_eq!(labels.len(), n);
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(
+                    labels[u] == labels[v], reach[u][v],
+                    "component labels disagree with reachability at ({}, {})", u, v
+                );
+            }
+        }
+        // Labels are dense and in first-appearance order.
+        let mut next = 0;
+        for &l in &labels {
+            prop_assert!(l <= next, "label {} skipped ahead of {}", l, next);
+            if l == next { next += 1; }
+        }
     }
 
     /// The precomputed reachability bitsets agree with the brute-force

@@ -291,6 +291,12 @@ impl ApBehavior {
     /// scanning the backup channel for chirps, the AP periodically scans
     /// all channels in an attempt to reconnect with 'lost' nodes" — a
     /// lost client may be chirping on a stale or secondary backup.
+    /// "All channels" means all channels the AP's map admits: visiting
+    /// a channel an incumbent owns is both useless (the AP could never
+    /// operate there) and unsafe, so chirp-shaped bursts outside the
+    /// admissible map are ignored. This keeps every channel the AP
+    /// reads or tunes to inside its spectrum-map footprint — the
+    /// property the influence sharding of DESIGN.md §13 relies on.
     fn chirp_channel(&self, ctx: &Ctx) -> Option<WfChannel> {
         let tol = 4.0;
         let is_chirp = |vb: &whitefi_phy::VisibleBurst| {
@@ -300,10 +306,11 @@ impl ApBehavior {
             }
         };
         let floor = self.chirp_scan_floor;
+        let map = ctx.spectrum_map();
         let bursts: Vec<whitefi_phy::VisibleBurst> = ctx
             .visible_bursts(self.cfg.backup_scan_interval)
             .into_iter()
-            .filter(|vb| vb.burst.start >= floor)
+            .filter(|vb| vb.burst.start >= floor && map.admits(vb.channel))
             .collect();
         if let Some(backup) = self.backup {
             if bursts.iter().any(|vb| vb.channel == backup && is_chirp(vb)) {

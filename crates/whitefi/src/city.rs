@@ -1,0 +1,810 @@
+//! City-scale multi-AP simulation with an influence-sharded parallel
+//! event core (DESIGN.md §13).
+//!
+//! A [`CityScenario`] lays WhiteFi cells — one AP plus its clients —
+//! over a shared spectrum map of the city: a grid of sites, each with a
+//! locale-dependent incumbent map (urban, suburban, rural). Cells are
+//! partitioned into **influence-closed shards**: connected components
+//! of the *potential* influence graph
+//! ([`whitefi_mac::potential_influences`]), whose edges require both
+//! geometric reach and overlap of the cells' channel *footprints* (the
+//! union of every channel a cell's map could ever admit). Because every
+//! engine coupling — delivery, carrier sense, deferral invalidation,
+//! interference, and (since this change) every scanner query a
+//! behaviour can issue — is gated by reach and channel overlap, and
+//! because no node ever tunes or listens outside its cell's footprint
+//! (asserted at every sync round), two cells in different components
+//! cannot affect each other through *any* path, no matter how the
+//! protocol retunes. Simulating each component group in its own
+//! [`Simulator`] therefore reproduces the single-simulator run **byte
+//! for byte**: `run_city(city, 1)` and `run_city(city, S)` return equal
+//! [`CityOutcome`]s, oracle reports and fault events included. The
+//! differential tests and the random-topology proptests enforce this.
+//!
+//! Determinism rests on three invariants:
+//!
+//! 1. **Stable RNG streams** — every node's `rng_stream` (and thereby
+//!    its fault stream) is its *global* city node id, in the sharded
+//!    and unsharded builds alike, so each node draws the exact same
+//!    random sequence regardless of which simulator hosts it.
+//! 2. **Stable oracle identities** — each cell has its own
+//!    [`OracleBank`], registered with
+//!    [`OracleBank::add_member_as`] under global node ids, so digests
+//!    and violation details are invariant under sim-local renumbering.
+//! 3. **Order-independent merge** — [`merge_city`] sorts cells by
+//!    global index and fault events by `(time, global node)`, so any
+//!    completion order of the shard groups (sequential or parallel)
+//!    reduces to the same outcome.
+//!
+//! The conservative lookahead barrier: a real distributed core would
+//! block each shard at `t + L` where `L` is the minimum cross-shard
+//! propagation latency. Components are *fully* decoupled here, so the
+//! true `L` is unbounded; we clamp the window to
+//! [`CityScenario::sync_window`] to keep the barrier (and its read-only
+//! footprint-closure check) exercised on every run, and count the
+//! rounds in [`GroupOutcome::sync_rounds`]. Chunked `run_until` calls
+//! are equivalent to one long call — the event loop is time-ordered —
+//! so the barrier cannot perturb the simulation.
+
+use crate::ap::{ApBehavior, ApConfig};
+use crate::client::{ClientBehavior, ClientConfig};
+use crate::driver::{Sample, Scenario, ScenarioOutcome};
+use crate::mcham::NodeReport;
+use crate::oracles::{OracleBank, OracleConfig};
+use whitefi_mac::{
+    shard_components, EventCounters, FaultEvent, FaultPlan, NodeConfig, NodeId, ShardSite,
+    SimObserver, Simulator, Transmission,
+};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_spectrum::{AirtimeVector, IncumbentSet, SpectrumMap, UhfChannel, WfChannel};
+
+/// Incumbent density class of one cell's surroundings (§5.1 of the
+/// paper characterizes urban, suburban and rural white-space
+/// availability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locale {
+    /// Dense incumbents: a couple of narrow free fragments.
+    Urban,
+    /// Moderate occupancy: two mid-sized fragments.
+    Suburban,
+    /// Sparse incumbents: nearly the whole band free.
+    Rural,
+}
+
+impl Locale {
+    /// The locale's static spectrum map. Urban and suburban fragments
+    /// are disjoint on purpose, so in-range cells of those locales can
+    /// still land in different shards (their footprints never overlap).
+    pub fn map(self) -> SpectrumMap {
+        let free: &[usize] = match self {
+            Locale::Urban => &[12, 13, 14, 26],
+            Locale::Suburban => &[2, 3, 4, 5, 6, 17, 18, 19],
+            Locale::Rural => {
+                return occupied_map(&[0, 15]);
+            }
+        };
+        let mut map = occupied_map(&[]);
+        for i in 0..whitefi_spectrum::NUM_UHF_CHANNELS {
+            if !free.contains(&i) {
+                map.set_occupied(UhfChannel::from_index(i));
+            }
+        }
+        map
+    }
+}
+
+fn occupied_map(occupied: &[usize]) -> SpectrumMap {
+    let mut map = SpectrumMap::all_free();
+    for &i in occupied {
+        map.set_occupied(UhfChannel::from_index(i));
+    }
+    map
+}
+
+/// One WhiteFi cell: an AP and its clients, co-located at a site.
+#[derive(Debug, Clone)]
+pub struct CityCell {
+    /// Site position in metres.
+    pub pos: (f64, f64),
+    /// Transmission/carrier-sense range of every node in the cell.
+    pub range: f64,
+    /// The cell's static incumbent map (locale-dependent).
+    pub map: SpectrumMap,
+    /// The locale the map was drawn from (reporting only).
+    pub locale: Locale,
+    /// Number of clients attached to the AP.
+    pub n_clients: usize,
+    /// Extra incumbents beyond the static map (e.g. mic schedules),
+    /// audible at every node of the cell.
+    pub extra_incumbents: Option<IncumbentSet>,
+}
+
+impl CityCell {
+    /// The channel the cell's AP boots on: the assignment algorithm's
+    /// clean-spectrum choice over the cell map (same rule as
+    /// [`crate::driver::run_whitefi`]).
+    pub fn initial_channel(&self) -> WfChannel {
+        let report = NodeReport {
+            map: self.map,
+            airtime: AirtimeVector::idle(),
+        };
+        crate::mcham::select_channel(&report, &[])
+            .map(|(c, _)| c)
+            // lint:allow(unwrap, a cell whose map admits no channel cannot host a network; documented precondition)
+            .expect("city cell map admits no channel")
+    }
+
+    /// The cell's shard site: position, range, and the footprint of
+    /// every channel its nodes could ever tune to or scan — all
+    /// admissible channels of the static map plus the bootstrap
+    /// channel. Detected incumbents only *shrink* the observed map, so
+    /// the static footprint is an upper bound for the whole run.
+    pub fn shard_site(&self) -> ShardSite {
+        ShardSite::from_channels(self.pos, self.range, self.map.available_channels())
+            .add_channel(self.initial_channel())
+    }
+
+    fn footprint(&self) -> u32 {
+        self.shard_site().footprint
+    }
+}
+
+/// A city of WhiteFi cells sharing one band.
+#[derive(Debug, Clone)]
+pub struct CityScenario {
+    /// RNG seed (every per-node stream derives from it).
+    pub seed: u64,
+    /// The cells, in global order. Global node ids are assigned
+    /// cell-by-cell in this order: cell `c`'s AP is
+    /// [`CityScenario::node_base`]`(c)`, its clients follow.
+    pub cells: Vec<CityCell>,
+    /// Downlink payload bytes (backlogged).
+    pub downlink_bytes: usize,
+    /// Uplink payload bytes (backlogged); `None` disables uplink.
+    pub uplink_bytes: Option<usize>,
+    /// Measurement duration (after warmup).
+    pub duration: SimDuration,
+    /// Warmup before stats are reset.
+    pub warmup: SimDuration,
+    /// Timeline sampling period.
+    pub sample_interval: SimDuration,
+    /// Lookahead-barrier window: each shard advances in chunks of this
+    /// length, checking footprint closure at every boundary.
+    pub sync_window: SimDuration,
+    /// AP protocol configuration template.
+    pub ap_config: ApConfig,
+    /// Deterministic fault plan, installed identically in every shard
+    /// simulator (fault streams key on the global node id).
+    pub faults: Option<FaultPlan>,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl CityScenario {
+    /// A square grid of `n_aps` cells, `spacing_m` apart, every node
+    /// with range `range_m`, each cell's locale drawn deterministically
+    /// from the seed (≈30 % urban, 40 % suburban, 30 % rural). With
+    /// `range_m < spacing_m` every cell is its own shard; with
+    /// `spacing_m ≤ range_m` neighbouring cells whose footprints
+    /// overlap merge into larger components.
+    pub fn grid(
+        seed: u64,
+        n_aps: usize,
+        clients_per_ap: usize,
+        spacing_m: f64,
+        range_m: f64,
+    ) -> Self {
+        // Integer ceil-sqrt: smallest side with side * side >= n_aps.
+        let mut side = 1usize;
+        while side * side < n_aps {
+            side += 1;
+        }
+        let mut cells = Vec::with_capacity(n_aps);
+        for i in 0..n_aps {
+            let (col, row) = (i % side.max(1), i / side.max(1));
+            let locale = match splitmix64(seed ^ (i as u64)) % 10 {
+                0..=2 => Locale::Urban,
+                3..=6 => Locale::Suburban,
+                _ => Locale::Rural,
+            };
+            cells.push(CityCell {
+                pos: (col as f64 * spacing_m, row as f64 * spacing_m),
+                range: range_m,
+                map: locale.map(),
+                locale,
+                n_clients: clients_per_ap,
+                extra_incumbents: None,
+            });
+        }
+        Self {
+            seed,
+            cells,
+            downlink_bytes: 1000,
+            uplink_bytes: Some(500),
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::from_secs(1),
+            sample_interval: SimDuration::from_millis(100),
+            sync_window: SimDuration::from_millis(200),
+            ap_config: ApConfig::default(),
+            faults: None,
+        }
+    }
+
+    /// First global node id of cell `c` (the AP; clients follow).
+    pub fn node_base(&self, c: usize) -> usize {
+        self.cells[..c].iter().map(|cell| 1 + cell.n_clients).sum()
+    }
+
+    /// Total node count across all cells.
+    pub fn total_nodes(&self) -> usize {
+        self.node_base(self.cells.len())
+    }
+}
+
+/// The shard partition of a city: groups of cell indices, each group a
+/// union of influence-closed components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Cell indices per group, each list ascending; groups cover every
+    /// cell exactly once.
+    pub groups: Vec<Vec<usize>>,
+    /// Number of influence-closed components found (≥ `groups.len()`).
+    pub components: usize,
+}
+
+/// Partitions the city's cells into at most `shards` influence-closed
+/// groups. Components are balanced across groups by node weight with a
+/// deterministic longest-processing-time greedy (ties break toward the
+/// lower component label, then the lower group index), so the plan is a
+/// pure function of the scenario.
+pub fn shard_plan(city: &CityScenario, shards: usize) -> ShardPlan {
+    let sites: Vec<ShardSite> = city.cells.iter().map(CityCell::shard_site).collect();
+    let labels = shard_components(&sites);
+    let components = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut comp_cells: Vec<Vec<usize>> = vec![Vec::new(); components];
+    for (i, &l) in labels.iter().enumerate() {
+        comp_cells[l].push(i);
+    }
+    let weight =
+        |cells: &[usize]| -> usize { cells.iter().map(|&i| 1 + city.cells[i].n_clients).sum() };
+    let n_groups = shards.max(1).min(components.max(1));
+    let mut order: Vec<usize> = (0..components).collect();
+    order.sort_by(|&a, &b| {
+        weight(&comp_cells[b])
+            .cmp(&weight(&comp_cells[a]))
+            .then(a.cmp(&b))
+    });
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    let mut loads = vec![0usize; n_groups];
+    for l in order {
+        let mut g = 0;
+        for (k, &load) in loads.iter().enumerate() {
+            if load < loads[g] {
+                g = k;
+            }
+        }
+        groups[g].extend_from_slice(&comp_cells[l]);
+        loads[g] += weight(&comp_cells[l]);
+    }
+    for group in &mut groups {
+        group.sort_unstable();
+    }
+    groups.retain(|g| !g.is_empty());
+    ShardPlan { groups, components }
+}
+
+/// The result of simulating one shard group — plain data, safe to send
+/// back from a worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupOutcome {
+    /// `(global cell index, outcome)` per hosted cell.
+    pub cells: Vec<(usize, ScenarioOutcome)>,
+    /// Fault events with node ids remapped to global city ids.
+    pub fault_events: Vec<FaultEvent>,
+    /// Lookahead-barrier rounds executed.
+    pub sync_rounds: u64,
+    /// Event-loop counters of the group's simulator.
+    pub events: EventCounters,
+}
+
+/// The merged, order-independent city outcome. `PartialEq` is exact on
+/// purpose: the sharding differential tests assert `run_city(city, 1)`
+/// and `run_city(city, S)` agree *byte for byte* — per-cell goodput,
+/// samples, oracle reports (violations, digests) and fault events all
+/// included. Scheduling metadata (event counters, sync rounds) lives in
+/// [`CityRunStats`], outside the compared value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityOutcome {
+    /// Per-cell outcomes in global cell order.
+    pub cells: Vec<ScenarioOutcome>,
+    /// Sum of the per-cell aggregate goodputs (Mbps), accumulated in
+    /// global cell order.
+    pub aggregate_mbps: f64,
+    /// All fault events, node ids global, sorted by `(time, node)`.
+    pub fault_events: Vec<FaultEvent>,
+}
+
+impl CityOutcome {
+    /// Total protocol-level incumbent violations across all cells.
+    pub fn violations(&self) -> u64 {
+        self.cells.iter().map(|c| c.violations).sum()
+    }
+
+    /// Total oracle violations across all cells' reports.
+    pub fn oracle_violations(&self) -> usize {
+        self.cells.iter().map(|c| c.oracle.violations.len()).sum()
+    }
+}
+
+/// Scheduling metadata of one [`run_city`] call — deliberately *not*
+/// part of [`CityOutcome`], because counters legitimately differ
+/// between shardings while the outcome may not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CityRunStats {
+    /// Shard groups actually run.
+    pub groups: usize,
+    /// Influence-closed components found.
+    pub components: usize,
+    /// Total lookahead-barrier rounds across all groups.
+    pub sync_rounds: u64,
+    /// Summed event-loop counters across all groups.
+    pub events: EventCounters,
+}
+
+struct BuiltCell {
+    global_cell: usize,
+    footprint: u32,
+    ap_local: NodeId,
+    clients_local: Vec<NodeId>,
+    bank: OracleBank,
+}
+
+/// Forwards every observer hook to each cell's bank (a simulator has a
+/// single observer slot; a shard group hosts several cells).
+struct FanOut(Vec<Box<dyn SimObserver>>);
+
+impl SimObserver for FanOut {
+    fn on_tx_start(&mut self, now: SimTime, tx: &Transmission) {
+        for o in &mut self.0 {
+            o.on_tx_start(now, tx);
+        }
+    }
+
+    fn on_tx_end(&mut self, now: SimTime, tx: &Transmission, faulted_drop: bool) {
+        for o in &mut self.0 {
+            o.on_tx_end(now, tx, faulted_drop);
+        }
+    }
+
+    fn on_retune(&mut self, now: SimTime, node: NodeId, old: WfChannel, new: WfChannel) {
+        for o in &mut self.0 {
+            o.on_retune(now, node, old, new);
+        }
+    }
+
+    fn on_observed_map(&mut self, now: SimTime, node: NodeId, map: &SpectrumMap) {
+        for o in &mut self.0 {
+            o.on_observed_map(now, node, map);
+        }
+    }
+}
+
+fn channel_in_footprint(ch: WfChannel, footprint: u32) -> bool {
+    ch.spanned().all(|u| footprint & (1u32 << u.index()) != 0)
+}
+
+fn build_group(city: &CityScenario, cells: &[usize]) -> (Simulator, Vec<BuiltCell>, Vec<NodeId>) {
+    let mut sim = Simulator::new(city.seed);
+    // The fault plan must precede every add_node (fault streams are
+    // drawn at registration, keyed on the node's global stream id).
+    if let Some(plan) = &city.faults {
+        sim.set_fault_plan(plan.clone());
+    }
+    let mut built = Vec::with_capacity(cells.len());
+    let mut local_to_global: Vec<NodeId> = Vec::new();
+    for &c in cells {
+        let cell = &city.cells[c];
+        let base = city.node_base(c);
+        let initial = cell.initial_channel();
+        let ssid = u32::try_from(c + 1).unwrap_or(u32::MAX);
+        let incumbents = Scenario::incumbents_for(cell.map, cell.extra_incumbents.as_ref());
+        let bank = OracleBank::new(OracleConfig {
+            adaptive: true,
+            ..OracleConfig::default()
+        });
+
+        let mut ap_cfg = city.ap_config.clone();
+        ap_cfg.adaptive = true;
+        ap_cfg.downlink_bytes = Some(city.downlink_bytes);
+        ap_cfg.downlink_interval = None;
+
+        let mut ap_node_cfg = NodeConfig::on_channel(initial)
+            .ap()
+            .in_ssid(ssid)
+            .at(cell.pos.0, cell.pos.1)
+            .rng_stream(base as u64)
+            .with_incumbents(incumbents.clone());
+        ap_node_cfg.range = cell.range;
+        let ap_detection = ap_node_cfg.detection_delay;
+        let ap_local = sim.add_node(ap_node_cfg, Box::new(ApBehavior::new(ap_cfg)));
+        bank.add_member_as(
+            ap_local,
+            base,
+            true,
+            &incumbents,
+            ap_detection + sim.fault_detection_extra(ap_local),
+        );
+        local_to_global.push(base);
+
+        let mut clients_local = Vec::with_capacity(cell.n_clients);
+        for i in 0..cell.n_clients {
+            let global = base + 1 + i;
+            let mut node_cfg = NodeConfig::on_channel(initial)
+                .in_ssid(ssid)
+                .at(cell.pos.0, cell.pos.1)
+                .rng_stream(global as u64)
+                .with_incumbents(incumbents.clone());
+            node_cfg.range = cell.range;
+            let detection = node_cfg.detection_delay;
+            let slot = u8::try_from(i % 16).unwrap_or(0); // i % 16 < 16, always fits
+            let mut ccfg = ClientConfig::new(ap_local, slot);
+            if let Some(bytes) = city.uplink_bytes {
+                ccfg = ccfg.saturating_uplink(bytes);
+            }
+            let local = sim.add_node(node_cfg, Box::new(ClientBehavior::new(ccfg)));
+            bank.add_member_as(
+                local,
+                global,
+                false,
+                &incumbents,
+                detection + sim.fault_detection_extra(local),
+            );
+            local_to_global.push(global);
+            clients_local.push(local);
+        }
+
+        built.push(BuiltCell {
+            global_cell: c,
+            footprint: cell.footprint(),
+            ap_local,
+            clients_local,
+            bank,
+        });
+    }
+    sim.set_observer(Box::new(FanOut(
+        built.iter().map(|b| b.bank.observer()).collect(),
+    )));
+    (sim, built, local_to_global)
+}
+
+/// Advances the group simulator to `to` in lookahead-barrier windows,
+/// asserting at every round that no node has escaped its cell's channel
+/// footprint — the load-bearing soundness condition of the sharding.
+fn advance(
+    sim: &mut Simulator,
+    built: &[BuiltCell],
+    to: SimTime,
+    window: SimDuration,
+    sync_rounds: &mut u64,
+) {
+    assert!(window > SimDuration::ZERO, "sync_window must be positive");
+    loop {
+        let now = sim.now();
+        if now >= to {
+            break;
+        }
+        let mut next = now + window;
+        if next > to {
+            next = to;
+        }
+        sim.run_until(next);
+        for bc in built {
+            for &n in std::iter::once(&bc.ap_local).chain(bc.clients_local.iter()) {
+                let ch = sim.node_channel(n);
+                assert!(
+                    channel_in_footprint(ch, bc.footprint),
+                    "node {n} (cell {}) on {ch} escaped its cell footprint {:#010x} — \
+                     influence sharding would be unsound",
+                    bc.global_cell,
+                    bc.footprint,
+                );
+            }
+        }
+        *sync_rounds += 1;
+    }
+}
+
+/// Simulates one shard group — the cells with the given global indices
+/// (ascending) — start to finish in a private [`Simulator`], and
+/// returns plain data. Pure function of `(city, cells)`: callers may
+/// run groups sequentially, or fan them out across worker threads and
+/// reduce with [`merge_city`].
+pub fn run_city_group(city: &CityScenario, cells: &[usize]) -> GroupOutcome {
+    let (mut sim, built, local_to_global) = build_group(city, cells);
+    let mut sync_rounds = 0u64;
+    advance(
+        &mut sim,
+        &built,
+        SimTime::ZERO + city.warmup,
+        city.sync_window,
+        &mut sync_rounds,
+    );
+    sim.reset_stats();
+
+    let mut samples: Vec<Vec<Sample>> = vec![Vec::new(); built.len()];
+    let mut last_total = vec![0u64; built.len()];
+    let end = city.warmup + city.duration;
+    let mut t = city.warmup;
+    while t < end {
+        t += city.sample_interval;
+        if t > end {
+            t = end;
+        }
+        advance(
+            &mut sim,
+            &built,
+            SimTime::ZERO + t,
+            city.sync_window,
+            &mut sync_rounds,
+        );
+        for (k, bc) in built.iter().enumerate() {
+            let total: u64 = bc
+                .clients_local
+                .iter()
+                .map(|&c| sim.stats(c).rx_data_bytes + sim.stats(c).tx_acked_bytes)
+                .sum();
+            samples[k].push(Sample {
+                t: SimTime::ZERO + t,
+                ap_channel: sim.node_channel(bc.ap_local),
+                bytes_delta: total - last_total[k],
+            });
+            last_total[k] = total;
+        }
+    }
+
+    let span = city.duration;
+    let mut cell_outcomes = Vec::with_capacity(built.len());
+    for (k, bc) in built.iter().enumerate() {
+        let per_client_mbps: Vec<f64> = bc
+            .clients_local
+            .iter()
+            .map(|&c| {
+                let s = sim.stats(c);
+                (s.rx_data_bytes + s.tx_acked_bytes) as f64 * 8.0 / span.as_secs_f64() / 1e6
+            })
+            .collect();
+        let aggregate_mbps = per_client_mbps.iter().sum();
+        let mut violations = sim.stats(bc.ap_local).incumbent_violations;
+        for &c in &bc.clients_local {
+            violations += sim.stats(c).incumbent_violations;
+        }
+        cell_outcomes.push((
+            bc.global_cell,
+            ScenarioOutcome {
+                per_client_mbps,
+                aggregate_mbps,
+                samples: std::mem::take(&mut samples[k]),
+                violations,
+                oracle: bc.bank.finish(&sim),
+            },
+        ));
+    }
+
+    let fault_events = sim
+        .fault_events()
+        .iter()
+        .map(|e| FaultEvent {
+            time: e.time,
+            node: local_to_global[e.node],
+            kind: e.kind,
+        })
+        .collect();
+
+    GroupOutcome {
+        cells: cell_outcomes,
+        fault_events,
+        sync_rounds,
+        events: sim.event_counters(),
+    }
+}
+
+fn add_counters(a: EventCounters, b: EventCounters) -> EventCounters {
+    EventCounters {
+        scheduled: a.scheduled + b.scheduled,
+        handled: a.handled + b.handled,
+        stale_tentative: a.stale_tentative + b.stale_tentative,
+        stale_ack_timeout: a.stale_ack_timeout + b.stale_ack_timeout,
+        lazy_elided: a.lazy_elided + b.lazy_elided,
+    }
+}
+
+/// Reduces the shard groups' outcomes — in *any* order — into the
+/// canonical [`CityOutcome`]: cells sorted by global index (and checked
+/// to cover the city exactly once), fault events stably sorted by
+/// `(time, global node)`. Returns the merged scheduling counters
+/// alongside.
+pub fn merge_city(
+    city: &CityScenario,
+    groups: Vec<GroupOutcome>,
+) -> (CityOutcome, u64, EventCounters) {
+    let mut sync_rounds = 0u64;
+    let mut events = EventCounters::default();
+    let mut cells: Vec<(usize, ScenarioOutcome)> = Vec::with_capacity(city.cells.len());
+    let mut fault_events: Vec<FaultEvent> = Vec::new();
+    for g in groups {
+        sync_rounds += g.sync_rounds;
+        events = add_counters(events, g.events);
+        cells.extend(g.cells);
+        fault_events.extend(g.fault_events);
+    }
+    cells.sort_by_key(|c| c.0);
+    assert_eq!(
+        cells.len(),
+        city.cells.len(),
+        "shard groups must cover every cell exactly once"
+    );
+    for (k, (idx, _)) in cells.iter().enumerate() {
+        assert_eq!(*idx, k, "shard groups must cover every cell exactly once");
+    }
+    // Remaining (time, node) ties originate within one simulator (node
+    // ids are disjoint across groups), so a stable sort reproduces the
+    // single-simulator event order regardless of group arrival order.
+    fault_events.sort_by_key(|e| (e.time.as_nanos(), e.node));
+    let aggregate_mbps = cells.iter().map(|(_, o)| o.aggregate_mbps).sum();
+    (
+        CityOutcome {
+            cells: cells.into_iter().map(|(_, o)| o).collect(),
+            aggregate_mbps,
+            fault_events,
+        },
+        sync_rounds,
+        events,
+    )
+}
+
+/// Runs the whole city at the given shard count, sequentially, and
+/// merges. `shards == 1` *is* the unsharded reference: one simulator
+/// hosting every cell. Parallel execution lives in the bench harness
+/// (its worker pool calls [`run_city_group`] per group and reduces with
+/// [`merge_city`]); outcomes are identical by construction either way.
+pub fn run_city(city: &CityScenario, shards: usize) -> (CityOutcome, CityRunStats) {
+    let plan = shard_plan(city, shards);
+    let n_groups = plan.groups.len();
+    let groups: Vec<GroupOutcome> = plan
+        .groups
+        .iter()
+        .map(|g| run_city_group(city, g))
+        .collect();
+    let (outcome, sync_rounds, events) = merge_city(city, groups);
+    (
+        outcome,
+        CityRunStats {
+            groups: n_groups,
+            components: plan.components,
+            sync_rounds,
+            events,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whitefi_mac::potential_influences;
+
+    fn quick_city(seed: u64, n_aps: usize, spacing: f64, range: f64) -> CityScenario {
+        let mut city = CityScenario::grid(seed, n_aps, 1, spacing, range);
+        city.warmup = SimDuration::from_millis(400);
+        city.duration = SimDuration::from_millis(800);
+        city.sample_interval = SimDuration::from_millis(200);
+        city
+    }
+
+    #[test]
+    fn shard_plan_covers_every_cell_once() {
+        let city = quick_city(7, 9, 100.0, 120.0);
+        for shards in [1, 2, 4, 9, 100] {
+            let plan = shard_plan(&city, shards);
+            let mut seen: Vec<usize> = plan.groups.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..9).collect::<Vec<_>>(), "shards {shards}");
+            assert!(plan.groups.len() <= shards.max(1));
+        }
+    }
+
+    #[test]
+    fn cross_group_cells_never_potentially_influence() {
+        let city = quick_city(3, 12, 100.0, 150.0);
+        let sites: Vec<ShardSite> = city.cells.iter().map(CityCell::shard_site).collect();
+        let plan = shard_plan(&city, 4);
+        for (ga, a_cells) in plan.groups.iter().enumerate() {
+            for (gb, b_cells) in plan.groups.iter().enumerate() {
+                if ga == gb {
+                    continue;
+                }
+                for &a in a_cells {
+                    for &b in b_cells {
+                        assert!(
+                            !potential_influences(&sites[a], &sites[b]),
+                            "cells {a} and {b} influence across groups {ga}/{gb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_equals_unsharded_small_city() {
+        // Spacing below range: some neighbouring cells couple, so the
+        // plan has real multi-cell components *and* singleton ones.
+        let city = quick_city(11, 6, 100.0, 110.0);
+        let (base, base_stats) = run_city(&city, 1);
+        assert_eq!(base_stats.groups, 1);
+        assert!(base.cells.iter().all(|c| c.oracle.checked_tx > 0));
+        for shards in [2, 4] {
+            let (out, stats) = run_city(&city, shards);
+            assert_eq!(base, out, "shards {shards} diverged from unsharded");
+            assert!(stats.sync_rounds > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_equals_unsharded_with_faults() {
+        let mut city = quick_city(13, 4, 100.0, 90.0);
+        city.faults = Some(FaultPlan {
+            seed: 5,
+            drop_prob: 0.05,
+            dup_prob: 0.05,
+            delay_prob: 0.05,
+            max_delay: SimDuration::from_micros(800),
+            max_detection_extra: SimDuration::from_millis(20),
+            history_skew: None,
+        });
+        let (base, _) = run_city(&city, 1);
+        let (out, stats) = run_city(&city, 3);
+        assert!(stats.groups > 1, "faulted city did not actually shard");
+        assert_eq!(base, out);
+        assert!(
+            !base.fault_events.is_empty(),
+            "fault plan injected nothing — test exercises no fault merging"
+        );
+    }
+
+    #[test]
+    fn merge_is_group_order_independent() {
+        let city = quick_city(17, 4, 100.0, 90.0);
+        let plan = shard_plan(&city, 4);
+        assert!(plan.groups.len() > 1);
+        let groups: Vec<GroupOutcome> = plan
+            .groups
+            .iter()
+            .map(|g| run_city_group(&city, g))
+            .collect();
+        let (fwd, fwd_rounds, fwd_events) = merge_city(&city, groups.clone());
+        let mut rev = groups;
+        rev.reverse();
+        let (bwd, bwd_rounds, bwd_events) = merge_city(&city, rev);
+        assert_eq!(fwd, bwd);
+        assert_eq!(fwd_rounds, bwd_rounds);
+        assert_eq!(fwd_events, bwd_events);
+    }
+
+    #[test]
+    fn grid_is_deterministic_and_mixed() {
+        let a = CityScenario::grid(42, 64, 2, 100.0, 80.0);
+        let b = CityScenario::grid(42, 64, 2, 100.0, 80.0);
+        for (ca, cb) in a.cells.iter().zip(b.cells.iter()) {
+            assert_eq!(ca.locale, cb.locale);
+            assert_eq!(ca.pos, cb.pos);
+        }
+        let mut kinds: Vec<Locale> = a.cells.iter().map(|c| c.locale).collect();
+        kinds.dedup();
+        assert!(kinds.len() > 1, "locale mix collapsed to one class");
+    }
+}

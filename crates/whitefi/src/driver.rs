@@ -137,7 +137,7 @@ impl Scenario {
         SpectrumMap::union_all(std::iter::once(self.ap_map).chain(self.client_maps.iter().copied()))
     }
 
-    fn incumbents_for(map: SpectrumMap, extra: Option<&IncumbentSet>) -> IncumbentSet {
+    pub(crate) fn incumbents_for(map: SpectrumMap, extra: Option<&IncumbentSet>) -> IncumbentSet {
         let mut set = extra.cloned().unwrap_or_default();
         for ch in map.occupied_channels() {
             set.tv.push(TvStation::strong(ch));

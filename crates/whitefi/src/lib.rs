@@ -29,6 +29,7 @@
 pub mod ap;
 pub mod assignment;
 pub mod chirp;
+pub mod city;
 pub mod client;
 pub mod discovery;
 pub mod driver;
@@ -38,6 +39,10 @@ pub mod oracles;
 pub use ap::{ApBehavior, ApConfig};
 pub use assignment::{Assigner, AssignerConfig};
 pub use chirp::{backup_candidates, choose_backup, choose_secondary_backup, ChirpDetector};
+pub use city::{
+    merge_city, run_city, run_city_group, shard_plan, CityCell, CityOutcome, CityRunStats,
+    CityScenario, GroupOutcome, Locale, ShardPlan,
+};
 pub use client::{ClientBehavior, ClientConfig, ClientStart};
 pub use discovery::{
     baseline_discovery, expected_scans_baseline, expected_scans_j_sift, expected_scans_l_sift,

@@ -134,6 +134,11 @@ struct MicWindow {
 /// Per-member environment and liveness state.
 #[derive(Debug)]
 struct MemberEnv {
+    /// Scenario-stable identity folded into digests and violation
+    /// details. Equal to the sim-local node id for ordinary runs; a
+    /// shard-local simulator registers members under their global ids
+    /// so reports compare byte-identically across shardings.
+    stable: NodeId,
     is_ap: bool,
     /// Statically occupied channels (detectable TV stations): known to
     /// the member from t = 0, so overlap is violating at any time.
@@ -211,6 +216,15 @@ impl Inner {
         self.members.get(n).is_some_and(|m| m.is_some())
     }
 
+    /// The scenario-stable identity of a node: a member's registered
+    /// stable id, the raw sim id otherwise.
+    fn stable_of(&self, n: NodeId) -> NodeId {
+        self.members
+            .get(n)
+            .and_then(|m| m.as_ref())
+            .map_or(n, |e| e.stable)
+    }
+
     fn violate(&mut self, kind: OracleKind, time: SimTime, node: Option<NodeId>, detail: String) {
         self.violations.push(Violation {
             kind,
@@ -229,6 +243,7 @@ impl Inner {
         if !self.is_member(tx.src) {
             return;
         }
+        let src_stable = self.stable_of(tx.src);
         self.checked_tx += 1;
         let grace = self.cfg.transition_grace;
         let bound = self.cfg.liveness_bound;
@@ -263,11 +278,11 @@ impl Inner {
                 self.violate(
                     OracleKind::ChannelOccupancy,
                     now,
-                    Some(tx.src),
+                    Some(src_stable),
                     format!(
                         "member {} on {} while the network occupies another channel, \
                          >{:?} after the last transition",
-                        tx.src, tx.channel, grace
+                        src_stable, tx.channel, grace
                     ),
                 );
             }
@@ -290,10 +305,10 @@ impl Inner {
             self.violate(
                 OracleKind::IncumbentSafety,
                 now,
-                Some(tx.src),
+                Some(src_stable),
                 format!(
                     "member {} transmitted on {} over statically occupied UHF {}",
-                    tx.src,
+                    src_stable,
                     tx.channel,
                     u.index()
                 ),
@@ -303,11 +318,11 @@ impl Inner {
             self.violate(
                 OracleKind::IncumbentSafety,
                 now,
-                Some(tx.src),
+                Some(src_stable),
                 format!(
                     "member {} transmitted on {} over an active mic on UHF {} \
                      ({} ns past its detection deadline)",
-                    tx.src,
+                    src_stable,
                     tx.channel,
                     w.channel.index(),
                     now_ns - w.deadline_ns
@@ -359,16 +374,21 @@ impl Inner {
             self.fg_active.swap_remove(i);
         }
         // Foreground trace digest: every field that determines protocol
-        // behaviour, member transmissions only.
+        // behaviour, member transmissions only. Node ids fold through
+        // their stable identity so the digest is invariant under
+        // sim-local renumbering (sharded == unsharded, DESIGN.md §13).
         let mut h = self.digest;
-        h = fnv1a_word(h, tx.src as u64);
+        h = fnv1a_word(h, self.stable_of(tx.src) as u64);
         h = fnv1a_word(h, tx.channel.low_index() as u64);
         h = fnv1a_word(h, width_tag(tx.channel));
         h = fnv1a_word(h, tx.start.as_nanos());
         h = fnv1a_word(h, tx.end.as_nanos());
         h = fnv1a_word(h, kind_tag(&tx.frame.kind));
         h = fnv1a_word(h, tx.frame.bytes() as u64);
-        h = fnv1a_word(h, tx.frame.dst.map_or(u64::MAX, |d| d as u64));
+        h = fnv1a_word(
+            h,
+            tx.frame.dst.map_or(u64::MAX, |d| self.stable_of(d) as u64),
+        );
         h = fnv1a_word(h, faulted_drop as u64);
         self.digest = h;
     }
@@ -461,6 +481,22 @@ impl OracleBank {
         incumbents: &IncumbentSet,
         detection_total: SimDuration,
     ) {
+        self.add_member_as(node, node, is_ap, incumbents, detection_total);
+    }
+
+    /// [`Self::add_member`], registering the member under a
+    /// scenario-stable identity that may differ from the sim-local node
+    /// id. Digests and violation details fold `stable`, so a member
+    /// produces byte-identical reports regardless of which simulator —
+    /// global or shard-local — hosts it (DESIGN.md §13).
+    pub fn add_member_as(
+        &self,
+        node: NodeId,
+        stable: NodeId,
+        is_ap: bool,
+        incumbents: &IncumbentSet,
+        detection_total: SimDuration,
+    ) {
         let mut inner = self.inner.borrow_mut();
         let mut static_occupied = SpectrumMap::all_free();
         for tv in &incumbents.tv {
@@ -485,6 +521,7 @@ impl OracleBank {
             inner.members.resize_with(node + 1, || None);
         }
         inner.members[node] = Some(MemberEnv {
+            stable,
             is_ap,
             static_occupied,
             mic_windows,
@@ -571,14 +608,15 @@ impl OracleBank {
                 inner.explained += 1;
                 EXPLAINED_LIVENESS.fetch_add(1, Ordering::Relaxed);
             } else {
+                let stable = inner.stable_of(node);
                 inner.violate(
                     OracleKind::BackupLiveness,
                     close,
-                    Some(node),
+                    Some(stable),
                     format!(
                         "client {} disconnected at {:?} and had not reassociated \
                          {:?} later (bound {:?}), with no fault to explain it",
-                        node,
+                        stable,
                         open,
                         close.since(open),
                         bound

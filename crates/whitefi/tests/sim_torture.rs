@@ -20,6 +20,7 @@
 #![allow(clippy::cast_possible_truncation)]
 
 use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
+use whitefi::{run_city, CityScenario};
 use whitefi_mac::FaultPlan;
 use whitefi_phy::{SimDuration, SimTime};
 use whitefi_spectrum::{
@@ -199,6 +200,73 @@ fn quiet_plan_is_byte_identical_to_no_plan() {
         let off = run_whitefi(&s, Some(initial));
         assert_eq!(quiet, off, "case {case}: quiet plan perturbed the run");
         assert_eq!(quiet.oracle.trace_digest, off.oracle.trace_digest);
+    }
+}
+
+/// One city torture case: a small multi-AP city with a randomized
+/// geometry (so the shard structure varies from all-singletons to
+/// multi-cell components), an adversarial mic strike inside one cell's
+/// bootstrap footprint, and a randomized fault plan.
+fn city_torture_case(case: u64) -> (CityScenario, usize) {
+    let mut mix = Mix(0xC170_0001 ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    let n_aps = 3 + mix.below(3) as usize;
+    let range = [60.0, 100.0, 140.0][mix.below(3) as usize];
+    let mut city = CityScenario::grid(2_000 + case, n_aps, 1 + mix.below(2) as usize, 100.0, range);
+    city.warmup = SimDuration::from_millis(500);
+    city.duration = SimDuration::from_millis(1_000 + mix.below(1_000));
+    city.sample_interval = SimDuration::from_millis(250);
+
+    // Mic strike on one spanned UHF channel of a victim cell's
+    // bootstrap channel — forces that cell through the disconnection
+    // protocol mid-run.
+    let victim = mix.below(n_aps as u64) as usize;
+    let spanned: Vec<UhfChannel> = city.cells[victim].initial_channel().spanned().collect();
+    let struck = spanned[mix.below(spanned.len() as u64) as usize];
+    let at = SimTime::ZERO + SimDuration::from_millis(400 + mix.below(800));
+    let len = SimDuration::from_millis(300 + mix.below(700));
+    let mut incumbents = IncumbentSet::default();
+    incumbents.mics.push(mic_on(struck, at, at + len));
+    city.cells[victim].extra_incumbents = Some(incumbents);
+
+    city.faults = Some(FaultPlan {
+        seed: mix.next(),
+        drop_prob: mix.unit() * 0.25,
+        dup_prob: mix.unit() * 0.2,
+        delay_prob: mix.unit() * 0.2,
+        max_delay: SimDuration::from_millis(1 + mix.below(4)),
+        max_detection_extra: SimDuration::from_millis(mix.below(100)),
+        history_skew: (mix.below(4) == 0).then(|| SimDuration::from_secs(1 + mix.below(5))),
+    });
+    let shards = 2 + (case % 3) as usize;
+    (city, shards)
+}
+
+/// The city slice of the torture sweep: the same 24-case cadence, each
+/// case run unsharded and sharded. The outcomes must agree byte for
+/// byte — oracle reports and fault events included — and the oracles
+/// must stay silent in the face of the strikes and the fault plan.
+#[test]
+fn city_sweep_is_shard_invariant_under_faults() {
+    for case in 0..case_count() {
+        let (city, shards) = city_torture_case(case);
+        let (base, _) = run_city(&city, 1);
+        let (out, stats) = run_city(&city, shards);
+        assert_eq!(base, out, "case {case}: sharded != unsharded");
+        assert!(stats.sync_rounds > 0, "case {case}: barrier never ran");
+        assert_eq!(
+            base.violations(),
+            0,
+            "case {case}: engine compliance meter tripped"
+        );
+        assert_eq!(
+            base.oracle_violations(),
+            0,
+            "case {case}: oracles tripped: {:#?}",
+            base.cells
+                .iter()
+                .flat_map(|c| c.oracle.violations.iter())
+                .collect::<Vec<_>>()
+        );
     }
 }
 

@@ -355,6 +355,14 @@ fn scan_rules(ctx: &FileCtx, lexed: &Lexed, test_regions: &[(u32, u32)]) -> Vec<
                 message: "`Instant::now()` reads the wall clock outside the timing allowlist"
                     .to_string(),
             }),
+            "thread" if r2 && seq_path(tokens, i, "thread", "spawn") => hits.push(Hit {
+                rule: RuleId::R2Nondet,
+                line: t.line,
+                message: "`thread::spawn` outside the runner pool (ambient scheduling; fan \
+                          work out through Runner::map / RunCtx::map so results reassemble \
+                          deterministically)"
+                    .to_string(),
+            }),
             "from_entropy" | "from_os_rng" => hits.push(Hit {
                 rule: RuleId::R3Rng,
                 line: t.line,
@@ -527,6 +535,25 @@ mod tests {
             .diagnostics
             .is_empty());
         assert!(lint("crates/bench/benches/b.rs", src)
+            .diagnostics
+            .is_empty());
+    }
+
+    #[test]
+    fn r2_flags_detached_thread_spawn_but_not_scoped_pool() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(lint("crates/whitefi/src/city.rs", src).diagnostics.len(), 1);
+        // The runner pool (allowlisted) and benches stay free to thread.
+        assert!(lint("crates/bench/src/runner.rs", src)
+            .diagnostics
+            .is_empty());
+        assert!(lint("crates/bench/benches/city.rs", src)
+            .diagnostics
+            .is_empty());
+        // `scope.spawn` method calls (the pool's own mechanism) are a
+        // different token shape and do not fire.
+        let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert!(lint("crates/whitefi/src/city.rs", scoped)
             .diagnostics
             .is_empty());
     }

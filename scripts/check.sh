@@ -30,6 +30,18 @@ cargo test --release -q -p whitefi-phy --test kernel_differential
 # scenario reports an adaptive oracle violation.
 cargo test --release -q -p whitefi-bench --test sim_torture -- --ignored
 
+# Sharding byte-identity smoke (DESIGN.md §13): the same small city run
+# unsharded and 4-way sharded must print byte-identical outcome JSON —
+# per-cell goodput, timeline samples, oracle trace digests and fault
+# events included. Scheduling metadata goes to stderr, so a plain diff
+# of stdout is the whole gate.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -p whitefi-bench --bin city_smoke -- --aps 9 --shards 1 > "$smoke_dir/shards1.json"
+cargo run --release -p whitefi-bench --bin city_smoke -- --aps 9 --shards 4 > "$smoke_dir/shards4.json"
+diff "$smoke_dir/shards1.json" "$smoke_dir/shards4.json"
+echo "city smoke: shards 1 vs 4 byte-identical"
+
 cargo run --release -p whitefi-bench --bin experiments -- all --quick --jobs 1
 
 # Wall-time regression gate: compare the sweep just run against the
