@@ -7,13 +7,17 @@
 //! `results/BENCH_experiments.json` for `scripts/bench_compare.sh`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use whitefi::{run_city, CityScenario};
-use whitefi_bench::experiments::city::{bench_city, timed_run};
+use whitefi::{run_city, run_city_with, CityPartition, CityScenario};
+use whitefi_bench::experiments::city::{bench_city, dense_city, timed_run};
 use whitefi_bench::RunCtx;
 use whitefi_phy::SimDuration;
 
 fn small_city() -> CityScenario {
     bench_city(7, 16, 1, SimDuration::from_millis(400))
+}
+
+fn small_dense_city() -> CityScenario {
+    dense_city(11, 16, 1, SimDuration::from_millis(400))
 }
 
 fn bench_city_sharded_vs_sequential(c: &mut Criterion) {
@@ -31,7 +35,24 @@ fn bench_city_sharded_vs_sequential(c: &mut Criterion) {
     // Pooled: 4 shard groups fanned across 4 workers (the experiment
     // harness's code path). On a multi-core host this is the speedup.
     group.bench_with_input(BenchmarkId::new("pooled", 4usize), &4usize, |b, &s| {
-        b.iter(|| timed_run(&ctx, &city, s))
+        b.iter(|| timed_run(&ctx, &city, s, CityPartition::Components))
+    });
+    group.finish();
+
+    // Dense urban: one influence component. The component plan is stuck
+    // at a single group; the cut plan splits it four ways. Sequential
+    // pair isolates the cut protocol's overhead (border recording,
+    // per-round boundary exchange, certification); the pooled case is
+    // the speedup the §14 machinery exists to buy.
+    let dense = small_dense_city();
+    let mut group = c.benchmark_group("city_cut_vs_component");
+    group.sample_size(10);
+    group.bench_function("component_single_group", |b| b.iter(|| run_city(&dense, 4)));
+    group.bench_function("cut_sequential_4_groups", |b| {
+        b.iter(|| run_city_with(&dense, 4, CityPartition::Cut))
+    });
+    group.bench_function("cut_pooled_4_groups", |b| {
+        b.iter(|| timed_run(&ctx, &dense, 4, CityPartition::Cut))
     });
     group.finish();
 

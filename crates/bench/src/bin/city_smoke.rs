@@ -3,28 +3,34 @@
 //!
 //! ```text
 //! city_smoke [--aps N] [--clients N] [--shards S] [--seed X]
+//!            [--partition components|cut]
 //! ```
 //!
 //! The output is a pure function of `(--aps, --clients, --seed)` — it
 //! deliberately contains **no** wall-clock readings and **no**
-//! scheduling metadata (shard count, group sizes, barrier rounds go to
-//! stderr only), so `scripts/check.sh` can diff the stdout of a
-//! `--shards 1` run against a `--shards 4` run byte for byte. That diff
-//! is the end-to-end form of the sharding contract (DESIGN.md §13):
-//! sharded and unsharded runs are identical, oracle reports and fault
-//! events included.
+//! scheduling metadata (shard count, partition mode, group sizes,
+//! barrier rounds, cut pairs and fallback status go to stderr only), so
+//! `scripts/check.sh` can diff the stdout of a `--shards 1` run against
+//! a `--shards 4` run — and against a `--partition cut` run — byte for
+//! byte. That three-way diff is the end-to-end form of the sharding
+//! contract (DESIGN.md §13–14): cut-sharded, component-sharded and
+//! unsharded runs are identical, oracle reports and fault events
+//! included.
 //!
 //! The grid uses range above spacing, so neighbouring cells couple into
 //! multi-cell components and the smoke exercises real shard merging; a
 //! deterministic fault plan derived from the seed keeps the fault layer
 //! in the loop.
 
-use whitefi::{run_city, CityScenario};
+use whitefi::{run_city_with, CityPartition, CityScenario};
 use whitefi_mac::{FaultEventKind, FaultPlan};
 use whitefi_phy::SimDuration;
 
 fn usage() -> ! {
-    eprintln!("usage: city_smoke [--aps N] [--clients N] [--shards S] [--seed X]");
+    eprintln!(
+        "usage: city_smoke [--aps N] [--clients N] [--shards S] [--seed X] \
+         [--partition components|cut]"
+    );
     std::process::exit(2);
 }
 
@@ -33,12 +39,25 @@ fn main() {
     let mut clients = 1usize;
     let mut shards = 1usize;
     let mut seed = 5u64;
+    let mut partition = CityPartition::Components;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         i += 1;
         let Some(value) = args.get(i) else { usage() };
+        if flag == "--partition" {
+            partition = match value.as_str() {
+                "components" => CityPartition::Components,
+                "cut" => CityPartition::Cut,
+                other => {
+                    eprintln!("invalid value for --partition: {other}");
+                    usage();
+                }
+            };
+            i += 1;
+            continue;
+        }
         let Ok(value) = value.parse::<u64>() else {
             eprintln!("invalid value for {flag}: {value}");
             usage();
@@ -68,15 +87,21 @@ fn main() {
         history_skew: None,
     });
 
-    let (out, stats) = run_city(&city, shards);
+    let (out, stats) = run_city_with(&city, shards, partition);
     eprintln!(
-        "city_smoke: {} APs, {} nodes, shards {} -> groups {}, components {}, \
-         sync_rounds {}, events handled {}",
+        "city_smoke: {} APs, {} nodes, shards {} ({:?}) -> groups {}, \
+         components {}, largest_component_fraction {:.3}, load_imbalance {:.3}, \
+         cut_pairs {}, fallback {}, sync_rounds {}, events handled {}",
         aps,
         city.total_nodes(),
         shards,
+        partition,
         stats.groups,
         stats.components,
+        stats.largest_component_fraction,
+        stats.load_imbalance,
+        stats.cut_pairs,
+        stats.fallback,
         stats.sync_rounds,
         stats.events.handled,
     );

@@ -1,22 +1,30 @@
 //! Scale: city-wide multi-AP simulation on the influence-sharded
-//! parallel event core (DESIGN.md §13).
+//! parallel event core (DESIGN.md §13–14).
 //!
-//! Lays a grid of WhiteFi cells (urban/suburban/rural locale mix) with
-//! sites spaced beyond radio range, so the influence graph decomposes
-//! into one component per cell and the shard planner can balance
-//! freely — the regime where sharding pays and the one the paper's
-//! deployment model (disjoint home networks, §5.1) corresponds to.
-//! Coupled topologies (range above spacing) are the differential
-//! suite's territory; they reduce the available parallelism to the
-//! component structure without changing the outcome.
+//! Two city regimes, two ladders:
+//!
+//! * **Sparse** — a grid of WhiteFi cells spaced beyond radio range, so
+//!   the influence graph decomposes into one component per cell and the
+//!   component planner can balance freely: the regime where component
+//!   sharding pays and the one the paper's deployment model (disjoint
+//!   home networks, §5.1) corresponds to.
+//! * **Dense urban** — the checkerboard pathology: every cell couples
+//!   into one influence component, the component planner collapses to a
+//!   single group (`largest_component_fraction == 1`), and only the
+//!   cut partitioner (DESIGN.md §14) can recover parallelism. Those
+//!   rows run with `partition == "cut"` and must certify silent
+//!   (`fallback == false`) — the speedup they report is the tentpole
+//!   before/after measurement for `scripts/bench_compare.sh`.
 //!
 //! Each row runs the same city at one shard count with a worker pool
-//! sized to that count, and reports groups, components, barrier rounds,
-//! handled events, events/sec and wall time. Every sharded outcome is
-//! asserted byte-identical to the unsharded reference before the row is
-//! emitted, and every run must stay oracle-clean (the experiments
-//! binary additionally gates on the process-wide adaptive-violation
-//! totals).
+//! sized to the executed group count, and reports groups, components,
+//! barrier rounds, handled events, events/sec, wall time, and the new
+//! partition-quality columns (largest component fraction, load
+//! imbalance against the requested shard count, cut pairs, fallback).
+//! Every sharded outcome is asserted byte-identical to the unsharded
+//! reference before the row is emitted, and every run must stay
+//! oracle-clean (the experiments binary additionally gates on the
+//! process-wide adaptive-violation totals).
 //!
 //! Determinism note: outcome columns (`aggregate_mbps`, `sync_rounds`,
 //! `events_handled`, …) are pure functions of the scenario; the timing
@@ -29,7 +37,11 @@
 use crate::report::{round4, ExperimentReport};
 use crate::runner::{RunCtx, Runner};
 use serde_json::json;
-use whitefi::{merge_city, run_city_group, shard_plan, CityOutcome, CityRunStats, CityScenario};
+use whitefi::{
+    largest_component_fraction, load_imbalance, merge_city, run_city_cut_group, run_city_group,
+    shard_plan, shard_plan_cut, CityOutcome, CityPartition, CityRunStats, CityScenario,
+};
+use whitefi_mac::BoundaryBus;
 use whitefi_phy::SimDuration;
 
 /// The bench city: `n_aps` cells on a grid spaced beyond radio range
@@ -47,48 +59,124 @@ pub fn bench_city(
     city
 }
 
-/// Runs `city` at the given shard count on a worker pool of the same
-/// size (a scaling row measures "S shards on S workers", independent of
-/// the harness `--jobs` budget) and returns the merged outcome, the run
-/// stats and the measured wall seconds. The outcome is a pure function
-/// of `(city, shards)` — only the wall time varies.
+/// The bench dense-urban city: the checkerboard pathology (100 m
+/// spacing, 105 m range, parity-alternating spectrum maps chained into
+/// one influence component by a shared never-transmitted channel) with
+/// the bench measurement cadence.
+pub fn dense_city(
+    seed: u64,
+    n_aps: usize,
+    clients_per_ap: usize,
+    duration: SimDuration,
+) -> CityScenario {
+    let mut city = CityScenario::checkerboard(seed, n_aps, clients_per_ap);
+    city.warmup = SimDuration::from_millis(300);
+    city.duration = duration;
+    city.sample_interval = SimDuration::from_millis(100);
+    city
+}
+
+/// Runs `city` at the given shard count on a worker pool sized to the
+/// executed group count (a scaling row measures "S shards on S
+/// workers", independent of the harness `--jobs` budget) and returns
+/// the merged outcome, the run stats and the measured wall seconds.
+/// The outcome is a pure function of `(city, shards)` — partition mode
+/// included, by the §14 identity contract — and only the wall time
+/// varies.
+///
+/// `Cut` rows run every cut group concurrently on the pool: the pool
+/// has exactly one worker per group, so each worker owns one group and
+/// the blocking boundary exchange always has all its peers resident.
+/// On cross-cut contact the attempt is discarded and the whole city is
+/// rerun on the component plan *inside the timed window* — the row
+/// honestly pays for the failed attempt.
 pub fn timed_run(
     ctx: &RunCtx,
     city: &CityScenario,
     shards: usize,
+    partition: CityPartition,
 ) -> (CityOutcome, CityRunStats, f64) {
-    let plan = shard_plan(city, shards);
-    let n_groups = plan.groups.len();
-    let pool = Runner::new(shards, 0);
-    let (groups, wall_s) =
-        ctx.time(|| pool.map(n_groups, |g| run_city_group(city, &plan.groups[g])));
-    let (outcome, sync_rounds, events) = merge_city(city, groups);
-    (
-        outcome,
-        CityRunStats {
-            groups: n_groups,
-            components: plan.components,
-            sync_rounds,
-            events,
-        },
-        wall_s,
-    )
+    match partition {
+        CityPartition::Components => {
+            let plan = shard_plan(city, shards);
+            let n_groups = plan.groups.len();
+            let pool = Runner::new(shards, 0);
+            let (groups, wall_s) =
+                ctx.time(|| pool.map(n_groups, |g| run_city_group(city, &plan.groups[g])));
+            let (outcome, sync_rounds, events) = merge_city(city, groups);
+            (
+                outcome,
+                CityRunStats {
+                    groups: n_groups,
+                    components: plan.components,
+                    sync_rounds,
+                    events,
+                    largest_component_fraction: largest_component_fraction(city),
+                    load_imbalance: load_imbalance(city, &plan.groups, shards),
+                    cut_pairs: 0,
+                    fallback: false,
+                },
+                wall_s,
+            )
+        }
+        CityPartition::Cut => {
+            let plan = shard_plan_cut(city, shards);
+            let n_groups = plan.groups.len();
+            let pool = Runner::new(n_groups, 0);
+            let bus = BoundaryBus::new(n_groups);
+            let ((groups, fallback), wall_s) = ctx.time(|| {
+                let tries = pool.map(n_groups, |g| run_city_cut_group(city, &plan, g, &bus));
+                if tries.iter().any(Result::is_err) {
+                    let base = shard_plan(city, shards);
+                    let fb_pool = Runner::new(shards, 0);
+                    let groups =
+                        fb_pool.map(base.groups.len(), |g| run_city_group(city, &base.groups[g]));
+                    (groups, true)
+                } else {
+                    (tries.into_iter().filter_map(Result::ok).collect(), false)
+                }
+            });
+            let (outcome, sync_rounds, events) = merge_city(city, groups);
+            (
+                outcome,
+                CityRunStats {
+                    groups: if fallback {
+                        shard_plan(city, shards).groups.len()
+                    } else {
+                        n_groups
+                    },
+                    components: plan.components,
+                    sync_rounds,
+                    events,
+                    largest_component_fraction: plan.largest_component_fraction,
+                    load_imbalance: plan.load_imbalance,
+                    cut_pairs: plan.cut_pairs.len(),
+                    fallback,
+                },
+                wall_s,
+            )
+        }
+    }
 }
 
-/// Runs one city size across a ladder of shard counts (ascending, first
-/// entry the unsharded reference), asserting byte-identity and
-/// cleanliness per row, and returns the peak speedup observed.
+/// Runs one city across a ladder of `(shards, partition)` entries
+/// (first entry the unsharded reference), asserting byte-identity and
+/// cleanliness per row, and returns the peak speedup observed. When
+/// `expect_silent_cut` is set, every `Cut` row must certify silent —
+/// a fallback means the partitioner cut a pair the scenario actually
+/// talks across, and the row's speedup claim would be a lie.
 fn scale_rows(
     ctx: &RunCtx,
     report: &mut ExperimentReport,
     city: &CityScenario,
     n_aps: usize,
-    shard_counts: &[usize],
+    ladder: &[(usize, CityPartition)],
+    expect_silent_cut: bool,
 ) -> f64 {
     let mut base: Option<(CityOutcome, f64)> = None;
     let mut peak = 0.0f64;
-    for &shards in shard_counts {
-        let (outcome, stats, wall_s) = timed_run(ctx, city, shards);
+    for &(shards, partition) in ladder {
+        let (outcome, stats, wall_s) = timed_run(ctx, city, shards, partition);
         assert_eq!(
             outcome.violations(),
             0,
@@ -99,11 +187,18 @@ fn scale_rows(
             0,
             "{n_aps} APs / {shards} shards: oracle violations"
         );
+        if expect_silent_cut && partition == CityPartition::Cut {
+            assert!(
+                !stats.fallback,
+                "{n_aps} APs / {shards} shards: cut run fell back to the \
+                 component plan — dense-urban ladder no longer measures the cut"
+            );
+        }
         if let Some((reference, _)) = &base {
             assert!(
                 *reference == outcome,
-                "{n_aps} APs: {shards}-shard outcome diverged from the unsharded \
-                 reference — influence sharding unsound"
+                "{n_aps} APs: {shards}-shard {partition:?} outcome diverged from \
+                 the unsharded reference — influence sharding unsound"
             );
         }
         let wall_ref = base.as_ref().map_or(wall_s, |&(_, w)| w);
@@ -120,8 +215,22 @@ fn scale_rows(
             ("aps", json!(n_aps)),
             ("nodes", json!(city.total_nodes())),
             ("shards", json!(shards)),
+            (
+                "partition",
+                json!(match partition {
+                    CityPartition::Components => "components",
+                    CityPartition::Cut => "cut",
+                }),
+            ),
             ("groups", json!(stats.groups)),
             ("components", json!(stats.components)),
+            (
+                "largest_component_fraction",
+                round4(stats.largest_component_fraction),
+            ),
+            ("load_imbalance", round4(stats.load_imbalance)),
+            ("cut_pairs", json!(stats.cut_pairs)),
+            ("fallback", json!(stats.fallback)),
             ("sync_rounds", json!(stats.sync_rounds)),
             ("events_handled", json!(stats.events.handled)),
             ("events_per_sec", json!(events_per_sec)),
@@ -145,8 +254,13 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
             "aps",
             "nodes",
             "shards",
+            "partition",
             "groups",
             "components",
+            "largest_component_fraction",
+            "load_imbalance",
+            "cut_pairs",
+            "fallback",
             "sync_rounds",
             "events_handled",
             "events_per_sec",
@@ -155,17 +269,63 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
             "aggregate_mbps",
         ],
     );
-    let (n_aps, clients, shard_counts, duration): (usize, usize, &[usize], SimDuration) =
+    use CityPartition::{Components, Cut};
+    let (n_aps, clients, ladder, duration): (usize, usize, &[(usize, CityPartition)], SimDuration) =
         if ctx.quick() {
-            (16, 1, &[1, 4], SimDuration::from_millis(500))
+            (
+                16,
+                1,
+                &[(1, Components), (4, Components)],
+                SimDuration::from_millis(500),
+            )
         } else {
-            (64, 2, &[1, 2, 4, 8], SimDuration::from_millis(1_500))
+            (
+                64,
+                2,
+                &[
+                    (1, Components),
+                    (2, Components),
+                    (4, Components),
+                    (8, Components),
+                ],
+                SimDuration::from_millis(1_500),
+            )
         };
     let city = bench_city(ctx.seed(9_100), n_aps, clients, duration);
-    let peak = scale_rows(ctx, &mut report, &city, n_aps, shard_counts);
+    let peak = scale_rows(ctx, &mut report, &city, n_aps, ladder, false);
     report.note(format!(
-        "{n_aps} APs: sharded outcomes byte-identical to the unsharded reference; \
-         peak speedup {peak:.2}x (wall-clock, machine-dependent)"
+        "{n_aps} APs sparse: sharded outcomes byte-identical to the unsharded \
+         reference; peak speedup {peak:.2}x (wall-clock, machine-dependent)"
+    ));
+    // The dense-urban ladder: one influence component, so the component
+    // planner is pinned at a single group (largest_component_fraction
+    // 1.0, load imbalance == requested shards) and only the cut
+    // partitioner parallelizes. Cut rows must certify silent.
+    let (d_aps, d_ladder, d_duration): (usize, &[(usize, CityPartition)], SimDuration) =
+        if ctx.quick() {
+            (
+                16,
+                &[(1, Components), (4, Cut)],
+                SimDuration::from_millis(400),
+            )
+        } else {
+            (
+                64,
+                &[(1, Components), (2, Cut), (4, Cut), (8, Cut)],
+                SimDuration::from_millis(800),
+            )
+        };
+    let dense = dense_city(ctx.seed(9_300), d_aps, 1, d_duration);
+    assert_eq!(
+        shard_plan(&dense, 8).components,
+        1,
+        "dense city must chain into one component or the ladder measures nothing"
+    );
+    let d_peak = scale_rows(ctx, &mut report, &dense, d_aps, d_ladder, true);
+    report.note(format!(
+        "{d_aps} APs dense urban (components == 1): cut partitioner certified \
+         silent on every row; peak cut speedup {d_peak:.2}x over the \
+         single-group component plan"
     ));
     if !ctx.quick() {
         // The headline city scale: ~1000 APs, 2000 nodes, a short
@@ -175,7 +335,14 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
         // to finish clean.
         let n_aps = 1_000;
         let big = bench_city(ctx.seed(9_200), n_aps, 1, SimDuration::from_millis(400));
-        let peak = scale_rows(ctx, &mut report, &big, n_aps, &[1, 8]);
+        let peak = scale_rows(
+            ctx,
+            &mut report,
+            &big,
+            n_aps,
+            &[(1, Components), (8, Components)],
+            false,
+        );
         report.note(format!(
             "{n_aps} APs: completed oracle-clean; 8-shard speedup {peak:.2}x"
         ));
@@ -195,10 +362,10 @@ mod tests {
     fn bench_city_decomposes_per_cell_and_shards_exactly() {
         let ctx = RunCtx::sequential(true);
         let city = bench_city(5, 6, 1, SimDuration::from_millis(300));
-        let (reference, stats1, _) = timed_run(&ctx, &city, 1);
+        let (reference, stats1, _) = timed_run(&ctx, &city, 1, CityPartition::Components);
         assert_eq!(stats1.groups, 1);
         assert_eq!(stats1.components, 6, "bench grid cells must decouple");
-        let (out, stats, _) = timed_run(&ctx, &city, 3);
+        let (out, stats, _) = timed_run(&ctx, &city, 3, CityPartition::Components);
         assert_eq!(stats.groups, 3);
         assert_eq!(reference, out, "pooled run diverged from sequential");
         assert_eq!(out.violations(), 0);
@@ -206,19 +373,62 @@ mod tests {
     }
 
     #[test]
+    fn dense_city_cut_runs_pooled_and_matches_unsharded() {
+        let ctx = RunCtx::sequential(true);
+        let city = dense_city(7, 9, 1, SimDuration::from_millis(300));
+        let (reference, stats1, _) = timed_run(&ctx, &city, 1, CityPartition::Components);
+        assert_eq!(
+            stats1.components, 1,
+            "checkerboard must chain into one component"
+        );
+        assert_eq!(
+            stats1.groups, 1,
+            "component planner must be stuck at one group"
+        );
+        let (out, stats, _) = timed_run(&ctx, &city, 3, CityPartition::Cut);
+        assert_eq!(stats.groups, 3, "cut planner must split the component");
+        assert!(!stats.fallback, "checkerboard cut must certify silent");
+        assert!(stats.cut_pairs > 0, "a real cut crosses influence pairs");
+        assert_eq!(reference, out, "pooled cut run diverged from unsharded");
+        assert_eq!(out.violations(), 0);
+        assert_eq!(out.oracle_violations(), 0);
+    }
+
+    #[test]
     fn quick_report_has_expected_shape() {
         let report = run(&RunCtx::sequential(true));
-        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows.len(), 4);
         assert!(report.validate().is_ok());
         for row in &report.rows {
             assert_eq!(row["aps"].as_f64(), Some(16.0));
-            assert_eq!(row["components"].as_f64(), Some(16.0));
         }
-        // Identical outcomes across rows, by construction. (Scheduling
-        // counters like sync_rounds legitimately differ per sharding.)
+        // Sparse pair: one component per cell, components partition.
+        for row in &report.rows[..2] {
+            assert_eq!(row["components"].as_f64(), Some(16.0));
+            assert_eq!(row["partition"].as_str(), Some("components"));
+        }
+        // Dense pair: one component total; the second row is the cut and
+        // must have certified silent.
+        for row in &report.rows[2..] {
+            assert_eq!(row["components"].as_f64(), Some(1.0));
+            assert_eq!(row["largest_component_fraction"].as_f64(), Some(1.0));
+        }
+        assert_eq!(report.rows[2]["partition"].as_str(), Some("components"));
+        assert_eq!(report.rows[2]["groups"].as_f64(), Some(1.0));
+        assert_eq!(report.rows[3]["partition"].as_str(), Some("cut"));
+        assert_eq!(report.rows[3]["groups"].as_f64(), Some(4.0));
+        assert_eq!(report.rows[3]["fallback"].as_bool(), Some(false));
+        assert!(report.rows[3]["cut_pairs"].as_f64() > Some(0.0));
+        // Identical outcomes within each city, by construction.
+        // (Scheduling counters like sync_rounds legitimately differ per
+        // sharding.)
         assert_eq!(
             report.rows[0]["aggregate_mbps"],
             report.rows[1]["aggregate_mbps"]
+        );
+        assert_eq!(
+            report.rows[2]["aggregate_mbps"],
+            report.rows[3]["aggregate_mbps"]
         );
     }
 }

@@ -1,0 +1,304 @@
+//! Cross-shard boundary channel for the certified-silent cut protocol
+//! (DESIGN.md §14).
+//!
+//! When the city core splits one influence component across shards
+//! (`whitefi::city::shard_plan_cut`), the shard groups are no longer
+//! provably independent: a *border* cell's transmission could reach a
+//! cell hosted by another group. The cut protocol runs the groups in
+//! conservative lockstep rounds — each round one lookahead-barrier
+//! window — and at every barrier exchanges per-border-cell **span
+//! masks**: the union of the UHF channels spanned by every transmission
+//! the cell's nodes started during the round. Each group then
+//! *certifies* the round: no remote border mask may intersect the
+//! channel footprint of any local cell that lies within the remote
+//! cell's radio reach. If every round certifies, the cut execution is
+//! byte-identical to the unsharded one (soundness argument in DESIGN.md
+//! §14); on the first contact the whole attempt is discarded and the
+//! caller re-runs under the component-exact plan, so the determinism
+//! contract is preserved unconditionally.
+//!
+//! [`BoundaryBus`] is the **only sanctioned cross-shard channel** in
+//! the sim crates: whitefi-lint's R2 extension rejects ad-hoc
+//! `Mutex`/`RwLock`/`Condvar`/`mpsc` use anywhere else in them, so
+//! every cross-shard byte provably flows through this barrier
+//! discipline (and through the worker pool in `bench::runner`, which
+//! only moves opaque completed results).
+//!
+//! The bus supports two drivers:
+//!
+//! * **Sequential lockstep** ([`BoundaryBus::publish`] +
+//!   [`BoundaryBus::collect_others`]): one thread steps every group one
+//!   round, publishes all reports, then certifies — used by
+//!   `run_city_with` and the differential tests.
+//! * **Pooled** ([`BoundaryBus::exchange`]): each group runs on its own
+//!   worker, blocking at the barrier until every peer has published the
+//!   round. A group that detects contact calls
+//!   [`BoundaryBus::flag_contact`], which wakes every blocked peer with
+//!   an error so the pool drains promptly instead of deadlocking.
+//!   Results of an aborted attempt are discarded wholesale, so the
+//!   nondeterministic *timing* of the abort can never leak into an
+//!   outcome.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use whitefi_phy::{PhyTiming, SimDuration};
+
+/// The conservative cut lookahead `L`: the minimum delay between the
+/// moment any transmission-start event is *decided* and the moment it
+/// *fires*. Tentative transmissions fire `DIFS + backoff·slot ≥ DIFS >
+/// SIFS` after they are planned; forced transmissions (ACK, CTS-to-self)
+/// fire exactly one SIFS after the frame that elicited them. The
+/// smallest SIFS over all widths is the 20 MHz one, so `L =
+/// PhyTiming::min_sifs()` lower-bounds every cross-shard reaction
+/// latency. [`crate::sim::Simulator::set_min_tx_lookahead`] turns this
+/// bound into a hard runtime assert; the cut soundness argument
+/// (DESIGN.md §14) leans on it.
+pub fn cut_lookahead() -> SimDuration {
+    PhyTiming::min_sifs()
+}
+
+/// Border spectrum activity of one shard group over one barrier round:
+/// `(global cell index, union span mask)` pairs, mask bit `i` set iff
+/// some node of the cell started a transmission spanning UHF channel
+/// `i` during the round. Cells with no activity are omitted.
+pub type BorderActivity = Vec<(usize, u32)>;
+
+/// Marker error: a cross-cut contact was certified-impossible to rule
+/// out, so the cut attempt must be discarded and re-run under the
+/// component-exact plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutContact;
+
+struct BusRound {
+    /// One slot per group; `None` until that group publishes.
+    reports: Vec<Option<BorderActivity>>,
+}
+
+struct BusState {
+    rounds: Vec<BusRound>,
+}
+
+/// The sanctioned cross-shard boundary channel (see module docs).
+pub struct BoundaryBus {
+    groups: usize,
+    state: Mutex<BusState>,
+    barrier: Condvar,
+    contact: AtomicBool,
+}
+
+impl BoundaryBus {
+    /// A bus for `groups` shard groups.
+    pub fn new(groups: usize) -> Self {
+        Self {
+            groups,
+            state: Mutex::new(BusState { rounds: Vec::new() }),
+            barrier: Condvar::new(),
+            contact: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of shard groups on the bus.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Poison-tolerant lock: a worker that panicked mid-round aborts the
+    /// whole cut attempt (its panic propagates through the pool join),
+    /// so state observed after a poisoning is never used for an outcome.
+    fn lock(&self) -> MutexGuard<'_, BusState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn round_slot(state: &mut BusState, groups: usize, round: usize) -> &mut BusRound {
+        while state.rounds.len() <= round {
+            state.rounds.push(BusRound {
+                reports: vec![None; groups],
+            });
+        }
+        &mut state.rounds[round]
+    }
+
+    fn put(state: &mut BusState, groups: usize, group: usize, round: usize, a: BorderActivity) {
+        assert!(group < groups, "group {group} out of range");
+        let slot = &mut Self::round_slot(state, groups, round).reports[group];
+        assert!(
+            slot.is_none(),
+            "group {group} published round {round} twice"
+        );
+        *slot = Some(a);
+    }
+
+    /// The union of every *other* group's activity for a complete round,
+    /// sorted by cell. Cells belong to exactly one group, so sorting by
+    /// cell index alone is a total order — the merge is independent of
+    /// publish order, which keeps pooled and sequential drivers
+    /// byte-identical.
+    fn merged_others(round: &BusRound, group: usize) -> BorderActivity {
+        let mut merged: BorderActivity = Vec::new();
+        for (g, report) in round.reports.iter().enumerate() {
+            if g == group {
+                continue;
+            }
+            match report {
+                Some(r) => merged.extend_from_slice(r),
+                None => panic!("round collected before group {g} published — driver bug"),
+            }
+        }
+        merged.sort_unstable_by_key(|&(cell, _)| cell);
+        merged
+    }
+
+    /// Non-blocking publish, for the sequential lockstep driver.
+    pub fn publish(&self, group: usize, round: usize, activity: BorderActivity) {
+        let mut st = self.lock();
+        Self::put(&mut st, self.groups, group, round, activity);
+        drop(st);
+        self.barrier.notify_all();
+    }
+
+    /// Non-blocking collect of every other group's activity for `round`.
+    /// The sequential driver publishes all groups before collecting any;
+    /// collecting an incomplete round panics (driver bug, not a data
+    /// condition).
+    pub fn collect_others(&self, group: usize, round: usize) -> BorderActivity {
+        let mut st = self.lock();
+        let r = Self::round_slot(&mut st, self.groups, round);
+        Self::merged_others(r, group)
+    }
+
+    /// Blocking publish-then-collect, for pooled execution: publishes
+    /// this group's activity, then waits until every group has published
+    /// the round (or a contact is flagged) and returns the merged remote
+    /// activity. Returns `Err(CutContact)` as soon as any group flags a
+    /// contact, so blocked workers drain instead of waiting on peers
+    /// that already aborted.
+    pub fn exchange(
+        &self,
+        group: usize,
+        round: usize,
+        activity: BorderActivity,
+    ) -> Result<BorderActivity, CutContact> {
+        let mut st = self.lock();
+        Self::put(&mut st, self.groups, group, round, activity);
+        self.barrier.notify_all();
+        loop {
+            if self.contact.load(Ordering::SeqCst) {
+                return Err(CutContact);
+            }
+            if st.rounds[round].reports.iter().all(Option::is_some) {
+                return Ok(Self::merged_others(&st.rounds[round], group));
+            }
+            st = self
+                .barrier
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Flags a cross-cut contact and wakes every blocked [`exchange`]
+    /// caller. Taken under the bus lock so a peer cannot check the flag
+    /// and block between the store and the wake.
+    ///
+    /// [`exchange`]: BoundaryBus::exchange
+    pub fn flag_contact(&self) {
+        let st = self.lock();
+        self.contact.store(true, Ordering::SeqCst);
+        drop(st);
+        self.barrier.notify_all();
+    }
+
+    /// Whether any group has flagged a contact.
+    pub fn contact(&self) -> bool {
+        self.contact.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lookahead_is_the_smallest_sifs() {
+        assert_eq!(cut_lookahead().as_micros(), 10);
+        for w in whitefi_spectrum::Width::ALL {
+            assert!(PhyTiming::for_width(w).sifs() >= cut_lookahead());
+            assert!(PhyTiming::for_width(w).difs() > cut_lookahead());
+        }
+    }
+
+    #[test]
+    fn sequential_merge_is_publish_order_independent() {
+        let forward = BoundaryBus::new(3);
+        forward.publish(0, 0, vec![(0, 0b01)]);
+        forward.publish(1, 0, vec![(5, 0b10)]);
+        forward.publish(2, 0, vec![]);
+        let reverse = BoundaryBus::new(3);
+        reverse.publish(2, 0, vec![]);
+        reverse.publish(1, 0, vec![(5, 0b10)]);
+        reverse.publish(0, 0, vec![(0, 0b01)]);
+        for g in 0..3 {
+            assert_eq!(forward.collect_others(g, 0), reverse.collect_others(g, 0));
+        }
+        assert_eq!(forward.collect_others(0, 0), vec![(5, 0b10)]);
+        assert_eq!(forward.collect_others(1, 0), vec![(0, 0b01)]);
+        assert_eq!(forward.collect_others(2, 0), vec![(0, 0b01), (5, 0b10)]);
+    }
+
+    #[test]
+    fn pooled_exchange_barriers_every_round() {
+        let bus = BoundaryBus::new(4);
+        let max_spread = AtomicUsize::new(0);
+        let round_of = [
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
+        std::thread::scope(|s| {
+            for g in 0..4 {
+                let bus = &bus;
+                let round_of = &round_of;
+                let max_spread = &max_spread;
+                s.spawn(move || {
+                    for round in 0..16 {
+                        round_of[g].store(round, Ordering::SeqCst);
+                        let remote = bus
+                            .exchange(g, round, vec![(g, 1 << round)])
+                            .expect("no contact flagged");
+                        assert_eq!(remote.len(), 3, "group {g} round {round}");
+                        for &(cell, mask) in &remote {
+                            assert_ne!(cell, g);
+                            assert_eq!(mask, 1 << round);
+                        }
+                        // After a successful exchange every peer has
+                        // reached this round: the barrier bounds skew to
+                        // at most one round.
+                        let spread = round_of
+                            .iter()
+                            .map(|r| round.saturating_sub(r.load(Ordering::SeqCst)))
+                            .max()
+                            .unwrap_or(0);
+                        max_spread.fetch_max(spread, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(max_spread.load(Ordering::SeqCst) <= 1);
+    }
+
+    #[test]
+    fn contact_flag_wakes_blocked_exchanges() {
+        let bus = BoundaryBus::new(2);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| bus.exchange(0, 0, vec![(7, 0b100)]));
+            // Group 1 never publishes round 0; it flags a contact
+            // instead. The blocked group-0 exchange must drain with an
+            // error rather than deadlock.
+            bus.flag_contact();
+            assert_eq!(waiter.join().expect("waiter panicked"), Err(CutContact));
+        });
+        assert!(bus.contact());
+        assert_eq!(bus.exchange(1, 0, vec![]), Err(CutContact));
+    }
+}

@@ -166,6 +166,24 @@ pub fn potential_influences(a: &ShardSite, b: &ShardSite) -> bool {
     d <= a.range || d <= b.range
 }
 
+/// Can a transmission by `a` *ever* influence `b`, on any admissible
+/// channel of either? The directed refinement of
+/// [`potential_influences`]: footprints must share a UHF channel and
+/// `b` must lie within **`a`'s** range — because every engine coupling
+/// (delivery, carrier sense, deferral invalidation, interference, and
+/// the scanner queries) gates on the *transmitter's* range, a `false`
+/// here means no transmission `a` can ever emit is observable at `b`.
+/// The cut partitioner uses this to enumerate the directed border edges
+/// a certified-silent cut must watch (DESIGN.md §14); uses the same
+/// exact float predicate as [`influences`].
+pub fn potential_influences_directed(a: &ShardSite, b: &ShardSite) -> bool {
+    if a.footprint & b.footprint == 0 {
+        return false;
+    }
+    let d2 = (a.pos.0 - b.pos.0).powi(2) + (a.pos.1 - b.pos.1).powi(2);
+    d2.sqrt() <= a.range
+}
+
 /// Connected components of the symmetrized potential-influence graph:
 /// returns one component label per site, with labels assigned in first-
 /// appearance order (site 0's component is 0, the next unseen site's is

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod boundary;
 pub mod faults;
 pub mod frames;
 pub mod interference;
@@ -43,10 +44,12 @@ pub mod trace;
 pub mod traffic;
 
 pub use analysis::{bianchi_saturation_goodput_mbps, bianchi_tau, single_flow_goodput_mbps};
+pub use boundary::{cut_lookahead, BorderActivity, BoundaryBus, CutContact};
 pub use faults::{FaultDecision, FaultEvent, FaultEventKind, FaultPlan, FaultStats};
 pub use frames::{Frame, FrameKind, NodeId};
 pub use interference::{
-    influence_closure, influences, potential_influences, shard_components, NodeSite, ShardSite,
+    influence_closure, influences, potential_influences, potential_influences_directed,
+    shard_components, NodeSite, ShardSite,
 };
 pub use medium::{Medium, Transmission};
 pub use sim::{

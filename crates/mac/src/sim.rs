@@ -432,11 +432,37 @@ pub struct Core {
     faults: Option<FaultState>,
     /// Installed passive observer, if any (never affects scheduling).
     observer: Option<Box<dyn SimObserver>>,
+    /// Armed cross-shard lookahead bound, if any: every
+    /// transmission-start event (tentative or forced) must be scheduled
+    /// at least this far into the future. The certified-silent cut
+    /// protocol (DESIGN.md §14, [`crate::boundary`]) relies on this
+    /// property — a node's decision to transmit always precedes the
+    /// transmission by at least `L = cut_lookahead()` — so the city core
+    /// arms it on every shard simulator and any engine change that
+    /// breaks the bound fails loudly instead of silently unsounding the
+    /// cut certification.
+    min_tx_lookahead: Option<SimDuration>,
 }
 
 impl Core {
+    fn assert_tx_lookahead(&self, at: SimTime) {
+        if let Some(l) = self.min_tx_lookahead {
+            assert!(
+                at >= self.now + l,
+                "transmission-start event scheduled {}ns ahead, inside the armed \
+                 cross-shard lookahead window of {}ns — the cut protocol's \
+                 decision-to-fire bound no longer holds",
+                at.as_nanos().saturating_sub(self.now.as_nanos()),
+                l.as_nanos(),
+            );
+        }
+    }
+
     fn schedule(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now, "scheduling into the past");
+        if matches!(ev, Ev::ForcedTx { .. }) {
+            self.assert_tx_lookahead(at);
+        }
         self.counters.scheduled += 1;
         let seq = self.seq;
         self.seq += 1;
@@ -451,6 +477,7 @@ impl Core {
     /// earlier entry turns out to be superseded.
     fn schedule_tentative(&mut self, n: NodeId, at: SimTime, gen: u64) {
         debug_assert!(at >= self.now, "scheduling into the past");
+        self.assert_tx_lookahead(at);
         self.counters.scheduled += 1;
         let seq = self.seq;
         self.seq += 1;
@@ -925,9 +952,25 @@ impl Simulator {
                 invalidate_buf: Vec::new(),
                 faults: None,
                 observer: None,
+                min_tx_lookahead: None,
             },
             behaviors: Vec::new(),
         }
+    }
+
+    /// Arms (or disarms) the cross-shard lookahead assert: with
+    /// `Some(l)`, scheduling any transmission-start event less than `l`
+    /// into the future panics. The sound value is
+    /// [`crate::boundary::cut_lookahead`] — tentative transmissions fire
+    /// `DIFS + backoff ≥ DIFS` after they are planned and forced
+    /// ACK/CTS responses fire exactly one SIFS after their trigger, so
+    /// the minimum SIFS over all widths is the largest bound the engine
+    /// satisfies (the lookahead soundness test asserts both directions).
+    /// Requeues of lazily elided timers reuse their eagerly assigned
+    /// `(time, seq)` keys and make no new decision, so the bound is
+    /// checked exactly once per decision, at the two decision sites.
+    pub fn set_min_tx_lookahead(&mut self, lookahead: Option<SimDuration>) {
+        self.core.min_tx_lookahead = lookahead;
     }
 
     /// Installs a fault plan. Must be called before nodes are added so
@@ -1513,6 +1556,52 @@ mod tests {
         assert_eq!(s.rx_data_bytes, 50_000);
         assert_eq!(sim.stats(1).tx_acked_frames, 50);
         assert_eq!(sim.stats(1).tx_failures, 0);
+    }
+
+    /// The derived cut lookahead is a *sound* lower bound: a saturated
+    /// data/ACK exchange at the narrowest-SIFS width (W20) runs clean
+    /// with the assert armed at exactly `cut_lookahead()`.
+    #[test]
+    fn cut_lookahead_is_a_sound_lower_bound() {
+        let mut sim = Simulator::new(1);
+        sim.set_min_tx_lookahead(Some(crate::boundary::cut_lookahead()));
+        let c = ch(10, Width::W20);
+        let rx = sim.add_node(NodeConfig::on_channel(c), Box::new(Sink));
+        let _tx = sim.add_node(
+            NodeConfig::on_channel(c),
+            Box::new(Blaster {
+                dst: 0,
+                bytes: 1000,
+                remaining: 50,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.stats(rx).rx_data_frames, 50);
+    }
+
+    /// …and a *tight* one: the ACK a W20 receiver schedules fires
+    /// exactly one W20 SIFS after the data frame, so arming the assert
+    /// even one nanosecond above `cut_lookahead()` must trip it. Any
+    /// engine change that introduces a faster cross-node reaction shows
+    /// up as this pair of tests flipping.
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn any_smaller_cross_shard_latency_fails_the_assert() {
+        let mut sim = Simulator::new(1);
+        sim.set_min_tx_lookahead(Some(
+            crate::boundary::cut_lookahead() + SimDuration::from_nanos(1),
+        ));
+        let c = ch(10, Width::W20);
+        let _rx = sim.add_node(NodeConfig::on_channel(c), Box::new(Sink));
+        let _tx = sim.add_node(
+            NodeConfig::on_channel(c),
+            Box::new(Blaster {
+                dst: 0,
+                bytes: 1000,
+                remaining: 1,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
     }
 
     #[test]

@@ -45,15 +45,38 @@
 //! rounds in [`GroupOutcome::sync_rounds`]. Chunked `run_until` calls
 //! are equivalent to one long call — the event loop is time-ordered —
 //! so the barrier cannot perturb the simulation.
+//!
+//! **Cutting components** (DESIGN.md §14): a dense urban city chains
+//! into *one* influence component, which the component plan cannot
+//! split — zero parallelism on the workload that needs it most.
+//! [`shard_plan_cut`] may split a component across groups; the groups
+//! then run the certified-silent cut protocol in lockstep barrier
+//! rounds over the sanctioned [`BoundaryBus`]: each round every group
+//! publishes the union span masks of its border cells' transmissions
+//! and certifies that no remote border activity could have reached any
+//! local cell (footprint ∩ mask, gated by the transmitter's range — the
+//! exact engine coupling predicate). A fully silent run is provably
+//! byte-identical to the unsharded one; the first contact discards the
+//! attempt wholesale and re-runs under the component plan, so
+//! `run_city_with(city, s, Cut) == run_city(city, 1)` unconditionally.
+//! The engine-level lookahead bound `L = cut_lookahead()` (every
+//! transmission start is decided ≥ one minimum SIFS before it fires,
+//! asserted live via `set_min_tx_lookahead`) grounds the soundness
+//! argument: the first cross-cut influence in the joint execution is a
+//! border transmission emitted from a still-exact timeline, so it is
+//! recorded, exchanged, and flagged.
 
 use crate::ap::{ApBehavior, ApConfig};
 use crate::client::{ClientBehavior, ClientConfig};
 use crate::driver::{Sample, Scenario, ScenarioOutcome};
 use crate::mcham::NodeReport;
 use crate::oracles::{OracleBank, OracleConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
 use whitefi_mac::{
-    shard_components, EventCounters, FaultEvent, FaultPlan, NodeConfig, NodeId, ShardSite,
-    SimObserver, Simulator, Transmission,
+    cut_lookahead, potential_influences_directed, shard_components, BorderActivity, BoundaryBus,
+    CutContact, EventCounters, FaultEvent, FaultPlan, NodeConfig, NodeId, ShardSite, SimObserver,
+    Simulator, Transmission,
 };
 use whitefi_phy::{SimDuration, SimTime};
 use whitefi_spectrum::{AirtimeVector, IncumbentSet, SpectrumMap, UhfChannel, WfChannel};
@@ -83,13 +106,7 @@ impl Locale {
                 return occupied_map(&[0, 15]);
             }
         };
-        let mut map = occupied_map(&[]);
-        for i in 0..whitefi_spectrum::NUM_UHF_CHANNELS {
-            if !free.contains(&i) {
-                map.set_occupied(UhfChannel::from_index(i));
-            }
-        }
-        map
+        free_map(free)
     }
 }
 
@@ -97,6 +114,16 @@ fn occupied_map(occupied: &[usize]) -> SpectrumMap {
     let mut map = SpectrumMap::all_free();
     for &i in occupied {
         map.set_occupied(UhfChannel::from_index(i));
+    }
+    map
+}
+
+fn free_map(free: &[usize]) -> SpectrumMap {
+    let mut map = occupied_map(&[]);
+    for i in 0..whitefi_spectrum::NUM_UHF_CHANNELS {
+        if !free.contains(&i) {
+            map.set_occupied(UhfChannel::from_index(i));
+        }
     }
     map
 }
@@ -235,6 +262,43 @@ impl CityScenario {
         }
     }
 
+    /// The dense-urban pathology: a checkerboard grid whose influence
+    /// graph is **one** component, so the component planner
+    /// ([`shard_plan`]) cannot split it and the whole city runs on a
+    /// single shard — the workload [`shard_plan_cut`] exists for.
+    ///
+    /// Cells sit 100 m apart with 105 m range (4-neighbours in reach;
+    /// diagonals at ~141 m are not, and the grid is bipartite, so
+    /// same-parity cells never hear each other). Even-parity cells get
+    /// free fragments `{6,7,8, 10,11,12, 26}`, odd-parity cells
+    /// `{2,3,4, 17,18,19, 26}`: the shared W5-only **bridge channel
+    /// 26** chains every in-reach (hence opposite-parity) pair's
+    /// footprints into a single component, while the widest-clean
+    /// assignment rule parks every AP (and its lowest-W5 backup) inside
+    /// its parity's private interior fragments. No node ever transmits
+    /// on the bridge, so a cut run certifies silent on every round —
+    /// the honest ≥2× regime of DESIGN.md §14, asserted by the
+    /// checkerboard differential test and the dense rows of the `city`
+    /// experiment.
+    pub fn checkerboard(seed: u64, n_aps: usize, clients_per_ap: usize) -> Self {
+        let mut city = Self::grid(seed, n_aps, clients_per_ap, 100.0, 105.0);
+        let mut side = 1usize;
+        while side * side < n_aps {
+            side += 1;
+        }
+        for (i, cell) in city.cells.iter_mut().enumerate() {
+            let (col, row) = (i % side.max(1), i / side.max(1));
+            let free: &[usize] = if (col + row) % 2 == 0 {
+                &[6, 7, 8, 10, 11, 12, 26]
+            } else {
+                &[2, 3, 4, 17, 18, 19, 26]
+            };
+            cell.map = free_map(free);
+            cell.locale = Locale::Urban;
+        }
+        city
+    }
+
     /// First global node id of cell `c` (the AP; clients follow).
     pub fn node_base(&self, c: usize) -> usize {
         self.cells[..c].iter().map(|cell| 1 + cell.n_clients).sum()
@@ -298,6 +362,244 @@ pub fn shard_plan(city: &CityScenario, shards: usize) -> ShardPlan {
     ShardPlan { groups, components }
 }
 
+/// How [`run_city_with`] partitions the city into shard groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CityPartition {
+    /// Influence-closed components only ([`shard_plan`]): groups are
+    /// provably independent and the run is exact by construction. A
+    /// dense city that collapses into one component gets one group —
+    /// and zero parallelism.
+    Components,
+    /// Balanced graph cut ([`shard_plan_cut`]): components may be split
+    /// across groups, coupled by the certified-silent boundary protocol
+    /// (DESIGN.md §14). Byte-identical to [`CityPartition::Components`]
+    /// always — on the first cross-cut contact the attempt is discarded
+    /// and the city re-runs under the component plan.
+    Cut,
+}
+
+fn cell_weight(city: &CityScenario, c: usize) -> usize {
+    1 + city.cells[c].n_clients
+}
+
+fn groups_weight(city: &CityScenario, cells: &[usize]) -> usize {
+    cells.iter().map(|&c| cell_weight(city, c)).sum()
+}
+
+/// Weight of the heaviest influence component over the total node
+/// weight — 1.0 means the whole city is one component and the component
+/// planner ([`shard_plan`]) has no parallelism at all to exploit.
+pub fn largest_component_fraction(city: &CityScenario) -> f64 {
+    let sites: Vec<ShardSite> = city.cells.iter().map(CityCell::shard_site).collect();
+    let labels = shard_components(&sites);
+    let components = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut weights = vec![0usize; components];
+    for (i, &l) in labels.iter().enumerate() {
+        weights[l] += cell_weight(city, i);
+    }
+    let total = city.total_nodes();
+    if total == 0 {
+        return 0.0;
+    }
+    // Node counts are far below 2^53, so the casts are exact.
+    #[allow(clippy::cast_precision_loss)]
+    {
+        weights.iter().copied().max().unwrap_or(0) as f64 / total as f64
+    }
+}
+
+/// Per-shard load imbalance of a grouping against the *requested*
+/// parallelism: the heaviest group's node weight over the ideal share
+/// (total weight / `shards`). 1.0 is a perfect balance across all
+/// requested shards; a one-component city under the component plan
+/// reports ≈ `shards` — all the weight on one of the requested shards,
+/// which is exactly the urban-collapse pathology the cut planner
+/// removes.
+pub fn load_imbalance(city: &CityScenario, groups: &[Vec<usize>], shards: usize) -> f64 {
+    let total = city.total_nodes();
+    if total == 0 || groups.is_empty() {
+        return 1.0;
+    }
+    let max = groups
+        .iter()
+        .map(|g| groups_weight(city, g))
+        .max()
+        .unwrap_or(0);
+    // Node counts are far below 2^53, so the casts are exact.
+    #[allow(clippy::cast_precision_loss)]
+    {
+        max as f64 * shards.max(1) as f64 / total as f64
+    }
+}
+
+/// A balanced graph-cut partition: groups plus the directed border
+/// structure the certified-silent protocol watches (DESIGN.md §14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutPlan {
+    /// Cell indices per group, each list ascending, groups ordered by
+    /// their first cell; groups cover every cell exactly once.
+    pub groups: Vec<Vec<usize>>,
+    /// Influence-closed components found (may be *fewer* than groups —
+    /// that is the point of the cut).
+    pub components: usize,
+    /// Directed cross-group influence edges `(src cell, dst cell)`:
+    /// `src`'s footprint overlaps `dst`'s and `dst` lies within `src`'s
+    /// range. Empty iff the plan degenerates to the component plan (cut
+    /// groups are then provably independent).
+    pub cut_pairs: Vec<(usize, usize)>,
+    /// Per group: the ascending local cells whose transmissions could
+    /// cross the cut (sources of some [`CutPlan::cut_pairs`] edge) —
+    /// the cells whose span masks the group publishes every round.
+    pub border: Vec<Vec<usize>>,
+    /// Per group: `(remote source cell, sensitivity mask)` ascending by
+    /// cell — the union of the footprints of every *local* cell within
+    /// the remote cell's reach. A round certifies silent for the group
+    /// iff no remote activity mask intersects its sensitivity mask.
+    pub sensitivity: Vec<Vec<(usize, u32)>>,
+    /// [`largest_component_fraction`] of the city (diagnostic).
+    pub largest_component_fraction: f64,
+    /// [`load_imbalance`] of the cut groups (diagnostic).
+    pub load_imbalance: f64,
+}
+
+/// Splits `cells` (≥ 2) into two non-empty halves, balanced by node
+/// weight along the axis with the wider positional extent. Pure
+/// function of its inputs: cells are ordered by `(axis coordinate,
+/// other coordinate, index)` with total float ordering, then the prefix
+/// whose doubled weight stays below the total goes left.
+fn split_cells(city: &CityScenario, cells: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    debug_assert!(cells.len() >= 2);
+    let xs = |c: usize| city.cells[c].pos.0;
+    let ys = |c: usize| city.cells[c].pos.1;
+    let extent = |coord: &dyn Fn(usize) -> f64| -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &c in cells {
+            lo = lo.min(coord(c));
+            hi = hi.max(coord(c));
+        }
+        hi - lo
+    };
+    let along_x = extent(&xs) >= extent(&ys);
+    let mut order: Vec<usize> = cells.to_vec();
+    order.sort_by(|&a, &b| {
+        let ka = if along_x {
+            (xs(a), ys(a))
+        } else {
+            (ys(a), xs(a))
+        };
+        let kb = if along_x {
+            (xs(b), ys(b))
+        } else {
+            (ys(b), xs(b))
+        };
+        ka.0.total_cmp(&kb.0)
+            .then(ka.1.total_cmp(&kb.1))
+            .then(a.cmp(&b))
+    });
+    let total = groups_weight(city, cells);
+    let mut acc = 0usize;
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &c in &order {
+        if acc * 2 < total {
+            acc += cell_weight(city, c);
+            left.push(c);
+        } else {
+            right.push(c);
+        }
+    }
+    if right.is_empty() {
+        // One cell outweighs the rest combined; keep both halves
+        // non-empty (left has ≥ 2 entries here).
+        if let Some(c) = left.pop() {
+            right.push(c);
+        }
+    }
+    (left, right)
+}
+
+/// The balanced graph-cut partitioner: starts from the component plan
+/// ([`shard_plan`]) and, while fewer groups than `shards` exist, splits
+/// the heaviest splittable group (≥ 2 cells; ties toward the lower
+/// group index) geometrically with [`split_cells`]. When components
+/// already reach `shards`, the result *is* the component plan and
+/// `cut_pairs` is empty — the cut machinery engages only when the
+/// component structure is too coarse. Deterministic: a pure function of
+/// the scenario and `shards`.
+pub fn shard_plan_cut(city: &CityScenario, shards: usize) -> CutPlan {
+    let sites: Vec<ShardSite> = city.cells.iter().map(CityCell::shard_site).collect();
+    let base = shard_plan(city, shards);
+    let components = base.components;
+    let mut groups = base.groups;
+    let target = shards.max(1).min(city.cells.len().max(1));
+    while groups.len() < target {
+        let mut pick: Option<usize> = None;
+        for (g, cells) in groups.iter().enumerate() {
+            if cells.len() < 2 {
+                continue;
+            }
+            let heavier = match pick {
+                None => true,
+                Some(p) => groups_weight(city, &groups[p]) < groups_weight(city, cells),
+            };
+            if heavier {
+                pick = Some(g);
+            }
+        }
+        let Some(g) = pick else { break };
+        let (left, right) = split_cells(city, &groups[g]);
+        groups[g] = left;
+        groups.push(right);
+    }
+    for group in &mut groups {
+        group.sort_unstable();
+    }
+    groups.sort_by_key(|g| g.first().copied().unwrap_or(usize::MAX));
+
+    let mut group_of = vec![0usize; city.cells.len()];
+    for (g, cells) in groups.iter().enumerate() {
+        for &c in cells {
+            group_of[c] = g;
+        }
+    }
+    let mut cut_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut border: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+    let mut sensitivity: Vec<Vec<(usize, u32)>> = vec![Vec::new(); groups.len()];
+    for a in 0..sites.len() {
+        for b in 0..sites.len() {
+            if a == b || group_of[a] == group_of[b] {
+                continue;
+            }
+            if !potential_influences_directed(&sites[a], &sites[b]) {
+                continue;
+            }
+            cut_pairs.push((a, b));
+            let g = group_of[a];
+            if border[g].last() != Some(&a) {
+                border[g].push(a);
+            }
+            let sens = &mut sensitivity[group_of[b]];
+            match sens.binary_search_by_key(&a, |p| p.0) {
+                Ok(i) => sens[i].1 |= sites[b].footprint,
+                Err(i) => sens.insert(i, (a, sites[b].footprint)),
+            }
+        }
+    }
+
+    let lcf = largest_component_fraction(city);
+    let imbalance = load_imbalance(city, &groups, shards);
+    CutPlan {
+        groups,
+        components,
+        cut_pairs,
+        border,
+        sensitivity,
+        largest_component_fraction: lcf,
+        load_imbalance: imbalance,
+    }
+}
+
 /// The result of simulating one shard group — plain data, safe to send
 /// back from a worker thread.
 #[derive(Debug, Clone, PartialEq)]
@@ -344,7 +646,7 @@ impl CityOutcome {
 /// Scheduling metadata of one [`run_city`] call — deliberately *not*
 /// part of [`CityOutcome`], because counters legitimately differ
 /// between shardings while the outcome may not.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CityRunStats {
     /// Shard groups actually run.
     pub groups: usize,
@@ -354,6 +656,20 @@ pub struct CityRunStats {
     pub sync_rounds: u64,
     /// Summed event-loop counters across all groups.
     pub events: EventCounters,
+    /// Weight share of the heaviest influence component
+    /// ([`largest_component_fraction`]); 1.0 = the urban-collapse
+    /// pathology where the component planner has nothing to split.
+    pub largest_component_fraction: f64,
+    /// Heaviest group weight over the ideal share
+    /// ([`load_imbalance`]) of the groups actually run.
+    pub load_imbalance: f64,
+    /// Directed cross-group influence edges the cut protocol watched
+    /// (0 under [`CityPartition::Components`] or a degenerate cut).
+    pub cut_pairs: usize,
+    /// True iff a cut attempt hit a cross-cut contact and the city was
+    /// re-run under the component plan (the reported outcome is the
+    /// fallback's — identical by the determinism contract).
+    pub fallback: bool,
 }
 
 struct BuiltCell {
@@ -398,7 +714,37 @@ fn channel_in_footprint(ch: WfChannel, footprint: u32) -> bool {
     ch.spanned().all(|u| footprint & (1u32 << u.index()) != 0)
 }
 
-fn build_group(city: &CityScenario, cells: &[usize]) -> (Simulator, Vec<BuiltCell>, Vec<NodeId>) {
+fn span_mask(ch: WfChannel) -> u32 {
+    ch.spanned().fold(0u32, |m, u| m | (1u32 << u.index()))
+}
+
+/// Passive border recorder for the cut protocol: accumulates, per
+/// hosted cell, the union span mask of every transmission the cell's
+/// nodes start. Drained at each barrier round by
+/// [`GroupRun::drain_border`]. Purely observational — shares the
+/// simulator's single observer slot through [`FanOut`] and never
+/// influences scheduling, so arming it cannot perturb the run.
+struct BorderRecorder {
+    /// Local node id → index of its cell in the group's `built` list.
+    cell_of: Vec<usize>,
+    /// Shared with the owning [`GroupRun`] (`Rc`: the recorder lives
+    /// inside the simulator, the drain happens outside it).
+    masks: Rc<RefCell<Vec<u32>>>,
+}
+
+impl SimObserver for BorderRecorder {
+    fn on_tx_start(&mut self, _now: SimTime, tx: &Transmission) {
+        self.masks.borrow_mut()[self.cell_of[tx.src]] |= span_mask(tx.channel);
+    }
+}
+
+type BorderMasks = Rc<RefCell<Vec<u32>>>;
+
+fn build_group(
+    city: &CityScenario,
+    cells: &[usize],
+    record_border: bool,
+) -> (Simulator, Vec<BuiltCell>, Vec<NodeId>, Option<BorderMasks>) {
     let mut sim = Simulator::new(city.seed);
     // The fault plan must precede every add_node (fault streams are
     // drawn at registration, keyed on the node's global stream id).
@@ -476,36 +822,132 @@ fn build_group(city: &CityScenario, cells: &[usize]) -> (Simulator, Vec<BuiltCel
             bank,
         });
     }
-    sim.set_observer(Box::new(FanOut(
-        built.iter().map(|b| b.bank.observer()).collect(),
-    )));
-    (sim, built, local_to_global)
+    let mut observers: Vec<Box<dyn SimObserver>> =
+        built.iter().map(|b| b.bank.observer()).collect();
+    let border_masks = record_border.then(|| {
+        let mut cell_of = vec![usize::MAX; local_to_global.len()];
+        for (k, bc) in built.iter().enumerate() {
+            cell_of[bc.ap_local] = k;
+            for &c in &bc.clients_local {
+                cell_of[c] = k;
+            }
+        }
+        let masks: BorderMasks = Rc::new(RefCell::new(vec![0u32; built.len()]));
+        observers.push(Box::new(BorderRecorder {
+            cell_of,
+            masks: Rc::clone(&masks),
+        }));
+        masks
+    });
+    sim.set_observer(Box::new(FanOut(observers)));
+    (sim, built, local_to_global, border_masks)
 }
 
-/// Advances the group simulator to `to` in lookahead-barrier windows,
-/// asserting at every round that no node has escaped its cell's channel
-/// footprint — the load-bearing soundness condition of the sharding.
-fn advance(
-    sim: &mut Simulator,
-    built: &[BuiltCell],
-    to: SimTime,
-    window: SimDuration,
-    sync_rounds: &mut u64,
-) {
-    assert!(window > SimDuration::ZERO, "sync_window must be positive");
-    loop {
-        let now = sim.now();
-        if now >= to {
-            break;
+/// One lookahead-barrier round of the city's global schedule: advance
+/// to `to`, then (for the round closing a tick) reset stats after
+/// warmup or take the timeline sample.
+#[derive(Debug, Clone, Copy)]
+struct CityRound {
+    /// Absolute target time of this round (offset from `SimTime::ZERO`).
+    to: SimDuration,
+    /// Reset statistics after advancing (the round that ends warmup).
+    reset: bool,
+    /// Take a timeline sample after advancing.
+    sample: bool,
+}
+
+/// The global barrier schedule every shard group follows in lockstep:
+/// warmup and each sampling tick, chopped into `sync_window` chunks.
+/// One entry per barrier round, so `sync_rounds` counts — and, under
+/// the cut protocol, boundary exchanges happen — exactly once per
+/// chunk. A pure function of the scenario's durations, hence identical
+/// across groups, shardings and partitions; the chunking reproduces the
+/// historical `advance()` loop byte for byte (a time-ordered event loop
+/// cannot observe where `run_until` calls are split).
+fn city_rounds(city: &CityScenario) -> Vec<CityRound> {
+    assert!(
+        city.sync_window > SimDuration::ZERO,
+        "sync_window must be positive"
+    );
+    let mut rounds = Vec::new();
+    let mut prev = SimDuration::ZERO;
+    let mut tick = |prev: &mut SimDuration, to: SimDuration, reset: bool, sample: bool| {
+        while *prev < to {
+            let mut next = *prev + city.sync_window;
+            if next > to {
+                next = to;
+            }
+            let last = next >= to;
+            rounds.push(CityRound {
+                to: next,
+                reset: reset && last,
+                sample: sample && last,
+            });
+            *prev = next;
         }
-        let mut next = now + window;
-        if next > to {
-            next = to;
+    };
+    tick(&mut prev, city.warmup, true, false);
+    let end = city.warmup + city.duration;
+    let mut t = city.warmup;
+    while t < end {
+        t += city.sample_interval;
+        if t > end {
+            t = end;
         }
-        sim.run_until(next);
-        for bc in built {
+        tick(&mut prev, t, false, true);
+    }
+    rounds
+}
+
+/// A shard group mid-run: the private simulator plus everything needed
+/// to step it round by round and assemble its [`GroupOutcome`].
+/// [`run_city_group`] wraps it start-to-finish; the cut drivers
+/// interleave [`GroupRun::step`] across groups with boundary exchanges.
+/// Holds an `Rc` (the border recorder), so a pooled worker builds and
+/// finishes it entirely on its own thread, returning only the plain
+/// outcome.
+struct GroupRun {
+    sim: Simulator,
+    built: Vec<BuiltCell>,
+    local_to_global: Vec<NodeId>,
+    samples: Vec<Vec<Sample>>,
+    last_total: Vec<u64>,
+    sync_rounds: u64,
+    /// Per-`built`-cell union span masks since the last drain; `None`
+    /// when border recording is off (component-partition runs).
+    border_masks: Option<Rc<RefCell<Vec<u32>>>>,
+}
+
+impl GroupRun {
+    fn new(city: &CityScenario, cells: &[usize], record_border: bool) -> Self {
+        let (mut sim, built, local_to_global, border_masks) =
+            build_group(city, cells, record_border);
+        // Every city simulator runs with the lookahead assert armed:
+        // the cut protocol's soundness leans on the decision-to-fire
+        // bound, so component-partition runs police it too (it is
+        // observational — arming cannot change any outcome).
+        sim.set_min_tx_lookahead(Some(cut_lookahead()));
+        let n = built.len();
+        Self {
+            sim,
+            built,
+            local_to_global,
+            samples: vec![Vec::new(); n],
+            last_total: vec![0u64; n],
+            sync_rounds: 0,
+            border_masks,
+        }
+    }
+
+    /// Advances one barrier round: run to the round target, assert that
+    /// no node escaped its cell's channel footprint (the load-bearing
+    /// soundness condition of both partitions), then apply the round's
+    /// reset/sample action.
+    fn step(&mut self, round: CityRound) {
+        self.sim.run_until(SimTime::ZERO + round.to);
+        for bc in &self.built {
             for &n in std::iter::once(&bc.ap_local).chain(bc.clients_local.iter()) {
-                let ch = sim.node_channel(n);
+                let ch = self.sim.node_channel(n);
                 assert!(
                     channel_in_footprint(ch, bc.footprint),
                     "node {n} (cell {}) on {ch} escaped its cell footprint {:#010x} — \
@@ -515,7 +957,95 @@ fn advance(
                 );
             }
         }
-        *sync_rounds += 1;
+        self.sync_rounds += 1;
+        if round.reset {
+            self.sim.reset_stats();
+        }
+        if round.sample {
+            for (k, bc) in self.built.iter().enumerate() {
+                let total: u64 = bc
+                    .clients_local
+                    .iter()
+                    .map(|&c| self.sim.stats(c).rx_data_bytes + self.sim.stats(c).tx_acked_bytes)
+                    .sum();
+                self.samples[k].push(Sample {
+                    t: SimTime::ZERO + round.to,
+                    ap_channel: self.sim.node_channel(bc.ap_local),
+                    bytes_delta: total - self.last_total[k],
+                });
+                self.last_total[k] = total;
+            }
+        }
+    }
+
+    /// Drains the border recorder: the `(global cell, union span mask)`
+    /// activity of this group's border cells since the last drain.
+    /// Clears every mask (non-border activity is provably unobservable
+    /// across the cut — no directed edge leaves a non-border cell — so
+    /// it is dropped, keeping exchanges small).
+    fn drain_border(&mut self, border: &[usize]) -> BorderActivity {
+        let Some(masks) = &self.border_masks else {
+            return Vec::new();
+        };
+        let mut masks = masks.borrow_mut();
+        let mut out = Vec::new();
+        for (k, bc) in self.built.iter().enumerate() {
+            let mask = masks[k];
+            masks[k] = 0;
+            if mask != 0 && border.binary_search(&bc.global_cell).is_ok() {
+                out.push((bc.global_cell, mask));
+            }
+        }
+        out
+    }
+
+    /// Assembles the group's outcome after the last round.
+    fn finish(mut self, city: &CityScenario) -> GroupOutcome {
+        let span = city.duration;
+        let mut cell_outcomes = Vec::with_capacity(self.built.len());
+        for (k, bc) in self.built.iter().enumerate() {
+            let per_client_mbps: Vec<f64> = bc
+                .clients_local
+                .iter()
+                .map(|&c| {
+                    let s = self.sim.stats(c);
+                    (s.rx_data_bytes + s.tx_acked_bytes) as f64 * 8.0 / span.as_secs_f64() / 1e6
+                })
+                .collect();
+            let aggregate_mbps = per_client_mbps.iter().sum();
+            let mut violations = self.sim.stats(bc.ap_local).incumbent_violations;
+            for &c in &bc.clients_local {
+                violations += self.sim.stats(c).incumbent_violations;
+            }
+            cell_outcomes.push((
+                bc.global_cell,
+                ScenarioOutcome {
+                    per_client_mbps,
+                    aggregate_mbps,
+                    samples: std::mem::take(&mut self.samples[k]),
+                    violations,
+                    oracle: bc.bank.finish(&self.sim),
+                },
+            ));
+        }
+
+        let fault_events = self
+            .sim
+            .fault_events()
+            .iter()
+            .map(|e| FaultEvent {
+                time: e.time,
+                node: self.local_to_global[e.node],
+                kind: e.kind,
+            })
+            .collect();
+
+        GroupOutcome {
+            cells: cell_outcomes,
+            fault_events,
+            sync_rounds: self.sync_rounds,
+            events: self.sim.event_counters(),
+        }
     }
 }
 
@@ -525,92 +1055,11 @@ fn advance(
 /// run groups sequentially, or fan them out across worker threads and
 /// reduce with [`merge_city`].
 pub fn run_city_group(city: &CityScenario, cells: &[usize]) -> GroupOutcome {
-    let (mut sim, built, local_to_global) = build_group(city, cells);
-    let mut sync_rounds = 0u64;
-    advance(
-        &mut sim,
-        &built,
-        SimTime::ZERO + city.warmup,
-        city.sync_window,
-        &mut sync_rounds,
-    );
-    sim.reset_stats();
-
-    let mut samples: Vec<Vec<Sample>> = vec![Vec::new(); built.len()];
-    let mut last_total = vec![0u64; built.len()];
-    let end = city.warmup + city.duration;
-    let mut t = city.warmup;
-    while t < end {
-        t += city.sample_interval;
-        if t > end {
-            t = end;
-        }
-        advance(
-            &mut sim,
-            &built,
-            SimTime::ZERO + t,
-            city.sync_window,
-            &mut sync_rounds,
-        );
-        for (k, bc) in built.iter().enumerate() {
-            let total: u64 = bc
-                .clients_local
-                .iter()
-                .map(|&c| sim.stats(c).rx_data_bytes + sim.stats(c).tx_acked_bytes)
-                .sum();
-            samples[k].push(Sample {
-                t: SimTime::ZERO + t,
-                ap_channel: sim.node_channel(bc.ap_local),
-                bytes_delta: total - last_total[k],
-            });
-            last_total[k] = total;
-        }
+    let mut run = GroupRun::new(city, cells, false);
+    for round in city_rounds(city) {
+        run.step(round);
     }
-
-    let span = city.duration;
-    let mut cell_outcomes = Vec::with_capacity(built.len());
-    for (k, bc) in built.iter().enumerate() {
-        let per_client_mbps: Vec<f64> = bc
-            .clients_local
-            .iter()
-            .map(|&c| {
-                let s = sim.stats(c);
-                (s.rx_data_bytes + s.tx_acked_bytes) as f64 * 8.0 / span.as_secs_f64() / 1e6
-            })
-            .collect();
-        let aggregate_mbps = per_client_mbps.iter().sum();
-        let mut violations = sim.stats(bc.ap_local).incumbent_violations;
-        for &c in &bc.clients_local {
-            violations += sim.stats(c).incumbent_violations;
-        }
-        cell_outcomes.push((
-            bc.global_cell,
-            ScenarioOutcome {
-                per_client_mbps,
-                aggregate_mbps,
-                samples: std::mem::take(&mut samples[k]),
-                violations,
-                oracle: bc.bank.finish(&sim),
-            },
-        ));
-    }
-
-    let fault_events = sim
-        .fault_events()
-        .iter()
-        .map(|e| FaultEvent {
-            time: e.time,
-            node: local_to_global[e.node],
-            kind: e.kind,
-        })
-        .collect();
-
-    GroupOutcome {
-        cells: cell_outcomes,
-        fault_events,
-        sync_rounds,
-        events: sim.event_counters(),
-    }
+    run.finish(city)
 }
 
 fn add_counters(a: EventCounters, b: EventCounters) -> EventCounters {
@@ -667,29 +1116,159 @@ pub fn merge_city(
     )
 }
 
-/// Runs the whole city at the given shard count, sequentially, and
-/// merges. `shards == 1` *is* the unsharded reference: one simulator
-/// hosting every cell. Parallel execution lives in the bench harness
-/// (its worker pool calls [`run_city_group`] per group and reduces with
-/// [`merge_city`]); outcomes are identical by construction either way.
-pub fn run_city(city: &CityScenario, shards: usize) -> (CityOutcome, CityRunStats) {
-    let plan = shard_plan(city, shards);
-    let n_groups = plan.groups.len();
-    let groups: Vec<GroupOutcome> = plan
-        .groups
-        .iter()
-        .map(|g| run_city_group(city, g))
-        .collect();
-    let (outcome, sync_rounds, events) = merge_city(city, groups);
-    (
-        outcome,
-        CityRunStats {
-            groups: n_groups,
-            components: plan.components,
-            sync_rounds,
-            events,
+/// Does any remote border activity defeat the silence certificate?
+/// `sensitivity` and `remote` are both ascending by cell; a contact is
+/// a remote source cell whose round mask intersects the union footprint
+/// of the local cells it can reach.
+fn certified_silent(sensitivity: &[(usize, u32)], remote: &BorderActivity) -> bool {
+    remote.iter().all(
+        |&(cell, mask)| match sensitivity.binary_search_by_key(&cell, |p| p.0) {
+            Ok(i) => mask & sensitivity[i].1 == 0,
+            Err(_) => true,
         },
     )
+}
+
+/// Runs one cut group on the shared [`BoundaryBus`] (pooled execution:
+/// every group of `plan` must be running concurrently on a bus built
+/// with `plan.groups.len()` slots, or the blocking exchange deadlocks).
+/// Steps the global round schedule, exchanging border activity and
+/// certifying silence at every barrier. On contact — observed locally
+/// or flagged by a peer — the group abandons the attempt; the caller
+/// must then discard *all* groups' results and fall back to
+/// [`CityPartition::Components`], so the nondeterministic timing of the
+/// abort never reaches an outcome.
+pub fn run_city_cut_group(
+    city: &CityScenario,
+    plan: &CutPlan,
+    group: usize,
+    bus: &BoundaryBus,
+) -> Result<GroupOutcome, CutContact> {
+    assert_eq!(bus.groups(), plan.groups.len(), "bus sized to the plan");
+    let mut run = GroupRun::new(city, &plan.groups[group], true);
+    for (round_no, round) in city_rounds(city).into_iter().enumerate() {
+        run.step(round);
+        let activity = run.drain_border(&plan.border[group]);
+        let remote = bus.exchange(group, round_no, activity)?;
+        if !certified_silent(&plan.sensitivity[group], &remote) {
+            bus.flag_contact();
+            return Err(CutContact);
+        }
+    }
+    Ok(run.finish(city))
+}
+
+/// Sequential lockstep driver of the cut protocol: steps every group
+/// one round, publishes all border activity, then certifies every
+/// group. Returns the groups' outcomes, or `Err(CutContact)` on the
+/// first round any certificate fails.
+fn run_city_cut_sequential(
+    city: &CityScenario,
+    plan: &CutPlan,
+) -> Result<Vec<GroupOutcome>, CutContact> {
+    let n = plan.groups.len();
+    let bus = BoundaryBus::new(n);
+    let mut runs: Vec<GroupRun> = plan
+        .groups
+        .iter()
+        .map(|g| GroupRun::new(city, g, true))
+        .collect();
+    for (round_no, round) in city_rounds(city).into_iter().enumerate() {
+        for (g, run) in runs.iter_mut().enumerate() {
+            run.step(round);
+            let activity = run.drain_border(&plan.border[g]);
+            bus.publish(g, round_no, activity);
+        }
+        for g in 0..runs.len() {
+            let remote = bus.collect_others(g, round_no);
+            if !certified_silent(&plan.sensitivity[g], &remote) {
+                return Err(CutContact);
+            }
+        }
+    }
+    Ok(runs.into_iter().map(|r| r.finish(city)).collect())
+}
+
+/// Runs the whole city at the given shard count under the chosen
+/// partition, sequentially, and merges. `shards == 1` under
+/// [`CityPartition::Components`] *is* the unsharded reference: one
+/// simulator hosting every cell. Parallel execution lives in the bench
+/// harness (its worker pool calls [`run_city_group`] /
+/// [`run_city_cut_group`] per group and reduces with [`merge_city`]);
+/// outcomes are identical by construction either way — and identical
+/// *across partitions*: a cut run either certifies silent on every
+/// round (provably equal to unsharded, DESIGN.md §14) or falls back to
+/// the component plan wholesale.
+pub fn run_city_with(
+    city: &CityScenario,
+    shards: usize,
+    partition: CityPartition,
+) -> (CityOutcome, CityRunStats) {
+    match partition {
+        CityPartition::Components => {
+            let plan = shard_plan(city, shards);
+            let n_groups = plan.groups.len();
+            let groups: Vec<GroupOutcome> = plan
+                .groups
+                .iter()
+                .map(|g| run_city_group(city, g))
+                .collect();
+            let (outcome, sync_rounds, events) = merge_city(city, groups);
+            (
+                outcome,
+                CityRunStats {
+                    groups: n_groups,
+                    components: plan.components,
+                    sync_rounds,
+                    events,
+                    largest_component_fraction: largest_component_fraction(city),
+                    load_imbalance: load_imbalance(city, &plan.groups, shards),
+                    cut_pairs: 0,
+                    fallback: false,
+                },
+            )
+        }
+        CityPartition::Cut => {
+            let plan = shard_plan_cut(city, shards);
+            match run_city_cut_sequential(city, &plan) {
+                Ok(groups) => {
+                    let n_groups = plan.groups.len();
+                    let (outcome, sync_rounds, events) = merge_city(city, groups);
+                    (
+                        outcome,
+                        CityRunStats {
+                            groups: n_groups,
+                            components: plan.components,
+                            sync_rounds,
+                            events,
+                            largest_component_fraction: plan.largest_component_fraction,
+                            load_imbalance: plan.load_imbalance,
+                            cut_pairs: plan.cut_pairs.len(),
+                            fallback: false,
+                        },
+                    )
+                }
+                Err(CutContact) => {
+                    let (outcome, stats) = run_city_with(city, shards, CityPartition::Components);
+                    (
+                        outcome,
+                        CityRunStats {
+                            cut_pairs: plan.cut_pairs.len(),
+                            fallback: true,
+                            ..stats
+                        },
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// [`run_city_with`] under [`CityPartition::Components`] — the
+/// historical entry point; every existing caller keeps its exact
+/// behaviour.
+pub fn run_city(city: &CityScenario, shards: usize) -> (CityOutcome, CityRunStats) {
+    run_city_with(city, shards, CityPartition::Components)
 }
 
 #[cfg(test)]
@@ -793,6 +1372,131 @@ mod tests {
         assert_eq!(fwd, bwd);
         assert_eq!(fwd_rounds, bwd_rounds);
         assert_eq!(fwd_events, bwd_events);
+    }
+
+    #[test]
+    fn cut_plan_degenerates_to_components_when_they_suffice() {
+        // Decoupled grid: every cell its own component, so the cut
+        // planner must return the component plan with no cut edges.
+        let city = quick_city(7, 9, 150.0, 60.0);
+        let base = shard_plan(&city, 4);
+        let cut = shard_plan_cut(&city, 4);
+        assert_eq!(cut.groups, base.groups);
+        assert_eq!(cut.components, base.components);
+        assert!(cut.cut_pairs.is_empty());
+        assert!(cut.border.iter().all(Vec::is_empty));
+        assert!(cut.sensitivity.iter().all(Vec::is_empty));
+        assert!((cut.load_imbalance - load_imbalance(&city, &cut.groups, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_plan_splits_single_component_and_covers_cells() {
+        let city = CityScenario::checkerboard(21, 9, 1);
+        let base = shard_plan(&city, 4);
+        assert_eq!(
+            base.components, 1,
+            "checkerboard must chain into one component"
+        );
+        assert_eq!(base.groups.len(), 1, "component planner cannot split it");
+        for shards in [2, 4, 8] {
+            let cut = shard_plan_cut(&city, shards);
+            assert_eq!(cut.groups.len(), shards.min(9), "shards {shards}");
+            let mut seen: Vec<usize> = cut.groups.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..9).collect::<Vec<_>>());
+            assert!(
+                !cut.cut_pairs.is_empty(),
+                "splitting one component must cut edges"
+            );
+            // Directed pairs cross groups and index the border/
+            // sensitivity tables consistently.
+            let mut group_of = [0usize; 9];
+            for (g, cells) in cut.groups.iter().enumerate() {
+                for &c in cells {
+                    group_of[c] = g;
+                }
+            }
+            for &(a, b) in &cut.cut_pairs {
+                assert_ne!(group_of[a], group_of[b]);
+                assert!(cut.border[group_of[a]].binary_search(&a).is_ok());
+                assert!(cut.sensitivity[group_of[b]]
+                    .binary_search_by_key(&a, |p| p.0)
+                    .is_ok());
+            }
+            assert!((cut.largest_component_fraction - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// The tentpole's acceptance contract in miniature: a city the
+    /// component planner cannot split at all runs split 4 ways under
+    /// the cut protocol, certifies silent on every round, and the
+    /// outcome is byte-identical to the unsharded run.
+    #[test]
+    fn checkerboard_cut_certifies_silent_and_matches_unsharded() {
+        let mut city = CityScenario::checkerboard(23, 9, 1);
+        city.warmup = SimDuration::from_millis(400);
+        city.duration = SimDuration::from_millis(800);
+        city.sample_interval = SimDuration::from_millis(200);
+        let (base, base_stats) = run_city(&city, 4);
+        assert_eq!(base_stats.groups, 1, "one component ⇒ one component group");
+        assert!((base_stats.largest_component_fraction - 1.0).abs() < 1e-12);
+        let (out, stats) = run_city_with(&city, 4, CityPartition::Cut);
+        assert_eq!(stats.groups, 4, "cut must actually split");
+        assert!(
+            !stats.fallback,
+            "checkerboard interiors must certify silent"
+        );
+        assert!(stats.cut_pairs > 0);
+        assert!(stats.load_imbalance < base_stats.load_imbalance);
+        assert_eq!(base, out, "cut-sharded outcome diverged from unsharded");
+    }
+
+    /// Cells in active contact across a cut: certification must fail
+    /// and the deterministic fallback must reproduce the component
+    /// (here: unsharded) outcome exactly.
+    #[test]
+    fn cut_falls_back_on_contact_and_stays_exact() {
+        let mut city = quick_city(19, 2, 50.0, 110.0);
+        for cell in &mut city.cells {
+            cell.locale = Locale::Suburban;
+            cell.map = Locale::Suburban.map();
+        }
+        let (base, _) = run_city(&city, 1);
+        let (out, stats) = run_city_with(&city, 2, CityPartition::Cut);
+        assert!(
+            stats.fallback,
+            "co-channel cells in reach cannot certify silent"
+        );
+        assert!(stats.cut_pairs > 0);
+        assert_eq!(base, out, "fallback outcome diverged from unsharded");
+    }
+
+    /// The round schedule reproduces the historical `advance()`
+    /// chunking exactly: windows clamped per tick, reset closing the
+    /// warmup tick, one sample closing each sampling tick.
+    #[test]
+    fn city_rounds_match_the_historical_chunking() {
+        let mut city = quick_city(3, 2, 150.0, 60.0);
+        city.warmup = SimDuration::from_millis(500);
+        city.duration = SimDuration::from_millis(450);
+        city.sample_interval = SimDuration::from_millis(200);
+        city.sync_window = SimDuration::from_millis(200);
+        let rounds = city_rounds(&city);
+        let targets: Vec<(u64, bool, bool)> = rounds
+            .iter()
+            .map(|r| (r.to.as_nanos() / 1_000_000, r.reset, r.sample))
+            .collect();
+        assert_eq!(
+            targets,
+            vec![
+                (200, false, false),
+                (400, false, false),
+                (500, true, false),
+                (700, false, true),
+                (900, false, true),
+                (950, false, true),
+            ]
+        );
     }
 
     #[test]

@@ -40,8 +40,9 @@ pub use ap::{ApBehavior, ApConfig};
 pub use assignment::{Assigner, AssignerConfig};
 pub use chirp::{backup_candidates, choose_backup, choose_secondary_backup, ChirpDetector};
 pub use city::{
-    merge_city, run_city, run_city_group, shard_plan, CityCell, CityOutcome, CityRunStats,
-    CityScenario, GroupOutcome, Locale, ShardPlan,
+    largest_component_fraction, load_imbalance, merge_city, run_city, run_city_cut_group,
+    run_city_group, run_city_with, shard_plan, shard_plan_cut, CityCell, CityOutcome,
+    CityPartition, CityRunStats, CityScenario, CutPlan, GroupOutcome, Locale, ShardPlan,
 };
 pub use client::{ClientBehavior, ClientConfig, ClientStart};
 pub use discovery::{

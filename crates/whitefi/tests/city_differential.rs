@@ -1,4 +1,4 @@
-//! Sharding differential suite (DESIGN.md §13).
+//! Sharding differential suite (DESIGN.md §13–14).
 //!
 //! The city layer's contract is byte-identity: partitioning a city into
 //! influence-closed shards and simulating each shard in its own event
@@ -7,10 +7,17 @@
 //! checked counts, trace digests) and fault events all `==`. These
 //! tests pin that contract on a structured grid city and on fully
 //! random topologies (random positions, ranges, locales and fault
-//! plans), at several shard counts each.
+//! plans), at several shard counts each — and, since the cut
+//! partitioner, three ways: cut-sharded == component-sharded ==
+//! unsharded, with the cut's certified-silent/fallback machinery in the
+//! loop (random topologies exercise both the silent and the fallback
+//! path; the pinned checkerboard exercises pure silence).
 
 use proptest::prelude::*;
-use whitefi::{merge_city, run_city, run_city_group, shard_plan, CityScenario, Locale};
+use whitefi::{
+    merge_city, run_city, run_city_group, run_city_with, shard_plan, CityPartition, CityScenario,
+    Locale,
+};
 use whitefi_mac::FaultPlan;
 use whitefi_phy::SimDuration;
 
@@ -56,7 +63,47 @@ fn grid_city_byte_identical_across_shard_counts() {
             base, out,
             "{shards}-shard run diverged from the unsharded reference"
         );
+        let (cut_out, cut_stats) = run_city_with(&city, shards, CityPartition::Cut);
+        assert_eq!(
+            base, cut_out,
+            "{shards}-shard cut run diverged from the unsharded reference \
+             (fallback: {})",
+            cut_stats.fallback
+        );
     }
+}
+
+/// The dense-urban checkerboard: one influence component (the component
+/// planner is stuck at one group), split 2/4/8 ways by the cut
+/// partitioner, with a fault plan running. Every cut run — silent or
+/// fallen back — must equal the unsharded run byte for byte; without
+/// faults the interiors stay disjoint and the cut must certify silent.
+#[test]
+fn checkerboard_cut_byte_identical_and_silent() {
+    let mut city = quick(CityScenario::checkerboard(77, 16, 1));
+    let plan = shard_plan(&city, 8);
+    assert_eq!(
+        plan.components, 1,
+        "checkerboard must chain into one component"
+    );
+    let (base, _) = run_city(&city, 1);
+    for shards in [2usize, 4, 8] {
+        let (out, stats) = run_city_with(&city, shards, CityPartition::Cut);
+        assert_eq!(stats.groups, shards, "cut must split the component");
+        assert!(
+            !stats.fallback,
+            "{shards}-shard checkerboard cut failed to certify silent"
+        );
+        assert_eq!(base, out, "{shards}-shard cut diverged from unsharded");
+    }
+    // With faults on: chirps land on in-parity backup fragments, so the
+    // run still certifies silent — but equality is the only assert here
+    // (silence under faults is an engine property, identity is the
+    // contract).
+    city.faults = Some(torture_plan(13));
+    let (fbase, _) = run_city(&city, 1);
+    let (fout, _) = run_city_with(&city, 4, CityPartition::Cut);
+    assert_eq!(fbase, fout, "faulted checkerboard cut diverged");
 }
 
 /// Group-at-a-time execution (the parallel harness's code path:
@@ -114,6 +161,8 @@ proptest! {
         }
         let (base, _) = run_city(&city, 1);
         let (out, _) = run_city(&city, shards);
-        prop_assert_eq!(base, out);
+        prop_assert_eq!(&base, &out);
+        let (cut_out, _) = run_city_with(&city, shards, CityPartition::Cut);
+        prop_assert_eq!(&base, &cut_out);
     }
 }

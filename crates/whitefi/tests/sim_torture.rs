@@ -20,7 +20,7 @@
 #![allow(clippy::cast_possible_truncation)]
 
 use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
-use whitefi::{run_city, CityScenario};
+use whitefi::{run_city, run_city_with, CityPartition, CityScenario};
 use whitefi_mac::FaultPlan;
 use whitefi_phy::{SimDuration, SimTime};
 use whitefi_spectrum::{
@@ -242,9 +242,12 @@ fn city_torture_case(case: u64) -> (CityScenario, usize) {
 }
 
 /// The city slice of the torture sweep: the same 24-case cadence, each
-/// case run unsharded and sharded. The outcomes must agree byte for
-/// byte — oracle reports and fault events included — and the oracles
-/// must stay silent in the face of the strikes and the fault plan.
+/// case run unsharded, component-sharded, and cut-sharded. The three
+/// outcomes must agree byte for byte — oracle reports and fault events
+/// included — and the oracles must stay silent in the face of the
+/// strikes and the fault plan. The cut runs exercise both protocol
+/// paths: tight-range cases certify silent, wide-range cases trip the
+/// contact flag and take the deterministic global fallback.
 #[test]
 fn city_sweep_is_shard_invariant_under_faults() {
     for case in 0..case_count() {
@@ -253,6 +256,12 @@ fn city_sweep_is_shard_invariant_under_faults() {
         let (out, stats) = run_city(&city, shards);
         assert_eq!(base, out, "case {case}: sharded != unsharded");
         assert!(stats.sync_rounds > 0, "case {case}: barrier never ran");
+        let (cut_out, cut_stats) = run_city_with(&city, shards, CityPartition::Cut);
+        assert_eq!(
+            base, cut_out,
+            "case {case}: cut-sharded != unsharded (fallback: {})",
+            cut_stats.fallback
+        );
         assert_eq!(
             base.violations(),
             0,

@@ -6,7 +6,10 @@
 //! | rule        | where it applies                                        |
 //! |-------------|---------------------------------------------------------|
 //! | R1-hashmap  | every file of the sim-deterministic crates              |
-//! | R2-nondet   | everywhere except benches and the wall-clock allowlist  |
+//! | R2-nondet   | everywhere except benches and the wall-clock allowlist; |
+//! |             | sync primitives (`Mutex`/`RwLock`/`Condvar`/`mpsc`)     |
+//! |             | additionally banned in sim-crate `src/` outside the     |
+//! |             | boundary-channel allowlist and `#[cfg(test)]`           |
 //! | R3-rng      | everywhere                                              |
 //! | R4-unwrap   | `src/` of every crate, outside `#[cfg(test)]`           |
 //! | R5-cast     | the hot numeric kernels, outside `#[cfg(test)]`         |
@@ -32,6 +35,19 @@ const SIM_CRATES: [&str; 4] = ["mac", "whitefi", "spectrum", "bench"];
 /// Files allowed to read the wall clock: experiment timing around the
 /// sims, never inside them.
 const WALL_CLOCK_ALLOWLIST: [&str; 2] = [
+    "crates/bench/src/runner.rs",
+    "crates/bench/src/bin/experiments.rs",
+];
+
+/// Files allowed to hold shared-memory synchronization primitives: the
+/// sanctioned cross-shard boundary channel (DESIGN.md §14) and the
+/// deterministic runner pool plus its experiments-binary collector.
+/// Everywhere else in the sim crates, cross-thread communication must
+/// go through `whitefi_mac::BoundaryBus` or `Runner::map` — an ad-hoc
+/// lock or channel is exactly how schedule-dependent state leaks into
+/// byte-identical runs.
+const SYNC_ALLOWLIST: [&str; 3] = [
+    "crates/mac/src/boundary.rs",
     "crates/bench/src/runner.rs",
     "crates/bench/src/bin/experiments.rs",
 ];
@@ -316,6 +332,9 @@ fn scan_rules(ctx: &FileCtx, lexed: &Lexed, test_regions: &[(u32, u32)]) -> Vec<
 
     let r1 = ctx.in_sim_crate();
     let r2 = ctx.kind != FileKind::Benches && !WALL_CLOCK_ALLOWLIST.contains(&ctx.rel.as_str());
+    let r2_sync = ctx.in_sim_crate()
+        && ctx.kind == FileKind::LibSrc
+        && !SYNC_ALLOWLIST.contains(&ctx.rel.as_str());
     let r4 = ctx.kind == FileKind::LibSrc;
     let r5 = NUMERIC_KERNELS.contains(&ctx.rel.as_str());
 
@@ -363,6 +382,19 @@ fn scan_rules(ctx: &FileCtx, lexed: &Lexed, test_regions: &[(u32, u32)]) -> Vec<
                           deterministically)"
                     .to_string(),
             }),
+            "Mutex" | "RwLock" | "Condvar" | "mpsc" if r2_sync && !in_test(t.line) => {
+                hits.push(Hit {
+                    rule: RuleId::R2Nondet,
+                    line: t.line,
+                    message: format!(
+                        "`{}` in sim-crate library code outside the sanctioned boundary \
+                         channel — cross-shard message passing must go through \
+                         `whitefi_mac::BoundaryBus` (or fan out via the allowlisted \
+                         runner pool)",
+                        t.text
+                    ),
+                });
+            }
             "from_entropy" | "from_os_rng" => hits.push(Hit {
                 rule: RuleId::R3Rng,
                 line: t.line,
@@ -556,6 +588,37 @@ mod tests {
         assert!(lint("crates/whitefi/src/city.rs", scoped)
             .diagnostics
             .is_empty());
+    }
+
+    #[test]
+    fn r2_sync_primitives_confined_to_boundary_channel() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); }\n";
+        let r = lint("crates/whitefi/src/city.rs", src);
+        assert_eq!(r.diagnostics.len(), 2);
+        assert!(r.diagnostics.iter().all(|d| d.rule == RuleId::R2Nondet));
+        assert_eq!(r.diagnostics[0].line, 1);
+        assert_eq!(r.diagnostics[1].line, 2);
+        // The sanctioned boundary channel and the runner pool are free.
+        assert!(lint("crates/mac/src/boundary.rs", src)
+            .diagnostics
+            .is_empty());
+        assert!(lint("crates/bench/src/runner.rs", src)
+            .diagnostics
+            .is_empty());
+        // Non-sim crates and sim-crate test trees are out of scope.
+        assert!(lint("crates/phy/src/x.rs", src).diagnostics.is_empty());
+        assert!(lint("crates/whitefi/tests/t.rs", src)
+            .diagnostics
+            .is_empty());
+        // Test regions inside sim-crate src may lock freely.
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n";
+        assert!(lint("crates/whitefi/src/city.rs", test_src)
+            .diagnostics
+            .is_empty());
+        // RwLock and Condvar are the same violation.
+        let more = "fn f() { let l = std::sync::RwLock::new(0); let c = Condvar::new(); }\n";
+        assert_eq!(lint("crates/mac/src/sim.rs", more).diagnostics.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! r2sync fixture: ad-hoc synchronization primitives in sim-crate
+//! library code, outside the boundary-channel allowlist.
+use std::sync::Mutex;
+use std::sync::mpsc;
+
+fn f() {
+    let lock = std::sync::RwLock::new(0u8);
+    let cv = std::sync::Condvar::new();
+    let _ = (&lock, &cv);
+}
+
+// A waived site keeps the waiver path honest for the sync ban too.
+fn g() {
+    let m = Mutex::new(0u8); // lint:allow(nondet, fixture: exercising the sync waiver)
+    let _ = m;
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions may lock freely — must not fire.
+    use std::sync::Mutex;
+}

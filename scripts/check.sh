@@ -30,17 +30,23 @@ cargo test --release -q -p whitefi-phy --test kernel_differential
 # scenario reports an adaptive oracle violation.
 cargo test --release -q -p whitefi-bench --test sim_torture -- --ignored
 
-# Sharding byte-identity smoke (DESIGN.md §13): the same small city run
-# unsharded and 4-way sharded must print byte-identical outcome JSON —
-# per-cell goodput, timeline samples, oracle trace digests and fault
-# events included. Scheduling metadata goes to stderr, so a plain diff
-# of stdout is the whole gate.
+# Sharding byte-identity smoke (DESIGN.md §13–14): the same small city
+# run unsharded, 4-way component-sharded and 4-way cut-sharded must
+# print byte-identical outcome JSON — per-cell goodput, timeline
+# samples, oracle trace digests and fault events included. Scheduling
+# metadata (partition mode, cut pairs, fallback status) goes to stderr,
+# so a plain three-way diff of stdout is the whole gate. The cut run on
+# this coupled grid exercises whichever §14 path the topology selects
+# (certified-silent or deterministic fallback); either way the stdout
+# must not move.
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release -p whitefi-bench --bin city_smoke -- --aps 9 --shards 1 > "$smoke_dir/shards1.json"
 cargo run --release -p whitefi-bench --bin city_smoke -- --aps 9 --shards 4 > "$smoke_dir/shards4.json"
+cargo run --release -p whitefi-bench --bin city_smoke -- --aps 9 --shards 4 --partition cut > "$smoke_dir/cut4.json"
 diff "$smoke_dir/shards1.json" "$smoke_dir/shards4.json"
-echo "city smoke: shards 1 vs 4 byte-identical"
+diff "$smoke_dir/shards1.json" "$smoke_dir/cut4.json"
+echo "city smoke: shards 1 vs 4 vs cut-4 byte-identical"
 
 cargo run --release -p whitefi-bench --bin experiments -- all --quick --jobs 1
 
