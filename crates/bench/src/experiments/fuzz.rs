@@ -1,0 +1,82 @@
+//! Corpus-driven torture rows: run seeded fuzz scenarios from the
+//! declarative schema (`whitefi::scenario_fuzz`, DESIGN.md §15) under
+//! the full oracle bank and tabulate what each case exercised.
+//!
+//! This is the experiment-harness face of the fuzz sweep in
+//! `crates/whitefi/tests/fuzz_sweep.rs`: the same generator, fanned
+//! over the worker pool, reporting per-seed oracle coverage instead of
+//! a pass/fail bit. The invariant columns must read zero on every row;
+//! `checked_tx` and `aggregate_mbps` show the sweep is not vacuous.
+
+use crate::report::{round4, ExperimentReport};
+use crate::runner::RunCtx;
+use serde_json::json;
+use whitefi::scenario_file::{CaseOutcome, ScenarioDoc};
+use whitefi::scenario_fuzz::generate_doc;
+
+/// Runs the fuzz corpus sweep: 8 seeds quick, 32 full.
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let cases: usize = if ctx.quick() { 8 } else { 32 };
+    let mut report = ExperimentReport::new(
+        "fuzz",
+        "Generative scenario corpus under the oracle bank",
+        &[
+            "seed",
+            "kind",
+            "violations",
+            "oracle_violations",
+            "checked_tx",
+            "aggregate_mbps",
+        ],
+    );
+    let rows = ctx.map(cases, |i| {
+        let seed = ctx.seed(i as u64);
+        let doc = generate_doc(seed);
+        let kind = match &doc {
+            ScenarioDoc::SingleAp(_) => "single_ap",
+            ScenarioDoc::City(_) => "city",
+            _ => "other",
+        };
+        let compiled = doc.compile_sim();
+        // lint:allow(unwrap, generate_doc emits only SingleAp/City documents, both simulate)
+        let out = compiled.expect("simulation document").run();
+        let cells = match &out {
+            CaseOutcome::SingleAp(_) => 1,
+            CaseOutcome::City(city) => city.cells.len(),
+        };
+        (
+            seed,
+            kind,
+            out.violations(),
+            out.oracle_violation_count(),
+            out.checked_tx(),
+            out.aggregate_mbps(),
+            cells,
+        )
+    });
+    let mut total_tx = 0u64;
+    let mut bad = 0u64;
+    let mut cities = 0usize;
+    for (seed, kind, violations, oracle_violations, checked_tx, mbps, cells) in rows {
+        total_tx += checked_tx;
+        bad += violations + oracle_violations as u64;
+        if kind == "city" {
+            cities += 1;
+        }
+        report.push_row(&[
+            ("seed", json!(seed)),
+            ("kind", json!(kind)),
+            ("violations", json!(violations)),
+            ("oracle_violations", json!(oracle_violations)),
+            ("checked_tx", json!(checked_tx)),
+            ("aggregate_mbps", round4(mbps)),
+            ("cells", json!(cells)),
+        ]);
+    }
+    report.note(format!(
+        "{cases} sampled scenarios ({cities} city, {} single-AP): {bad} invariant \
+         violations across {total_tx} oracle-checked transmissions",
+        cases - cities
+    ));
+    report
+}

@@ -15,6 +15,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fuzz;
 pub mod hamming;
 pub mod mos;
 pub mod scan_analysis;

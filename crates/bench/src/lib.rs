@@ -110,5 +110,10 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Scale: influence-sharded city simulation, wall time vs shard count",
             city::run,
         ),
+        (
+            "fuzz",
+            "Generative scenario corpus under the oracle bank",
+            fuzz::run,
+        ),
     ]
 }

@@ -73,3 +73,25 @@ fn driver_trials_parallel_match_sequential() {
         "driver trials diverged between --jobs 1 and --jobs 4"
     );
 }
+
+/// Fuzz-generated scenarios replay deterministically under the worker
+/// pool: compiling and running the sampled corpus at `--jobs 1` and
+/// `--jobs 8` yields byte-identical outcomes, scenario-fuzz streams
+/// being placement-independent per the PR-3 contract.
+#[test]
+fn fuzz_corpus_parallel_matches_sequential() {
+    let run = |jobs: usize| {
+        let ctx = RunCtx::new(true, jobs, 0);
+        ctx.map(8, |i| {
+            let doc = whitefi::generate_doc(ctx.seed(i as u64));
+            doc.compile_sim()
+                .expect("fuzz generator emits simulation documents")
+                .run()
+        })
+    };
+    assert_eq!(
+        run(1),
+        run(8),
+        "fuzz corpus diverged between --jobs 1 and --jobs 8"
+    );
+}

@@ -4,7 +4,9 @@
 //! `#[ignore]`d because a full sweep takes minutes; `scripts/check.sh`
 //! runs it in the `--ignored` lane. The bounded everyday subset lives
 //! in `crates/whitefi/tests/sim_torture.rs` and shares the same case
-//! generator shape (a case is a pure function of its index).
+//! generator shape (a case is a pure function of its index). As there,
+//! half the cases (odd indices) come from the `scenario_fuzz`
+//! generator rather than the hand-rolled mix.
 
 // Case-mix arithmetic narrows small `Mix::below` draws into indices; the
 // values are single digits, the casts exact.
@@ -109,6 +111,21 @@ fn torture_scenario(case: u64) -> (Scenario, WfChannel) {
     (s, initial)
 }
 
+/// Case mix mirroring the whitefi-crate suite: even indices are the
+/// hand-rolled adversarial scenarios above, odd indices sample the
+/// declarative scenario schema through `whitefi::scenario_fuzz` (with
+/// this suite's salt, so the two sweeps explore disjoint documents).
+fn sweep_case(case: u64) -> (Scenario, Option<WfChannel>) {
+    if case % 2 == 1 {
+        let compiled = whitefi::scenario_fuzz::generate_single_ap(0x7057_0002 ^ case).compile();
+        let initial = compiled.initial();
+        (compiled.scenario, initial)
+    } else {
+        let (s, initial) = torture_scenario(case);
+        (s, Some(initial))
+    }
+}
+
 /// ≥ 256 randomized fault plans, fanned across the worker pool, all
 /// invariant-clean. Run with `cargo test -p bench -- --ignored`.
 #[test]
@@ -121,8 +138,8 @@ fn full_torture_sweep_is_invariant_clean() {
     );
     let failures: Vec<String> = ctx
         .map(256, |case| {
-            let (s, initial) = torture_scenario(case as u64);
-            let out = run_whitefi(&s, Some(initial));
+            let (s, initial) = sweep_case(case as u64);
+            let out = run_whitefi(&s, initial);
             if out.violations != 0 {
                 return Some(format!("case {case}: engine compliance meter tripped"));
             }
@@ -148,8 +165,8 @@ fn torture_sweep_is_order_independent() {
     let run = |jobs: usize| {
         let ctx = RunCtx::new(true, jobs, 0);
         ctx.map(16, |case| {
-            let (s, initial) = torture_scenario(case as u64);
-            let out = run_whitefi(&s, Some(initial));
+            let (s, initial) = sweep_case(case as u64);
+            let out = run_whitefi(&s, initial);
             (out.oracle.trace_digest, out.oracle.violations.len())
         })
     };

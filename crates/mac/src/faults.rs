@@ -21,6 +21,7 @@
 use crate::frames::NodeId;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use whitefi_phy::{SimDuration, SimTime};
 
@@ -44,7 +45,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// transmission* (duplicate, delay); durations bound per-node uniform
 /// draws. The all-zero [`FaultPlan::quiet`] plan is behaviourally
 /// identical to running with no plan installed.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed of the fault RNG family (combined with the simulator seed).
     pub seed: u64,

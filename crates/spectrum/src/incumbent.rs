@@ -207,7 +207,7 @@ impl WirelessMic {
 }
 
 /// The incumbent environment at one node: static TV stations plus mics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IncumbentSet {
     /// TV stations received at this node.
     pub tv: Vec<TvStation>,

@@ -40,7 +40,7 @@ mod keys {
 }
 
 /// AP configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApConfig {
     /// Beacon period (100 ms, as in Wi-Fi).
     pub beacon_interval: SimDuration,

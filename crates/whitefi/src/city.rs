@@ -129,7 +129,7 @@ fn free_map(free: &[usize]) -> SpectrumMap {
 }
 
 /// One WhiteFi cell: an AP and its clients, co-located at a site.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CityCell {
     /// Site position in metres.
     pub pos: (f64, f64),
@@ -177,7 +177,7 @@ impl CityCell {
 }
 
 /// A city of WhiteFi cells sharing one band.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CityScenario {
     /// RNG seed (every per-node stream derives from it).
     pub seed: u64,

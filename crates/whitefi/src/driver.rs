@@ -40,7 +40,7 @@ use whitefi_spectrum::{
 };
 
 /// Load shape of one background AP/client pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BackgroundTraffic {
     /// CBR at the given inter-packet delay.
     Cbr {
@@ -66,7 +66,7 @@ pub enum BackgroundTraffic {
 }
 
 /// One background AP/client pair on a fixed channel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BackgroundPair {
     /// The pair's (fixed) channel.
     pub channel: WfChannel,
@@ -74,8 +74,10 @@ pub struct BackgroundPair {
     pub traffic: BackgroundTraffic,
 }
 
-/// A complete experiment scenario.
-#[derive(Debug, Clone)]
+/// A complete experiment scenario. `PartialEq` is exact: the
+/// scenario-file round-trip tests assert compiled and hand-coded
+/// scenarios are equal field for field.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// RNG seed (placement and MAC backoffs).
     pub seed: u64,

@@ -35,6 +35,8 @@ pub mod discovery;
 pub mod driver;
 pub mod mcham;
 pub mod oracles;
+pub mod scenario_file;
+pub mod scenario_fuzz;
 
 pub use ap::{ApBehavior, ApConfig};
 pub use assignment::{Assigner, AssignerConfig};
@@ -57,6 +59,11 @@ pub use oracles::{
     global_oracle_totals, OracleBank, OracleConfig, OracleKind, OracleReport, OracleTotals,
     Violation,
 };
+pub use scenario_file::{
+    load, locale_contrast_phases, parse_str, run_discovery_sweep, run_roadtrip, CaseOutcome,
+    CompiledCase, CompiledCity, CompiledSingleAp, LoadError, ScenarioDoc, SchemaError,
+};
+pub use scenario_fuzz::{generate_doc, generate_file, sample_fault_plan};
 
 pub use mcham::{
     evaluate_all, mcham, mcham_with, objective_score, select_channel, select_channel_with,

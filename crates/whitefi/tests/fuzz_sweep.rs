@@ -1,0 +1,83 @@
+//! Generative fuzz sweep (DESIGN.md §15): sample the scenario schema,
+//! compile, run, and hold every case to the oracle bank's standard —
+//! zero engine violations, zero oracle violations.
+//!
+//! Case count: `SCENARIO_FUZZ_CASES` (default 8 in the everyday run;
+//! `scripts/check.sh` runs the 32-case smoke). When a case fails, the
+//! reproducing document and its seed are written to
+//! `tests/corpus-failures/` at the repo root before the panic, so the
+//! failure replays from a file: `whitefi::load` the `.ron`, compile,
+//! run, and the violation is back.
+
+use std::fs;
+use std::path::PathBuf;
+
+use whitefi::scenario_fuzz::{generate_doc, generate_file};
+
+fn case_count() -> u64 {
+    std::env::var("SCENARIO_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// Repo-root corpus directory for reproducing documents.
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus-failures")
+}
+
+/// Writes the reproducing `.ron` (with its seed in a header comment)
+/// and returns the path for the panic message.
+fn write_repro(seed: u64) -> PathBuf {
+    let dir = corpus_dir();
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("fuzz-{seed:016x}.ron"));
+    let body = format!(
+        "// scenario_fuzz seed {seed} (0x{seed:016x}) — replay with\n\
+         //   whitefi::scenario_fuzz::generate_doc({seed})\n\
+         // or load this file, compile, and run.\n{}",
+        generate_file(seed)
+    );
+    let _ = fs::write(&path, body);
+    path
+}
+
+/// The sweep: every sampled scenario, single-AP or city, runs
+/// invariant-clean under the full oracle bank.
+#[test]
+fn sampled_scenarios_run_oracle_clean() {
+    for seed in 0..case_count() {
+        let doc = generate_doc(seed);
+        let Some(case) = doc.compile_sim() else {
+            panic!("seed {seed}: generator produced a non-simulation document");
+        };
+        let out = case.run();
+        if out.violations() != 0 || out.oracle_violation_count() != 0 {
+            let path = write_repro(seed);
+            panic!(
+                "seed {seed}: {} engine violations, {} oracle violations — \
+                 reproducer written to {}",
+                out.violations(),
+                out.oracle_violation_count(),
+                path.display()
+            );
+        }
+        assert!(out.checked_tx() > 0, "seed {seed}: oracles saw nothing");
+    }
+}
+
+/// Replay determinism: a generated file loaded from its serialized
+/// bytes compiles and runs to the same outcome as the in-memory
+/// document — the corpus round trip loses nothing.
+#[test]
+fn corpus_files_replay_to_identical_outcomes() {
+    for seed in [0u64, 3, 11] {
+        let doc = generate_doc(seed);
+        let reparsed = whitefi::parse_str(&generate_file(seed))
+            .unwrap_or_else(|e| panic!("seed {seed}: generated file rejected: {e}"));
+        assert_eq!(doc, reparsed, "seed {seed}: file differs from document");
+        let a = doc.compile_sim().expect("simulation document").run();
+        let b = reparsed.compile_sim().expect("simulation document").run();
+        assert_eq!(a, b, "seed {seed}: replay from file diverged");
+    }
+}

@@ -13,7 +13,10 @@
 //! The companion suite in `crates/bench/tests/sim_torture.rs` fans the
 //! full 256-plan sweep across the worker pool; this one keeps a bounded
 //! deterministic subset in the default test run. Case count:
-//! `SIM_TORTURE_CASES` (default 24).
+//! `SIM_TORTURE_CASES` (default 24). Half the cases (odd indices) are
+//! drawn from the `scenario_fuzz` generator instead of the hand-rolled
+//! mix, so the declarative schema's whole envelope runs under the same
+//! oracle bank.
 
 // Case-mix arithmetic narrows small `Mix::below` draws into indices; the
 // values are single digits, the casts exact.
@@ -148,14 +151,29 @@ fn case_count() -> u64 {
         .unwrap_or(24)
 }
 
+/// Case mix for the single-AP sweep: even indices use the hand-rolled
+/// adversarial generator above; odd indices sample the declarative
+/// scenario schema through the seeded fuzzer, compile it, and torture
+/// whatever comes out. Both halves are pure functions of the index.
+fn single_ap_case(case: u64) -> (Scenario, Option<WfChannel>) {
+    if case % 2 == 1 {
+        let compiled = whitefi::scenario_fuzz::generate_single_ap(0x7057_0001 ^ case).compile();
+        let initial = compiled.initial();
+        (compiled.scenario, initial)
+    } else {
+        let (s, initial) = torture_scenario(case);
+        (s, Some(initial))
+    }
+}
+
 /// The tentpole property: across randomized fault plans and adversarial
 /// mic timings, every oracle stays silent and the engine's own
 /// compliance meter stays zero.
 #[test]
 fn randomized_fault_plans_never_violate_invariants() {
     for case in 0..case_count() {
-        let (s, initial) = torture_scenario(case);
-        let out = run_whitefi(&s, Some(initial));
+        let (s, initial) = single_ap_case(case);
+        let out = run_whitefi(&s, initial);
         assert_eq!(
             out.violations, 0,
             "case {case}: engine compliance meter tripped"
@@ -178,10 +196,12 @@ fn randomized_fault_plans_never_violate_invariants() {
 /// and its trace digest.
 #[test]
 fn torture_cases_are_deterministic() {
+    // 0 is hand-rolled, 7 and 13 are fuzz-drawn — both halves of the
+    // mix must be pure functions of the index.
     for case in [0u64, 7, 13] {
-        let (s, initial) = torture_scenario(case);
-        let a = run_whitefi(&s, Some(initial));
-        let b = run_whitefi(&s, Some(initial));
+        let (s, initial) = single_ap_case(case);
+        let a = run_whitefi(&s, initial);
+        let b = run_whitefi(&s, initial);
         assert_eq!(a, b, "case {case} not reproducible");
     }
 }
@@ -241,6 +261,18 @@ fn city_torture_case(case: u64) -> (CityScenario, usize) {
     (city, shards)
 }
 
+/// Case mix for the city sweep, mirroring [`single_ap_case`]: odd
+/// indices come from the fuzzer's city generator (its own shard count
+/// included), even indices from the hand-rolled geometry above.
+fn city_case(case: u64) -> (CityScenario, usize) {
+    if case % 2 == 1 {
+        let compiled = whitefi::scenario_fuzz::generate_city(0xC170_0001 ^ case).compile();
+        (compiled.city, compiled.shards)
+    } else {
+        city_torture_case(case)
+    }
+}
+
 /// The city slice of the torture sweep: the same 24-case cadence, each
 /// case run unsharded, component-sharded, and cut-sharded. The three
 /// outcomes must agree byte for byte — oracle reports and fault events
@@ -251,7 +283,7 @@ fn city_torture_case(case: u64) -> (CityScenario, usize) {
 #[test]
 fn city_sweep_is_shard_invariant_under_faults() {
     for case in 0..case_count() {
-        let (city, shards) = city_torture_case(case);
+        let (city, shards) = city_case(case);
         let (base, _) = run_city(&city, 1);
         let (out, stats) = run_city(&city, shards);
         assert_eq!(base, out, "case {case}: sharded != unsharded");

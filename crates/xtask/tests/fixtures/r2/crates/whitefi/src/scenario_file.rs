@@ -1,0 +1,8 @@
+//! R2 fixture: wall-clock reads inside the scenario loader path.
+use std::time::Instant;
+
+pub fn parse_timed(src: &str) -> usize {
+    let start = Instant::now();
+    let n = src.len() + start.elapsed().as_nanos() as usize;
+    n
+}

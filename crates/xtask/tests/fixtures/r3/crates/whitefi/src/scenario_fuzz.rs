@@ -1,0 +1,12 @@
+//! R3 fixture: ambient RNG construction inside the fuzz generator.
+use rand_chacha::ChaCha8Rng;
+
+pub fn stream_good(seed: u64, id: u64) -> ChaCha8Rng {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    r.set_stream(id);
+    r
+}
+
+pub fn stream_bad() -> ChaCha8Rng {
+    ChaCha8Rng::from_entropy()
+}

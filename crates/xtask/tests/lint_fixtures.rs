@@ -46,6 +46,11 @@ fn r2_nondet_detected() {
         vec![
             ("R2-nondet".into(), "crates/whitefi/src/lib.rs".into(), 5),
             ("R2-nondet".into(), "crates/whitefi/src/lib.rs".into(), 6),
+            (
+                "R2-nondet".into(),
+                "crates/whitefi/src/scenario_file.rs".into(),
+                5,
+            ),
         ]
     );
 }
@@ -72,7 +77,14 @@ fn r3_rng_construction_detected() {
     let (v, _) = findings("r3");
     assert_eq!(
         v,
-        vec![("R3-rng".into(), "crates/bench/src/lib.rs".into(), 11)]
+        vec![
+            ("R3-rng".into(), "crates/bench/src/lib.rs".into(), 11),
+            (
+                "R3-rng".into(),
+                "crates/whitefi/src/scenario_fuzz.rs".into(),
+                11,
+            ),
+        ]
     );
 }
 

@@ -1,43 +1,42 @@
 //! A day on campus: lecture-hall wireless mics flicker on and off across
 //! the band while a WhiteFi AP serves mobile clients — the §2.3 temporal
-//! variation scenario at scale, with randomized mic schedules.
+//! variation scenario at scale, with randomized mic schedules. The whole
+//! day — map, mic storm process, neighbour traffic, contrast run — is
+//! declared in `scenarios/campus_day.ron`.
 //!
 //! ```sh
 //! cargo run --release --example campus_day [seed]
 //! ```
 
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
-use whitefi_phy::SimDuration;
-use whitefi_repro::campus_sim_map;
-use whitefi_spectrum::{IncumbentSet, MicSchedule, UhfChannel, WfChannel, Width, WirelessMic};
+use whitefi::driver::run_fixed;
+use whitefi::scenario_file::CompiledCase;
+
+const SCENARIO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/campus_day.ron");
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2026);
-    let map = campus_sim_map();
-    let horizon_s = 120u64;
-    println!("campus map: {map}");
-    println!("simulating {horizon_s}s with random lecture-hall mics (seed {seed})\n");
-
-    // Random mics: each free channel hosts a mic that is on ~20% of the
-    // time in bursts of ~10 s (over-provisioned lecture rooms, §2.3).
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let mut incumbents = IncumbentSet::default();
-    for ch in map.free_channels() {
-        if rng.gen_bool(0.5) {
-            let schedule = MicSchedule::sample(
-                &mut rng,
-                horizon_s * 1_000_000_000,
-                40.0, // mean off (s)
-                10.0, // mean on (s)
-            );
-            incumbents.mics.push(WirelessMic::new(ch, schedule));
-        }
+    let mut doc = whitefi::load(SCENARIO).unwrap_or_else(|e| panic!("{e}"));
+    if let Some(seed) = std::env::args().nth(1).and_then(|s| s.parse().ok()) {
+        doc = doc.with_seed(seed);
     }
+    let Some(CompiledCase::SingleAp(case)) = doc.compile_sim() else {
+        panic!("campus_day.ron must be a single-AP scenario");
+    };
+    let scenario = &case.scenario;
+    let map = scenario.ap_map;
+    let horizon_s = (scenario.warmup + scenario.duration).as_secs_f64();
+    println!("campus map: {map}");
+    println!(
+        "simulating {horizon_s:.0}s with random lecture-hall mics (seed {})\n",
+        scenario.seed
+    );
+
+    // The sampled mics (each free channel hosts one with p=0.5, on ~20%
+    // of the time in ~10 s bursts — over-provisioned lecture rooms,
+    // §2.3) were drawn by the loader from the scenario seed.
+    let incumbents = scenario
+        .ap_extra_incumbents
+        .clone()
+        .expect("the storm always populates the AP incumbent set");
     println!(
         "{} mics placed; total mic on-time {:.0}s across the band",
         incumbents.mics.len(),
@@ -48,25 +47,7 @@ fn main() {
             .sum::<f64>()
     );
 
-    let mut scenario = Scenario::new(seed, map, 3);
-    scenario.warmup = SimDuration::from_secs(2);
-    scenario.duration = SimDuration::from_secs(horizon_s - 2);
-    scenario.sample_interval = SimDuration::from_secs(1);
-    scenario.ap_extra_incumbents = Some(incumbents.clone());
-    for c in scenario.client_extra_incumbents.iter_mut() {
-        *c = Some(incumbents.clone());
-    }
-    // Light neighbourly background on two channels.
-    for ch in [10usize, 16] {
-        scenario.background.push(BackgroundPair {
-            channel: WfChannel::from_parts(ch, Width::W5),
-            traffic: BackgroundTraffic::Cbr {
-                interval: SimDuration::from_millis(20),
-            },
-        });
-    }
-
-    let out = run_whitefi(&scenario, None);
+    let out = case.run();
 
     // Channel-residency summary.
     let mut switches = 0;
@@ -102,11 +83,10 @@ fn main() {
 
     // How would a static network have fared? A pinned 20 MHz network on
     // the same day ignores the mics entirely.
-    let favourite = UhfChannel::from_index(4);
-    let pinned = whitefi::driver::run_fixed(
-        &scenario,
-        WfChannel::new(favourite, Width::W20).expect("channel 4 at 20 MHz fits the band"),
-    );
+    let favourite = case
+        .contrast_fixed
+        .expect("campus_day.ron declares a contrast channel");
+    let pinned = run_fixed(scenario, favourite);
     println!(
         "static 20 MHz network on the same day: {:.2} Mbps with {} incumbent violations — it tramples the mics",
         pinned.aggregate_mbps, pinned.violations

@@ -1,6 +1,7 @@
 //! Discovery race: the three AP-discovery algorithms head-to-head over
 //! the full sweep of fragment widths — an interactive rendering of
 //! Figure 8, including the L-SIFT/J-SIFT crossover near 10 channels.
+//! The sweep parameters are data: `scenarios/discovery_race.ron`.
 //!
 //! ```sh
 //! cargo run --release --example discovery_race
@@ -10,42 +11,23 @@
 // the intended quantization.
 #![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use whitefi::{
-    baseline_discovery, expected_scans_j_sift, expected_scans_l_sift, j_sift_discovery,
-    l_sift_discovery, SyntheticOracle,
-};
-use whitefi_spectrum::{SpectrumMap, UhfChannel};
+use whitefi::scenario_file::{run_discovery_sweep, ScenarioDoc};
+use whitefi::{expected_scans_j_sift, expected_scans_l_sift};
+
+const SCENARIO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/discovery_race.ron");
 
 fn main() {
-    let trials = 200;
+    let doc = whitefi::load(SCENARIO).unwrap_or_else(|e| panic!("{e}"));
+    let ScenarioDoc::DiscoverySweep(doc) = doc else {
+        panic!("discovery_race.ron must be a DiscoverySweep program");
+    };
+    let trials = doc.trials;
     println!("mean discovery dwells vs fragment width ({trials} random placements each)\n");
     println!("width  baseline   L-SIFT   J-SIFT   winner   bar (J=#, L=+)");
     let mut crossover = None;
     let mut prev_winner = 'L';
-    for width in 1..=30usize {
-        let mut map = SpectrumMap::all_occupied();
-        for i in 0..width {
-            map.set_free(UhfChannel::from_index(i));
-        }
-        let placements = map.available_channels();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(width as u64);
-        let mut sums = [0.0f64; 3];
-        for _ in 0..trials {
-            let ap = placements[rng.gen_range(0..placements.len())];
-            let mk = |s| SyntheticOracle::new(ap, rand_chacha::ChaCha8Rng::seed_from_u64(s));
-            sums[0] += baseline_discovery(&mut mk(rng.gen()), map)
-                .expect("map has free channels")
-                .scans as f64;
-            sums[1] += l_sift_discovery(&mut mk(rng.gen()), map)
-                .expect("map has free channels")
-                .scans as f64;
-            sums[2] += j_sift_discovery(&mut mk(rng.gen()), map)
-                .expect("map has free channels")
-                .scans as f64;
-        }
-        let [b, l, j] = sums.map(|s| s / trials as f64);
+    for row in run_discovery_sweep(&doc) {
+        let (width, b, l, j) = (row.width, row.baseline, row.l_sift, row.j_sift);
         let winner = if l <= j { 'L' } else { 'J' };
         if prev_winner == 'L' && winner == 'J' && crossover.is_none() && width > 2 {
             crossover = Some(width);

@@ -2,61 +2,38 @@
 //! protocol. Wireless mics chase the network from channel to channel —
 //! including striking the *backup* channel — while we verify the two
 //! protocol invariants: zero transmissions over a live mic, and recovery
-//! whenever any channel remains.
+//! whenever any channel remains. The storm itself is data:
+//! `scenarios/mic_storm.ron`.
 //!
 //! ```sh
 //! cargo run --release --example mic_storm [seed]
 //! ```
 
-use whitefi::driver::{run_whitefi, Scenario};
-use whitefi_phy::{SimDuration, SimTime};
-use whitefi_repro::{building5_map, scripted_mic};
-use whitefi_spectrum::{IncumbentSet, WfChannel, Width};
+use whitefi::scenario_file::CompiledCase;
+
+const SCENARIO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/mic_storm.ron");
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(13);
+    let mut doc = whitefi::load(SCENARIO).unwrap_or_else(|e| panic!("{e}"));
+    if let Some(seed) = std::env::args().nth(1).and_then(|s| s.parse().ok()) {
+        doc = doc.with_seed(seed);
+    }
+    let Some(CompiledCase::SingleAp(case)) = doc.compile_sim() else {
+        panic!("mic_storm.ron must be a single-AP scenario");
+    };
 
-    let map = building5_map();
+    let map = case.scenario.ap_map;
     println!("map: {map}");
     println!(
         "free fragments: 20 MHz (TV 26–30), 10 MHz (TV 33–35), 5 MHz (TV 39), 5 MHz (TV 48)\n"
     );
 
-    // The storm: mics strike, in order,
+    // The storm (see the scenario file): mics strike, in order,
     //   t=4s  the 20 MHz fragment centre (TV 28)       — main channel dies
     //   t=8s  the 10 MHz fragment centre (TV 34)       — next refuge dies
     //   t=12s TV 39 — which is the network's likely backup/5 MHz refuge
     // leaving TV 48 as the only safe harbour, then releases everything.
-    let mut inc = IncumbentSet::default();
-    inc.mics.push(scripted_mic(
-        7,
-        SimTime::from_secs(4),
-        SimTime::from_secs(30),
-    ));
-    inc.mics.push(scripted_mic(
-        13,
-        SimTime::from_secs(8),
-        SimTime::from_secs(30),
-    ));
-    inc.mics.push(scripted_mic(
-        17,
-        SimTime::from_secs(12),
-        SimTime::from_secs(30),
-    ));
-
-    let mut scenario = Scenario::new(seed, map, 2);
-    scenario.warmup = SimDuration::from_secs(1);
-    scenario.duration = SimDuration::from_secs(39);
-    scenario.sample_interval = SimDuration::from_millis(500);
-    scenario.ap_extra_incumbents = Some(inc.clone());
-    for c in scenario.client_extra_incumbents.iter_mut() {
-        *c = Some(inc.clone());
-    }
-
-    let out = run_whitefi(&scenario, Some(WfChannel::from_parts(7, Width::W20)));
+    let out = case.run();
 
     println!("  t(s)   AP channel        goodput(Mbps)");
     let mut last = None;

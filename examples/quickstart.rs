@@ -1,20 +1,28 @@
 //! Quickstart: bring up a WhiteFi network on fragmented spectrum, watch
 //! it pick a channel with MCham, move data, and survive a wireless mic.
+//! The whole scenario lives in `scenarios/quickstart.ron`; this binary
+//! just loads and narrates it.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use whitefi::driver::{run_whitefi, Scenario};
+use whitefi::scenario_file::CompiledCase;
 use whitefi::{mcham, select_channel, NodeReport};
-use whitefi_phy::{SimDuration, SimTime};
-use whitefi_repro::{building5_map, scripted_mic};
-use whitefi_spectrum::{AirtimeVector, IncumbentSet};
+use whitefi_spectrum::AirtimeVector;
+
+const SCENARIO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/quickstart.ron");
 
 fn main() {
+    let doc = whitefi::load(SCENARIO).unwrap_or_else(|e| panic!("{e}"));
+    let Some(CompiledCase::SingleAp(case)) = doc.compile_sim() else {
+        panic!("quickstart.ron must be a single-AP scenario");
+    };
+    let scenario = &case.scenario;
+
     // 1. The spectrum: the paper's Building 5 testbed map — free TV
     //    channels 26–30, 33–35, 39 and 48.
-    let map = building5_map();
+    let map = scenario.ap_map;
     println!("spectrum map (X = incumbent): {map}");
     println!(
         "fragments: {:?} channels wide",
@@ -41,20 +49,8 @@ fn main() {
     // 3. Run the full network: 1 AP + 2 clients, backlogged both ways.
     //    A wireless mic switches on at t = 6 s inside the 20 MHz fragment
     //    (near one client only), forcing the chirping recovery protocol.
-    let mut scenario = Scenario::new(7, map, 2);
-    scenario.warmup = SimDuration::from_secs(1);
-    scenario.duration = SimDuration::from_secs(14);
-    scenario.sample_interval = SimDuration::from_millis(500);
-    let mut inc = IncumbentSet::default();
-    inc.mics.push(scripted_mic(
-        7,
-        SimTime::from_secs(6),
-        SimTime::from_secs(60),
-    ));
-    scenario.client_extra_incumbents[0] = Some(inc);
-
     println!("\nrunning 15 simulated seconds (mic hits TV channel 28 at t=6s)…\n");
-    let out = run_whitefi(&scenario, None);
+    let out = case.run();
 
     println!("  t(s)   AP channel        goodput(Mbps)");
     let mut last = None;

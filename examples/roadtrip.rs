@@ -1,58 +1,43 @@
 //! Roadtrip: drive a white-space device across two TV markets and watch
 //! the geo-location database reshape the available spectrum — and the
-//! channel WhiteFi would pick — kilometre by kilometre.
+//! channel WhiteFi would pick — kilometre by kilometre. The markets and
+//! route are data: `scenarios/roadtrip.ron`.
 //!
 //! ```sh
 //! cargo run --release --example roadtrip
 //! ```
 
-use whitefi::{select_channel, NodeReport};
-use whitefi_spectrum::{AirtimeVector, GeoDatabase, Location, StationRecord, UhfChannel};
+use whitefi::scenario_file::{run_roadtrip, ScenarioDoc};
+
+const SCENARIO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/roadtrip.ron");
 
 fn main() {
-    // Two metro areas 240 km apart, a few stations each.
-    let mut db = GeoDatabase::new();
-    for (ch, erp) in [(2usize, 1000.0), (6, 800.0), (11, 600.0), (15, 400.0)] {
-        db.register(StationRecord {
-            channel: UhfChannel::from_index(ch),
-            site: Location::new(0.0, 0.0),
-            erp_kw: erp,
-        });
-    }
-    for (ch, erp) in [(3usize, 1000.0), (11, 900.0), (22, 700.0), (27, 500.0)] {
-        db.register(StationRecord {
-            channel: UhfChannel::from_index(ch),
-            site: Location::new(240.0, 0.0),
-            erp_kw: erp,
-        });
-    }
+    let doc = whitefi::load(SCENARIO).unwrap_or_else(|e| panic!("{e}"));
+    let ScenarioDoc::Roadtrip(doc) = doc else {
+        panic!("roadtrip.ron must be a Roadtrip program");
+    };
 
     println!("driving 240 km between two markets; database-derived maps:\n");
     println!("  km   free  widest  map (X = protected)                 WhiteFi pick");
     let mut last_pick = None;
-    for step in 0..=24 {
-        let x = step as f64 * 10.0;
-        let map = db.query(Location::new(x, 0.0));
-        let report = NodeReport {
-            map,
-            airtime: AirtimeVector::idle(),
-        };
-        let pick = select_channel(&report, &[]).map(|(c, _)| c);
-        let marker = if pick != last_pick {
+    for step in run_roadtrip(&doc) {
+        let marker = if step.pick != last_pick {
             "  <-- new channel"
         } else {
             ""
         };
         println!(
             "{:4.0}   {:4}  {:5}   {}  {}{}",
-            x,
-            map.free_count(),
-            map.widest_fragment(),
-            map,
-            pick.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            step.x_km,
+            step.map.free_count(),
+            step.map.widest_fragment(),
+            step.map,
+            step.pick
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
             marker
         );
-        last_pick = pick;
+        last_pick = step.pick;
     }
 
     println!("\nmidway the device sits outside both protection contours and can run 20 MHz;");

@@ -2,29 +2,32 @@
 //! fragments, few incumbents, kilometre ranges. Contrasts the goodput a
 //! WhiteFi network extracts from a rural vs an urban spectrum map, and
 //! shows discovery getting dramatically cheaper where spectrum is wide
-//! (the Figure 9 effect).
+//! (the Figure 9 effect). The program is declared in
+//! `scenarios/rural_broadband.ron`.
 //!
 //! ```sh
 //! cargo run --release --example rural_broadband [seed]
 //! ```
 
-use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
-use whitefi::driver::{run_whitefi, Scenario};
+use whitefi::driver::run_whitefi;
+use whitefi::scenario_file::{locale_contrast_phases, ScenarioDoc};
 use whitefi::{baseline_discovery, j_sift_discovery, SyntheticOracle};
-use whitefi_phy::SimDuration;
-use whitefi_spectrum::{Locale, LocaleClass};
+
+const SCENARIO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/rural_broadband.ron");
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1848);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut doc = whitefi::load(SCENARIO).unwrap_or_else(|e| panic!("{e}"));
+    if let Some(seed) = std::env::args().nth(1).and_then(|s| s.parse().ok()) {
+        doc = doc.with_seed(seed);
+    }
+    let ScenarioDoc::LocaleContrast(doc) = doc else {
+        panic!("rural_broadband.ron must be a LocaleContrast program");
+    };
 
-    for class in [LocaleClass::Rural, LocaleClass::Urban] {
-        let locale = Locale::sample(class, &mut rng);
-        println!("== {} locale ==", class.label());
+    for phase in locale_contrast_phases(&doc) {
+        let locale = &phase.locale;
+        println!("== {} locale ==", phase.class.label());
         println!("map: {}", locale.map);
         println!(
             "free channels: {}, widest fragment: {} channels ({} MHz)",
@@ -34,36 +37,37 @@ fn main() {
         );
 
         // Network throughput: 4 farmhouse clients, backlogged downlink.
-        let mut scenario = Scenario::new(seed ^ class.label().len() as u64, locale.map, 4);
-        scenario.warmup = SimDuration::from_secs(1);
-        scenario.duration = SimDuration::from_secs(5);
-        let out = run_whitefi(&scenario, None);
+        let out = run_whitefi(&phase.scenario, None);
         let final_ch = out.samples.last().expect("run produces samples").ap_channel;
         println!(
-            "WhiteFi settles on {final_ch}: aggregate {:.2} Mbps across 4 clients",
-            out.aggregate_mbps
+            "WhiteFi settles on {final_ch}: aggregate {:.2} Mbps across {} clients",
+            out.aggregate_mbps, doc.clients
         );
 
-        // Discovery cost for a new client joining this network.
-        let placements = locale.map.available_channels();
-        if placements.is_empty() {
+        // Discovery cost for a new client joining this network. The
+        // trial placements were drawn by the interpreter from the same
+        // shared stream the hand-coded loop used.
+        if phase.trials.is_empty() {
             println!("(no admissible channel — nothing to join)\n");
             continue;
         }
         let mut trials_base = Vec::new();
         let mut trials_j = Vec::new();
-        for t in 0..40 {
-            // A fresh random AP placement per trial, so the deterministic
-            // scan orders are averaged over positions.
-            let ap = placements[rng.gen_range(0..placements.len())];
-            let mut o = SyntheticOracle::new(ap, rand_chacha::ChaCha8Rng::seed_from_u64(seed + t));
+        for trial in &phase.trials {
+            let mut o = SyntheticOracle::new(
+                trial.ap,
+                rand_chacha::ChaCha8Rng::seed_from_u64(trial.oracle_seed),
+            );
             trials_base.push(
                 baseline_discovery(&mut o, locale.map)
                     .expect("placements nonempty")
                     .time
                     .as_secs_f64(),
             );
-            let mut o = SyntheticOracle::new(ap, rand_chacha::ChaCha8Rng::seed_from_u64(seed + t));
+            let mut o = SyntheticOracle::new(
+                trial.ap,
+                rand_chacha::ChaCha8Rng::seed_from_u64(trial.oracle_seed),
+            );
             trials_j.push(
                 j_sift_discovery(&mut o, locale.map)
                     .expect("placements nonempty")

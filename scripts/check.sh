@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus lint gates and a quick sequential experiment sweep.
 # Run from the repository root: scripts/check.sh
+#
+#   --bless    re-bless the golden trace digest (GOLDEN_BLESS=1 for the
+#              test lane) after an intended protocol/timing change
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+for arg in "$@"; do
+    case "$arg" in
+        --bless) export GOLDEN_BLESS=1 ;;
+        *) echo "unknown option: $arg (supported: --bless)" >&2; exit 2 ;;
+    esac
+done
 
 cargo fmt --all --check
 cargo build --workspace --release
@@ -29,6 +39,14 @@ cargo test --release -q -p whitefi-phy --test kernel_differential
 # experiment sweep below additionally exits non-zero if any seed
 # scenario reports an adaptive oracle violation.
 cargo test --release -q -p whitefi-bench --test sim_torture -- --ignored
+
+# Generative fuzz smoke (DESIGN.md §15): sample the scenario schema
+# broadly and require zero oracle violations. The tier-1 lane above runs
+# the default 8-case slice; this stage widens it (override with
+# SCENARIO_FUZZ_CASES=N, like SIM_TORTURE_CASES). A failing case writes
+# its reproducing .ron + seed to tests/corpus-failures/.
+SCENARIO_FUZZ_CASES="${SCENARIO_FUZZ_CASES:-32}" \
+    cargo test --release -q -p whitefi --test fuzz_sweep
 
 # Sharding byte-identity smoke (DESIGN.md §13–14): the same small city
 # run unsharded, 4-way component-sharded and 4-way cut-sharded must

@@ -1,0 +1,281 @@
+//! Scenario-loader fidelity suite (DESIGN.md §15).
+//!
+//! The six runnable examples were ported from hand-coded constructors
+//! to thin loads of `scenarios/*.ron`. This suite keeps the retired
+//! constructors alive verbatim and asserts the loader compiles each
+//! file to the *same* engine input — field for field via the engine
+//! types' `PartialEq` — and that running both produces byte-identical
+//! outcomes. Any drift between the DSL compile layer and the original
+//! examples fails here, not silently in a demo.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use whitefi::driver::{run_whitefi, BackgroundPair, BackgroundTraffic, Scenario};
+use whitefi::scenario_file::{self, CompiledCase, CompiledSingleAp, ScenarioDoc};
+use whitefi::{
+    baseline_discovery, j_sift_discovery, l_sift_discovery, select_channel, NodeReport,
+    SyntheticOracle,
+};
+use whitefi_phy::{SimDuration, SimTime};
+use whitefi_repro::{building5_map, campus_sim_map, scripted_mic};
+use whitefi_spectrum::{
+    AirtimeVector, GeoDatabase, IncumbentSet, Locale, LocaleClass, Location, MicSchedule,
+    SpectrumMap, StationRecord, UhfChannel, WfChannel, Width, WirelessMic,
+};
+
+fn load(name: &str) -> ScenarioDoc {
+    let path = format!("{}/scenarios/{name}.ron", env!("CARGO_MANIFEST_DIR"));
+    scenario_file::load(&path).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn compile_single(doc: &ScenarioDoc) -> CompiledSingleAp {
+    match doc.compile_sim() {
+        Some(CompiledCase::SingleAp(case)) => *case,
+        _ => panic!("expected a single-AP simulation document"),
+    }
+}
+
+/// The retired `examples/quickstart.rs` constructor: Building 5 map,
+/// two clients, one mic near client 0 at t = 6 s.
+#[test]
+fn quickstart_file_is_byte_identical_to_the_retired_constructor() {
+    let mut legacy = Scenario::new(7, building5_map(), 2);
+    legacy.warmup = SimDuration::from_secs(1);
+    legacy.duration = SimDuration::from_secs(14);
+    legacy.sample_interval = SimDuration::from_millis(500);
+    let mut inc = IncumbentSet::default();
+    inc.mics.push(scripted_mic(
+        7,
+        SimTime::from_secs(6),
+        SimTime::from_secs(60),
+    ));
+    legacy.client_extra_incumbents[0] = Some(inc);
+
+    let case = compile_single(&load("quickstart"));
+    assert_eq!(case.scenario, legacy, "compiled scenario drifted");
+    assert_eq!(case.initial(), None);
+    assert_eq!(case.run(), run_whitefi(&legacy, None), "outcome drifted");
+}
+
+/// The retired `examples/mic_storm.rs` constructor: three mics chase
+/// the network across the band, starting from the 20 MHz fragment.
+#[test]
+fn mic_storm_file_is_byte_identical_to_the_retired_constructor() {
+    let mut inc = IncumbentSet::default();
+    for (ch, on) in [(7usize, 4u64), (13, 8), (17, 12)] {
+        inc.mics.push(scripted_mic(
+            ch,
+            SimTime::from_secs(on),
+            SimTime::from_secs(30),
+        ));
+    }
+    let mut legacy = Scenario::new(13, building5_map(), 2);
+    legacy.warmup = SimDuration::from_secs(1);
+    legacy.duration = SimDuration::from_secs(39);
+    legacy.sample_interval = SimDuration::from_millis(500);
+    legacy.ap_extra_incumbents = Some(inc.clone());
+    for c in legacy.client_extra_incumbents.iter_mut() {
+        *c = Some(inc.clone());
+    }
+    let initial = WfChannel::from_parts(7, Width::W20);
+
+    let case = compile_single(&load("mic_storm"));
+    assert_eq!(case.scenario, legacy, "compiled scenario drifted");
+    assert_eq!(case.initial(), Some(initial));
+    assert_eq!(
+        case.run(),
+        run_whitefi(&legacy, Some(initial)),
+        "outcome drifted"
+    );
+}
+
+/// The retired `examples/campus_day.rs` constructor, including its
+/// sampled mic storm: one ChaCha8 stream draws a coin and a schedule
+/// per free channel, then the same incumbents land on the AP and every
+/// client. The `MicStorm(seed: Scenario)` compile must replay those
+/// draws exactly.
+#[test]
+fn campus_day_file_is_byte_identical_to_the_retired_constructor() {
+    let map = campus_sim_map();
+    let horizon_s = 120u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+    let mut incumbents = IncumbentSet::default();
+    for ch in map.free_channels() {
+        if rng.gen_bool(0.5) {
+            let schedule = MicSchedule::sample(&mut rng, horizon_s * 1_000_000_000, 40.0, 10.0);
+            incumbents.mics.push(WirelessMic::new(ch, schedule));
+        }
+    }
+    let mut legacy = Scenario::new(2026, map, 3);
+    legacy.warmup = SimDuration::from_secs(2);
+    legacy.duration = SimDuration::from_secs(horizon_s - 2);
+    legacy.sample_interval = SimDuration::from_secs(1);
+    legacy.ap_extra_incumbents = Some(incumbents.clone());
+    for c in legacy.client_extra_incumbents.iter_mut() {
+        *c = Some(incumbents.clone());
+    }
+    for ch in [10usize, 16] {
+        legacy.background.push(BackgroundPair {
+            channel: WfChannel::from_parts(ch, Width::W5),
+            traffic: BackgroundTraffic::Cbr {
+                interval: SimDuration::from_millis(20),
+            },
+        });
+    }
+
+    let case = compile_single(&load("campus_day"));
+    assert_eq!(case.scenario, legacy, "compiled scenario drifted");
+    assert_eq!(
+        case.contrast_fixed,
+        Some(WfChannel::from_parts(4, Width::W20))
+    );
+    assert_eq!(case.run(), run_whitefi(&legacy, None), "outcome drifted");
+}
+
+/// The retired `examples/rural_broadband.rs` loop: one shared RNG
+/// samples each locale and that phase's 40 AP placements in document
+/// order, with oracle seeds `seed + trial`. The phase expansion must
+/// match draw for draw, and the discovery outcomes must agree.
+#[test]
+fn rural_broadband_phases_match_the_retired_loop() {
+    let seed = 1848u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let doc = load("rural_broadband");
+    let ScenarioDoc::LocaleContrast(contrast) = &doc else {
+        panic!("rural_broadband.ron is not a LocaleContrast document");
+    };
+    let phases = scenario_file::locale_contrast_phases(contrast);
+    assert_eq!(phases.len(), 2);
+
+    for (phase, class) in phases.iter().zip([LocaleClass::Rural, LocaleClass::Urban]) {
+        let locale = Locale::sample(class, &mut rng);
+        assert_eq!(phase.class, class);
+        assert_eq!(phase.locale, locale, "{}: locale drifted", class.label());
+
+        let mut legacy = Scenario::new(seed ^ class.label().len() as u64, locale.map, 4);
+        legacy.warmup = SimDuration::from_secs(1);
+        legacy.duration = SimDuration::from_secs(5);
+        assert_eq!(
+            phase.scenario,
+            legacy,
+            "{}: scenario drifted",
+            class.label()
+        );
+
+        let placements = locale.map.available_channels();
+        assert!(!placements.is_empty(), "sampled locale admits no channel");
+        for (t, trial) in phase.trials.iter().enumerate() {
+            let ap = placements[rng.gen_range(0..placements.len())];
+            assert_eq!(
+                trial.ap,
+                ap,
+                "{}: trial {t} placement drifted",
+                class.label()
+            );
+            assert_eq!(trial.oracle_seed, seed + t as u64);
+        }
+        assert_eq!(phase.trials.len(), 40);
+    }
+
+    // One full discovery trial each way: same oracle seed, same times.
+    let trial = &phases[0].trials[0];
+    let mk = || SyntheticOracle::new(trial.ap, ChaCha8Rng::seed_from_u64(trial.oracle_seed));
+    let a = baseline_discovery(&mut mk(), phases[0].locale.map).expect("admissible");
+    let b = baseline_discovery(&mut mk(), phases[0].locale.map).expect("admissible");
+    assert_eq!(a, b, "oracle seed is not reproducible");
+}
+
+/// The retired `examples/discovery_race.rs` sweep: per width one RNG
+/// seeded by the width draws the placement and then three oracle seeds
+/// per trial, interleaved with the three algorithms. Mean dwell counts
+/// must match bit for bit across all 30 widths.
+#[test]
+fn discovery_race_rows_match_the_retired_sweep() {
+    let doc = load("discovery_race");
+    let ScenarioDoc::DiscoverySweep(sweep) = &doc else {
+        panic!("discovery_race.ron is not a DiscoverySweep document");
+    };
+    let rows = scenario_file::run_discovery_sweep(sweep);
+    assert_eq!(rows.len(), 30);
+
+    let trials = 200u64;
+    for row in &rows {
+        let width = row.width;
+        let mut map = SpectrumMap::all_occupied();
+        for i in 0..width {
+            map.set_free(UhfChannel::from_index(i));
+        }
+        let placements = map.available_channels();
+        let mut rng = ChaCha8Rng::seed_from_u64(width as u64);
+        let mut sums = [0.0f64; 3];
+        for _ in 0..trials {
+            let ap = placements[rng.gen_range(0..placements.len())];
+            let mk = |s| SyntheticOracle::new(ap, ChaCha8Rng::seed_from_u64(s));
+            sums[0] += f64::from(
+                baseline_discovery(&mut mk(rng.gen()), map)
+                    .expect("map has free channels")
+                    .scans,
+            );
+            sums[1] += f64::from(
+                l_sift_discovery(&mut mk(rng.gen()), map)
+                    .expect("map has free channels")
+                    .scans,
+            );
+            sums[2] += f64::from(
+                j_sift_discovery(&mut mk(rng.gen()), map)
+                    .expect("map has free channels")
+                    .scans,
+            );
+        }
+        #[allow(clippy::cast_precision_loss)] // trial counts are small
+        let [b, l, j] = sums.map(|s| s / trials as f64);
+        assert_eq!(
+            (row.baseline, row.l_sift, row.j_sift),
+            (b, l, j),
+            "width {width}: mean dwells drifted"
+        );
+    }
+}
+
+/// The retired `examples/roadtrip.rs` drive: two markets registered in
+/// station order, the route queried every 10 km. Maps and channel
+/// picks must agree at every step.
+#[test]
+fn roadtrip_steps_match_the_retired_drive() {
+    let doc = load("roadtrip");
+    let ScenarioDoc::Roadtrip(trip) = &doc else {
+        panic!("roadtrip.ron is not a Roadtrip document");
+    };
+    let steps = scenario_file::run_roadtrip(trip);
+    assert_eq!(steps.len(), 25);
+
+    let mut db = GeoDatabase::new();
+    for (ch, erp) in [(2usize, 1000.0), (6, 800.0), (11, 600.0), (15, 400.0)] {
+        db.register(StationRecord {
+            channel: UhfChannel::from_index(ch),
+            site: Location::new(0.0, 0.0),
+            erp_kw: erp,
+        });
+    }
+    for (ch, erp) in [(3usize, 1000.0), (11, 900.0), (22, 700.0), (27, 500.0)] {
+        db.register(StationRecord {
+            channel: UhfChannel::from_index(ch),
+            site: Location::new(240.0, 0.0),
+            erp_kw: erp,
+        });
+    }
+    for (i, step) in steps.iter().enumerate() {
+        #[allow(clippy::cast_precision_loss)] // 25 steps
+        let x = i as f64 * 10.0;
+        assert_eq!(step.x_km, x);
+        let map = db.query(Location::new(x, 0.0));
+        assert_eq!(step.map, map, "step {i}: database map drifted");
+        let report = NodeReport {
+            map,
+            airtime: AirtimeVector::idle(),
+        };
+        let pick = select_channel(&report, &[]).map(|(c, _)| c);
+        assert_eq!(step.pick, pick, "step {i}: channel pick drifted");
+    }
+}
