@@ -148,6 +148,7 @@ struct Finished {
     oracles: OracleTotals,
 }
 
+// lint:allow(taint, the experiments binary times its own phases; sims only see scenario seeds)
 fn main() {
     let opts = parse_args();
     let registry = registry();

@@ -8,15 +8,19 @@
 //! reassembles the results in index order, so the output of `--jobs N`
 //! is byte-identical to `--jobs 1` by construction. A test in
 //! `tests/determinism.rs` enforces this end-to-end through the real
-//! experiment registry.
+//! experiment registry; the work-index / result-slot handoff pattern is
+//! additionally model-checked under the deterministic interleaving
+//! explorer in `tests/loom_models.rs` (the pool's sync primitives come
+//! from `whitefi_mac::msync`, so the modelled algorithm and the
+//! production code share one implementation — DESIGN.md §16).
 //!
 //! The runner also owns the `--seed` perturbation: a user seed of 0 (the
 //! default) leaves every base seed untouched, keeping historical outputs
 //! stable; any other value mixes it into each derived seed via
 //! splitmix64.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
+use whitefi_mac::msync::{AtomicU64, AtomicUsize, Mutex};
 
 /// The splitmix64 finalizer — a cheap, well-dispersed u64 mixer.
 fn splitmix64(x: u64) -> u64 {
@@ -160,6 +164,7 @@ impl RunCtx {
     /// experiment code: keeping the `Instant` here (inside the
     /// allowlisted runner) lets the determinism linter forbid clock
     /// reads everywhere simulation state lives.
+    // lint:allow(taint, sanctioned experiment timing: wall seconds ride beside results and never feed sim state)
     pub fn time<T, F>(&self, f: F) -> (T, f64)
     where
         F: FnOnce() -> T,

@@ -38,9 +38,15 @@
 //!   Results of an aborted attempt are discarded wholesale, so the
 //!   nondeterministic *timing* of the abort can never leak into an
 //!   outcome.
+//!
+//! The bus's primitives come from [`crate::msync`], so the exact same
+//! code runs under std in production, under the deterministic
+//! interleaving explorer in `tests/loom_models.rs` (publish/collect,
+//! barrier-skew and contact-wake interleavings), and under real loom
+//! on machines that opt in with `--cfg loom` (DESIGN.md §16).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use crate::msync::{AtomicBool, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::Ordering;
 use whitefi_phy::{PhyTiming, SimDuration};
 
 /// The conservative cut lookahead `L`: the minimum delay between the
@@ -102,11 +108,12 @@ impl BoundaryBus {
         self.groups
     }
 
-    /// Poison-tolerant lock: a worker that panicked mid-round aborts the
-    /// whole cut attempt (its panic propagates through the pool join),
-    /// so state observed after a poisoning is never used for an outcome.
+    /// Poison-tolerant lock (the `msync` shim recovers the value): a
+    /// worker that panicked mid-round aborts the whole cut attempt (its
+    /// panic propagates through the pool join), so state observed after
+    /// a poisoning is never used for an outcome.
     fn lock(&self) -> MutexGuard<'_, BusState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        self.state.lock()
     }
 
     fn round_slot(state: &mut BusState, groups: usize, round: usize) -> &mut BusRound {
@@ -188,10 +195,7 @@ impl BoundaryBus {
             if st.rounds[round].reports.iter().all(Option::is_some) {
                 return Ok(Self::merged_others(&st.rounds[round], group));
             }
-            st = self
-                .barrier
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = self.barrier.wait(st);
         }
     }
 

@@ -188,7 +188,7 @@ impl FaultState {
     pub fn register_node(&mut self, id: NodeId, stream: u64, now: SimTime) -> SimDuration {
         debug_assert_eq!(self.rngs.len(), id, "fault registration out of order");
         let mut rng = ChaCha8Rng::seed_from_u64(self.family_seed);
-        rng.set_stream(stream);
+        rng.set_stream(stream); // stream-map: domain=fault-lanes salt=FAULT_SEED_SALT streams=0..=4294967295 role="per-node fault draws (stream = node id)"
         let max = self.plan.max_detection_extra.as_nanos();
         let extra = if max > 0 {
             SimDuration::from_nanos(rng.gen_range(0..=max))

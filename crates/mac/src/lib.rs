@@ -38,6 +38,9 @@ pub mod faults;
 pub mod frames;
 pub mod interference;
 pub mod medium;
+#[cfg(not(loom))]
+pub mod model;
+pub mod msync;
 pub mod sim;
 pub mod stats;
 pub mod trace;

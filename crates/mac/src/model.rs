@@ -1,0 +1,586 @@
+//! Miniature deterministic interleaving explorer ("minloom") backing
+//! the [`crate::msync`] shims — an in-repo, dependency-free stand-in
+//! for [loom](https://docs.rs/loom) that the offline toolchain can
+//! always run (DESIGN.md §16).
+//!
+//! [`check`] runs a closure under a cooperative scheduler: the model
+//! threads it spawns (via [`spawn`]) execute one at a time, yielding to
+//! the scheduler at every synchronization operation (lock, unlock,
+//! condvar wait/notify, atomic access, join). The scheduler then
+//! re-executes the closure, depth-first, once per distinct scheduling
+//! decision sequence, so an assertion in the closure is checked against
+//! *every* explored interleaving and a lost-wakeup or ordering bug
+//! surfaces as a deterministic panic carrying the offending schedule.
+//!
+//! Like CHESS (and loom's `preemption_bound`), exploration is
+//! **preemption-bounded**: schedules that preempt a runnable thread
+//! more than [`DEFAULT_PREEMPTION_BOUND`] times are skipped, which
+//! keeps the search tractable while still covering the interleavings
+//! that expose almost all real concurrency bugs. The bound (and the
+//! execution budget) can be tuned with [`check_with`].
+//!
+//! Soundness limits, documented rather than hidden (DESIGN.md §16): the
+//! explorer interleaves at `msync` operation granularity (plain memory
+//! accesses between two sync operations execute as one atomic block),
+//! models every atomic as sequentially consistent, and never generates
+//! spurious condvar wakeups. Code whose failure needs a weaker memory
+//! order or a spurious wakeup to manifest needs the real loom backend
+//! (`--cfg loom`, README "Race detection") or the ThreadSanitizer stage
+//! of `scripts/check.sh`.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Default cap on *preemptions* per explored schedule (context switches
+/// away from a thread that could have kept running). Two preemptions
+/// expose the overwhelming majority of real concurrency bugs — the
+/// CHESS result loom's own default preemption bound leans on.
+pub const DEFAULT_PREEMPTION_BOUND: usize = 2;
+
+/// Default cap on explored executions; exceeding it fails the check
+/// loudly instead of silently truncating coverage.
+pub const DEFAULT_MAX_EXECUTIONS: usize = 200_000;
+
+/// What a model thread is doing, as far as the scheduler is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Blocked acquiring mutex `m`; eligible once `m` is free.
+    BlockedLock(usize),
+    /// Parked in a condvar wait on `cv`, holding no lock; eligible only
+    /// after a notify moves it to `Reacquire(mutex)`.
+    BlockedCv { cv: usize, mutex: usize },
+    /// Notified, waiting to reacquire mutex `m`.
+    Reacquire(usize),
+    /// Blocked joining thread `t`; eligible once `t` finishes.
+    BlockedJoin(usize),
+    /// Done (user closure returned or panicked).
+    Finished,
+}
+
+impl Run {
+    fn eligible(self, sched: &Sched) -> bool {
+        match self {
+            Run::Runnable => true,
+            Run::BlockedLock(m) | Run::Reacquire(m) => sched.mutex_owner[m].is_none(),
+            Run::BlockedCv { .. } => false,
+            Run::BlockedJoin(t) => sched.threads[t] == Run::Finished,
+            Run::Finished => false,
+        }
+    }
+}
+
+/// One scheduling decision: which of the `eligible` threads ran, and
+/// whether the previously running thread was itself still eligible (so
+/// any choice but index 0 counts as a preemption).
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    eligible: usize,
+    preemptible: bool,
+}
+
+#[derive(Debug)]
+struct Sched {
+    threads: Vec<Run>,
+    running: Option<usize>,
+    mutex_owner: Vec<Option<usize>>,
+    n_condvars: usize,
+    /// Replay prefix for this execution (DFS state).
+    prefix: Vec<usize>,
+    /// Decisions taken so far this execution.
+    trace: Vec<Decision>,
+    aborted: bool,
+    failure: Option<String>,
+}
+
+/// The per-execution scheduler shared by every model thread.
+pub(crate) struct Controller {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Controller>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The active model context of the calling thread, if it is a model
+/// thread. The `msync` primitives route through this; outside a model
+/// run they fall back to the std implementations.
+pub(crate) fn current() -> Option<(Arc<Controller>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Controller {
+    fn new(prefix: Vec<usize>) -> Self {
+        Self {
+            sched: Mutex::new(Sched {
+                threads: Vec::new(),
+                running: None,
+                mutex_owner: Vec::new(),
+                n_condvars: 0,
+                prefix,
+                trace: Vec::new(),
+                aborted: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn locked(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a new model thread and returns its id.
+    fn register_thread(&self) -> usize {
+        let mut st = self.locked();
+        st.threads.push(Run::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Registers a new model mutex for this execution.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.locked();
+        st.mutex_owner.push(None);
+        st.mutex_owner.len() - 1
+    }
+
+    /// Registers a new model condvar for this execution.
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.locked();
+        st.n_condvars += 1;
+        st.n_condvars - 1
+    }
+
+    /// Picks the next thread to run and wakes it; `prev` is the thread
+    /// that just yielded the CPU. Called with the scheduler locked.
+    fn pick_next(&self, st: &mut Sched, prev: Option<usize>) {
+        // `prev` goes first when still eligible, so "choice 0" always
+        // means "no preemption" and the bound counts the others.
+        let mut elig: Vec<usize> = Vec::new();
+        if let Some(p) = prev {
+            if st.threads[p].eligible(st) {
+                elig.push(p);
+            }
+        }
+        for id in 0..st.threads.len() {
+            if Some(id) != prev && st.threads[id].eligible(st) {
+                elig.push(id);
+            }
+        }
+        if elig.is_empty() {
+            if !st.threads.iter().all(|&t| t == Run::Finished) && st.failure.is_none() {
+                st.failure = Some(format!(
+                    "deadlock: no eligible thread (states {:?}) after schedule {:?}",
+                    st.threads,
+                    st.trace.iter().map(|d| d.chosen).collect::<Vec<_>>()
+                ));
+                st.aborted = true;
+            }
+            st.running = None;
+            self.cv.notify_all();
+            return;
+        }
+        let preemptible = prev.is_some_and(|p| elig.first() == Some(&p));
+        let depth = st.trace.len();
+        let choice = if depth < st.prefix.len() {
+            st.prefix[depth].min(elig.len() - 1)
+        } else {
+            0
+        };
+        st.trace.push(Decision {
+            chosen: choice,
+            eligible: elig.len(),
+            preemptible,
+        });
+        let id = elig[choice];
+        // Granting the CPU to a lock-blocked thread *is* the acquire.
+        match st.threads[id] {
+            Run::BlockedLock(m) | Run::Reacquire(m) => st.mutex_owner[m] = Some(id),
+            _ => {}
+        }
+        st.threads[id] = Run::Runnable;
+        st.running = Some(id);
+        self.cv.notify_all();
+    }
+
+    /// Unwinds (or, when already unwinding, silently returns from) a
+    /// thread of an aborted execution.
+    fn bail(&self) {
+        if !std::thread::panicking() {
+            std::panic::panic_any(ModelAbort);
+        }
+    }
+
+    /// Parks the calling model thread in `state` and returns once the
+    /// scheduler hands it the CPU again.
+    fn reschedule(&self, me: usize, state: Run) {
+        let mut st = self.locked();
+        if st.aborted {
+            drop(st);
+            self.bail();
+            return;
+        }
+        st.threads[me] = state;
+        self.pick_next(&mut st, Some(me));
+        while st.running != Some(me) {
+            if st.aborted {
+                drop(st);
+                self.bail();
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A plain scheduling point (atomic access, explicit yield).
+    pub(crate) fn yield_point(&self, me: usize) {
+        self.reschedule(me, Run::Runnable);
+    }
+
+    /// Acquires model mutex `m` for the calling thread (schedules).
+    pub(crate) fn lock_mutex(&self, me: usize, m: usize) {
+        self.reschedule(me, Run::BlockedLock(m));
+    }
+
+    /// Releases model mutex `m` — a scheduling point, like loom's.
+    pub(crate) fn unlock_mutex(&self, me: usize, m: usize) {
+        {
+            let mut st = self.locked();
+            if st.aborted {
+                return; // execution is dead; just release and unwind
+            }
+            debug_assert_eq!(st.mutex_owner[m], Some(me));
+            st.mutex_owner[m] = None;
+        }
+        self.reschedule(me, Run::Runnable);
+    }
+
+    /// Atomically releases `m` and parks on condvar `cv`; on return the
+    /// thread has been notified and holds `m` again.
+    pub(crate) fn condvar_wait(&self, me: usize, cv: usize, m: usize) {
+        {
+            let mut st = self.locked();
+            if st.aborted {
+                drop(st);
+                self.bail();
+                return;
+            }
+            debug_assert_eq!(st.mutex_owner[m], Some(me));
+            st.mutex_owner[m] = None;
+        }
+        self.reschedule(me, Run::BlockedCv { cv, mutex: m });
+        // reschedule() returning means pick_next granted us the mutex.
+    }
+
+    /// Wakes waiters of condvar `cv` (all, or just the lowest-id one —
+    /// a deterministic approximation of `notify_one`). Woken threads
+    /// move to `Reacquire` and contend for the mutex under scheduler
+    /// control.
+    pub(crate) fn notify(&self, me: usize, cv: usize, all: bool) {
+        {
+            let mut st = self.locked();
+            if st.aborted {
+                drop(st);
+                self.bail();
+                return;
+            }
+            for id in 0..st.threads.len() {
+                if let Run::BlockedCv { cv: c, mutex } = st.threads[id] {
+                    if c == cv {
+                        st.threads[id] = Run::Reacquire(mutex);
+                        if !all {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.reschedule(me, Run::Runnable);
+    }
+
+    /// Blocks the calling thread until model thread `t` finishes.
+    pub(crate) fn join_thread(&self, me: usize, t: usize) {
+        self.reschedule(me, Run::BlockedJoin(t));
+    }
+
+    /// Marks the calling thread finished (recording a panic message as
+    /// the execution's failure) and schedules a successor.
+    fn finish_thread(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.locked();
+        st.threads[me] = Run::Finished;
+        if let Some(msg) = panic_msg {
+            if st.failure.is_none() {
+                st.failure = Some(format!(
+                    "model thread {me} panicked: {msg}\nschedule: {:?}",
+                    st.trace.iter().map(|d| d.chosen).collect::<Vec<_>>()
+                ));
+            }
+            st.aborted = true;
+        } else if !st.aborted && st.running == Some(me) {
+            self.pick_next(&mut st, None);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Driver wait: until every model thread of this execution has
+    /// finished (normally or by unwinding off an abort).
+    fn wait_done(&self) {
+        let mut st = self.locked();
+        while !st.threads.iter().all(|&t| t == Run::Finished) {
+            if st.aborted {
+                self.cv.notify_all(); // flush parked threads into bail()
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Panic payload used to unwind threads of an aborted execution; the
+/// entry trampoline recognises it and does not re-report it.
+struct ModelAbort;
+
+/// Trampoline every model thread runs: wait to be scheduled, run the
+/// body catching panics, hand the CPU back.
+fn thread_main(ctrl: Arc<Controller>, id: usize, body: impl FnOnce()) {
+    {
+        let mut st = ctrl.locked();
+        while st.running != Some(id) && !st.aborted {
+            st = ctrl.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.aborted {
+            drop(st);
+            ctrl.finish_thread(id, None);
+            return;
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&ctrl), id)));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let msg = match result {
+        Ok(()) => None,
+        Err(p) => {
+            if p.downcast_ref::<ModelAbort>().is_some() {
+                None // secondary unwind of an already-failed execution
+            } else if let Some(s) = p.downcast_ref::<&str>() {
+                Some((*s).to_string())
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                Some(s.clone())
+            } else {
+                Some("non-string panic payload".to_string())
+            }
+        }
+    };
+    ctrl.finish_thread(id, msg);
+}
+
+/// Handle to a model thread spawned with [`spawn`].
+pub struct JoinHandle {
+    id: usize,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl JoinHandle {
+    /// Waits (as a scheduling point) for the thread to finish. A panic
+    /// inside the thread aborts the whole execution and is reported by
+    /// [`check`], so `join` itself returns nothing.
+    pub fn join(mut self) {
+        if let Some((ctrl, me)) = current() {
+            ctrl.join_thread(me, self.id);
+        }
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+    }
+}
+
+impl Drop for JoinHandle {
+    fn drop(&mut self) {
+        // Detach: the driver's wait_done keeps executions sequenced.
+        drop(self.os.take());
+    }
+}
+
+/// Spawns a model thread inside an active [`check`] execution. Panics
+/// if called outside one — model code must run under the explorer.
+pub fn spawn(body: impl FnOnce() + Send + 'static) -> JoinHandle {
+    let (ctrl, me) = current().expect("model::spawn outside model::check"); // lint:allow(unwrap, documented contract: spawn is only legal inside model::check)
+    let id = ctrl.register_thread();
+    let ctrl2 = Arc::clone(&ctrl);
+    let os = std::thread::Builder::new()
+        .name(format!("model-{id}"))
+        .spawn(move || thread_main(ctrl2, id, body))
+        .expect("spawn model thread"); // lint:allow(unwrap, OS thread creation failing is unrecoverable for the explorer)
+
+    // Thread creation is itself a scheduling point: the child may run
+    // before or after the parent's next step.
+    ctrl.yield_point(me);
+    JoinHandle { id, os: Some(os) }
+}
+
+/// An explicit scheduling point, for tests that want to widen the
+/// explored interleavings around plain memory operations.
+pub fn yield_now() {
+    if let Some((ctrl, me)) = current() {
+        ctrl.yield_point(me);
+    }
+}
+
+/// Explores `body` under every preemption-bounded interleaving (see
+/// module docs) and returns the number of executions checked. Panics —
+/// with the failing schedule — if any execution panics, fails an
+/// assertion, or deadlocks.
+pub fn check(body: impl Fn() + Send + Sync + 'static) -> usize {
+    check_with(DEFAULT_PREEMPTION_BOUND, DEFAULT_MAX_EXECUTIONS, body)
+}
+
+/// [`check`] with an explicit preemption bound and execution budget.
+pub fn check_with(
+    preemption_bound: usize,
+    max_executions: usize,
+    body: impl Fn() + Send + Sync + 'static,
+) -> usize {
+    assert!(
+        current().is_none(),
+        "model::check does not nest inside a model execution"
+    );
+    let body = Arc::new(body);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        let ctrl = Arc::new(Controller::new(prefix.clone()));
+        let id = ctrl.register_thread();
+        ctrl.locked().running = Some(id);
+        let ctrl2 = Arc::clone(&ctrl);
+        let b = Arc::clone(&body);
+        let root = std::thread::Builder::new()
+            .name("model-0".into())
+            .spawn(move || thread_main(ctrl2, id, move || b()))
+            .expect("spawn model root"); // lint:allow(unwrap, OS thread creation failing is unrecoverable for the explorer)
+        ctrl.wait_done();
+        let _ = root.join();
+        executions += 1;
+        let st = ctrl.locked();
+        if let Some(fail) = &st.failure {
+            panic!("model check failed on execution {executions}: {fail}");
+        }
+        // Depth-first: rewind to the deepest decision with an untried
+        // alternative whose schedule stays within the preemption bound.
+        let trace = &st.trace;
+        let mut next: Option<Vec<usize>> = None;
+        'outer: for i in (0..trace.len()).rev() {
+            let base_preemptions = trace[..i]
+                .iter()
+                .filter(|d| d.preemptible && d.chosen != 0)
+                .count();
+            let mut cand = trace[i].chosen + 1;
+            while cand < trace[i].eligible {
+                let preemptions = base_preemptions + usize::from(trace[i].preemptible && cand != 0);
+                if preemptions <= preemption_bound {
+                    let mut p: Vec<usize> = trace[..i].iter().map(|d| d.chosen).collect();
+                    p.push(cand);
+                    next = Some(p);
+                    break 'outer;
+                }
+                cand += 1;
+            }
+        }
+        drop(st);
+        match next {
+            Some(p) => prefix = p,
+            None => return executions,
+        }
+        assert!(
+            executions < max_executions,
+            "model state space exceeded {max_executions} executions — \
+             shrink the model or raise the budget via check_with"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msync::{AtomicUsize as MAtomicUsize, Mutex as MMutex};
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn single_thread_model_runs_once() {
+        let n = check(|| {
+            let m = MMutex::new(1);
+            *m.lock() += 1;
+            assert_eq!(*m.lock(), 2);
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn two_increments_explore_multiple_interleavings() {
+        let n = check(|| {
+            let c = Arc::new(MAtomicUsize::new(0));
+            let a = {
+                let c = Arc::clone(&c);
+                spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            };
+            let b = {
+                let c = Arc::clone(&c);
+                spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            };
+            a.join();
+            b.join();
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+        assert!(n > 1, "expected multiple interleavings, got {n}");
+    }
+
+    #[test]
+    fn model_catches_lost_update() {
+        // A non-atomic read-modify-write through a shared cell must be
+        // caught: some interleaving loses an update. This is the
+        // explorer's own canary — if it stops failing, the model has
+        // stopped exploring.
+        let caught = std::panic::catch_unwind(|| {
+            check(|| {
+                let c = Arc::new(MAtomicUsize::new(0));
+                let mk = |c: Arc<MAtomicUsize>| {
+                    spawn(move || {
+                        let v = c.load(Ordering::SeqCst); // read …
+                        c.store(v + 1, Ordering::SeqCst); // … then write
+                    })
+                };
+                let a = mk(Arc::clone(&c));
+                let b = mk(Arc::clone(&c));
+                a.join();
+                b.join();
+                assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+            })
+        });
+        assert!(caught.is_err(), "lost update went undetected");
+    }
+
+    #[test]
+    fn model_reports_deadlock() {
+        let caught = std::panic::catch_unwind(|| {
+            check(|| {
+                let m = Arc::new(MMutex::new(()));
+                let g = m.lock();
+                let t = {
+                    let m = Arc::clone(&m);
+                    spawn(move || {
+                        let _g = m.lock(); // parent never releases
+                    })
+                };
+                t.join(); // … and joins while still holding the lock
+                drop(g);
+            })
+        });
+        assert!(caught.is_err(), "deadlock went undetected");
+    }
+}

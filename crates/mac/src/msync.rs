@@ -1,0 +1,342 @@
+//! Model-aware synchronization shims for the sim crates' tiny
+//! concurrent core (DESIGN.md §16).
+//!
+//! Three backends share one API, so [`crate::boundary::BoundaryBus`]
+//! and the bench runner pool are written once and checked three ways:
+//!
+//! * **std** (default, production): every type delegates straight to
+//!   `std::sync` — zero behavioural or performance difference outside a
+//!   model run. Locks are poison-tolerant ([`Mutex::lock`] recovers the
+//!   inner value), matching the bus's pre-existing discipline.
+//! * **minloom** (default, under [`crate::model::check`]): when the
+//!   calling thread is a model thread, every operation first yields to
+//!   the deterministic interleaving explorer, which exhaustively
+//!   (preemption-bounded) schedules the checked closure. Outside a
+//!   model run this branch is never taken.
+//! * **loom** (`--cfg loom`, networked machines only): the real
+//!   [loom](https://docs.rs/loom) primitives, for exhaustive
+//!   C11-memory-model checking. The loom crate is deliberately *not* a
+//!   dependency of offline builds; see README "Race detection" for the
+//!   two-line stanza to add.
+//!
+//! Model-checked code must create its `msync` objects *inside* the
+//! checked closure: an object created outside carries no model identity
+//! and would fall back to real blocking, hanging the cooperative
+//! scheduler.
+
+pub use backend::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard};
+
+#[cfg(loom)]
+mod backend {
+    //! Thin adapters over the real loom primitives (poison-unwrapping,
+    //! so call sites look identical to the std backend).
+    pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    use std::ops::{Deref, DerefMut};
+
+    /// Loom-backed mutex with a poison-tolerant `lock`.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(loom::sync::Mutex<T>);
+
+    /// Guard returned by [`Mutex::lock`].
+    #[derive(Debug)]
+    pub struct MutexGuard<'a, T>(loom::sync::MutexGuard<'a, T>);
+
+    /// Loom-backed condition variable.
+    #[derive(Debug, Default)]
+    pub struct Condvar(loom::sync::Condvar);
+
+    impl<T> Mutex<T> {
+        /// A new mutex holding `v`.
+        pub fn new(v: T) -> Self {
+            Self(loom::sync::Mutex::new(v))
+        }
+
+        /// Locks, recovering the value from a poisoned lock.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<'a, T> Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<'a, T> DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    impl Condvar {
+        /// A new condition variable.
+        pub fn new() -> Self {
+            Self(loom::sync::Condvar::new())
+        }
+
+        /// Releases the guard's lock until notified; relocks on return.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            MutexGuard(self.0.wait(guard.0).unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(not(loom))]
+mod backend {
+    //! std-backed primitives that hand every operation to the minloom
+    //! scheduler when (and only when) the calling thread belongs to an
+    //! active [`crate::model::check`] execution.
+    use crate::model;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::atomic::Ordering;
+    use std::sync::PoisonError;
+
+    /// Yields to the model scheduler at an atomic access, outside any
+    /// lock bookkeeping.
+    fn model_point() {
+        if let Some((ctrl, me)) = model::current() {
+            ctrl.yield_point(me);
+        }
+    }
+
+    /// Mutex that schedules through the active interleaving model and
+    /// otherwise behaves exactly like a poison-tolerant `std` mutex.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+        /// Model identity, assigned when constructed inside a model run.
+        id: Option<usize>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A new mutex holding `v`.
+        pub fn new(v: T) -> Self {
+            Self {
+                inner: std::sync::Mutex::new(v),
+                id: model::current().map(|(ctrl, _)| ctrl.register_mutex()),
+            }
+        }
+
+        /// Locks, recovering the value from a poisoned lock (a worker
+        /// that panicked mid-round aborts the whole attempt through the
+        /// pool join, so post-poison state never reaches an outcome).
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            if let (Some(id), Some((ctrl, me))) = (self.id, model::current()) {
+                ctrl.lock_mutex(me, id);
+                let g = self
+                    .inner
+                    .try_lock()
+                    .expect("model granted a lock the std mutex still holds"); // lint:allow(unwrap, the model scheduler serializes lock grants; contention here is a model bug)
+                MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                }
+            } else {
+                MutexGuard {
+                    lock: self,
+                    inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+                }
+            }
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Guard returned by [`Mutex::lock`]; releases the model ownership
+    /// (a scheduling point) after the std guard on drop.
+    #[derive(Debug)]
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<'a, T> Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already released") // lint:allow(unwrap, inner is only taken by Condvar::wait, which returns a fresh guard)
+        }
+    }
+
+    impl<'a, T> DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard already released") // lint:allow(unwrap, inner is only taken by Condvar::wait, which returns a fresh guard)
+        }
+    }
+
+    impl<'a, T> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            if let Some(g) = self.inner.take() {
+                drop(g); // release the std lock first …
+                if let (Some(id), Some((ctrl, me))) = (self.lock.id, model::current()) {
+                    ctrl.unlock_mutex(me, id); // … then the model's
+                }
+            }
+        }
+    }
+
+    /// Condvar that parks through the active interleaving model (no
+    /// spurious wakeups there) and otherwise delegates to `std`.
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+        id: Option<usize>,
+    }
+
+    impl Condvar {
+        /// A new condition variable.
+        pub fn new() -> Self {
+            Self {
+                inner: std::sync::Condvar::new(),
+                id: model::current().map(|(ctrl, _)| ctrl.register_condvar()),
+            }
+        }
+
+        /// Releases the guard's lock until notified; relocks on return.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let lock = guard.lock;
+            let std_guard = guard.inner.take().expect("guard already released"); // lint:allow(unwrap, wait consumes the guard; inner is present until this very take)
+            if let (Some(cv), Some((ctrl, me))) = (self.id, model::current()) {
+                let m = lock.id.expect("model condvar paired with non-model mutex"); // lint:allow(unwrap, both sides register with the model in new(); a mismatch is a harness bug)
+                drop(std_guard); // model owns exclusion; release std lock
+                ctrl.condvar_wait(me, cv, m); // returns owning model lock
+                let g = lock
+                    .inner
+                    .try_lock()
+                    .expect("model granted a lock the std mutex still holds"); // lint:allow(unwrap, the model scheduler serializes lock grants; contention here is a model bug)
+                MutexGuard {
+                    lock,
+                    inner: Some(g),
+                }
+            } else {
+                let g = self
+                    .inner
+                    .wait(std_guard)
+                    .unwrap_or_else(PoisonError::into_inner);
+                MutexGuard {
+                    lock,
+                    inner: Some(g),
+                }
+            }
+        }
+
+        /// Wakes one waiter (under the model: the lowest-id waiter, a
+        /// deterministic approximation).
+        pub fn notify_one(&self) {
+            if let (Some(cv), Some((ctrl, me))) = (self.id, model::current()) {
+                ctrl.notify(me, cv, false);
+            } else {
+                self.inner.notify_one();
+            }
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            if let (Some(cv), Some((ctrl, me))) = (self.id, model::current()) {
+                ctrl.notify(me, cv, true);
+            } else {
+                self.inner.notify_all();
+            }
+        }
+    }
+
+    macro_rules! model_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $val:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: $std,
+            }
+
+            impl $name {
+                /// A new atomic holding `v`.
+                pub fn new(v: $val) -> Self {
+                    Self { v: <$std>::new(v) }
+                }
+
+                /// Atomic load (a model scheduling point).
+                pub fn load(&self, order: Ordering) -> $val {
+                    model_point();
+                    self.v.load(order)
+                }
+
+                /// Atomic store (a model scheduling point).
+                pub fn store(&self, val: $val, order: Ordering) {
+                    model_point();
+                    self.v.store(val, order);
+                }
+
+                /// Atomic swap (a model scheduling point).
+                pub fn swap(&self, val: $val, order: Ordering) -> $val {
+                    model_point();
+                    self.v.swap(val, order)
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Model-aware `AtomicBool`; each access is a scheduling point.
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool
+    );
+    model_atomic!(
+        /// Model-aware `AtomicUsize`; each access is a scheduling point.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    model_atomic!(
+        /// Model-aware `AtomicU64`; each access is a scheduling point.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+
+    impl AtomicUsize {
+        /// Atomic add, returning the previous value (a scheduling
+        /// point) — the runner pool's work-index handoff primitive.
+        pub fn fetch_add(&self, val: usize, order: Ordering) -> usize {
+            model_point();
+            self.v.fetch_add(val, order)
+        }
+
+        /// Atomic max, returning the previous value (a scheduling
+        /// point).
+        pub fn fetch_max(&self, val: usize, order: Ordering) -> usize {
+            model_point();
+            self.v.fetch_max(val, order)
+        }
+    }
+
+    impl AtomicU64 {
+        /// Atomic add, returning the previous value (a scheduling
+        /// point).
+        pub fn fetch_add(&self, val: u64, order: Ordering) -> u64 {
+            model_point();
+            self.v.fetch_add(val, order)
+        }
+    }
+}

@@ -1038,7 +1038,7 @@ impl Simulator {
         let detection_delay = cfg.detection_delay;
         let stream = cfg.rng_stream.unwrap_or(id as u64);
         let mut rng = ChaCha8Rng::seed_from_u64(self.core.seed);
-        rng.set_stream(stream);
+        rng.set_stream(stream); // stream-map: domain=sim-nodes salt=scenario-seed streams=0..=4294967295 role="node MAC/traffic draws (stream = NodeConfig::rng_stream or node id)"
         self.core.nodes.push(Node {
             channel: cfg.channel,
             cw: self.core.params.cw_min,

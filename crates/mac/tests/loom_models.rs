@@ -1,0 +1,166 @@
+//! Race-detection model tests for the cross-shard [`BoundaryBus`]
+//! (DESIGN.md §16).
+//!
+//! The default build checks the bus under the in-repo deterministic
+//! interleaving explorer (`whitefi_mac::model`, a preemption-bounded
+//! CHESS-style scheduler): every assertion below holds in *every*
+//! explored interleaving, so a lost wakeup, a barrier that admits more
+//! than one round of skew, or a contact flag that fails to drain a
+//! blocked peer shows up as a deterministic panic with the offending
+//! schedule attached.
+//!
+//! With `RUSTFLAGS="--cfg loom"` (and the loom dev-dependency added —
+//! README "Race detection"), the same scenarios run under real loom's
+//! exhaustive C11 memory-model exploration instead.
+
+#[cfg(not(loom))]
+mod minloom {
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use whitefi_mac::msync::AtomicUsize;
+    use whitefi_mac::{model, BoundaryBus, CutContact};
+
+    /// Two pooled groups, two rounds: in every interleaving each exchange
+    /// returns exactly the peer's activity for that round, and the barrier
+    /// never lets a group run more than one round ahead of its peer.
+    #[test]
+    fn model_exchange_merges_and_bounds_skew() {
+        let explored = model::check(|| {
+            let bus = Arc::new(BoundaryBus::new(2));
+            let round_of = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+            let worker = |g: usize| {
+                let bus = Arc::clone(&bus);
+                let round_of = Arc::clone(&round_of);
+                model::spawn(move || {
+                    for round in 0..2usize {
+                        round_of[g].store(round, Ordering::SeqCst);
+                        let remote = bus
+                            .exchange(g, round, vec![(g, 1 << round)])
+                            .expect("no contact flagged in this model");
+                        assert_eq!(remote, vec![(1 - g, 1 << round)], "group {g} round {round}");
+                        // A completed exchange proves the peer published this
+                        // round: it can lag by at most the round we are in.
+                        let peer = round_of[1 - g].load(Ordering::SeqCst);
+                        assert!(
+                            round.saturating_sub(peer) <= 1,
+                            "group {g} at round {round} saw peer at {peer}: skew > 1"
+                        );
+                    }
+                })
+            };
+            let a = worker(0);
+            let b = worker(1);
+            a.join();
+            b.join();
+            assert!(!bus.contact());
+        });
+        assert!(
+            explored > 1,
+            "explorer found only {explored} interleaving(s)"
+        );
+    }
+
+    /// Sequential-driver shape under the model: publishes from two model
+    /// threads, then a collect sees both — publish order must not matter.
+    #[test]
+    fn model_publish_collect_is_order_independent() {
+        let explored = model::check(|| {
+            let bus = Arc::new(BoundaryBus::new(3));
+            let p0 = {
+                let bus = Arc::clone(&bus);
+                model::spawn(move || bus.publish(0, 0, vec![(0, 0b01)]))
+            };
+            let p1 = {
+                let bus = Arc::clone(&bus);
+                model::spawn(move || bus.publish(1, 0, vec![(5, 0b10)]))
+            };
+            p0.join();
+            p1.join();
+            bus.publish(2, 0, vec![]);
+            // Whatever order the two publishers ran in, the merged view is
+            // the same sorted-by-cell union.
+            assert_eq!(bus.collect_others(2, 0), vec![(0, 0b01), (5, 0b10)]);
+            assert_eq!(bus.collect_others(0, 0), vec![(5, 0b10)]);
+        });
+        assert!(
+            explored > 1,
+            "explorer found only {explored} interleaving(s)"
+        );
+    }
+
+    /// A peer that flags a contact instead of publishing must wake a
+    /// blocked exchange with `Err(CutContact)` in every interleaving —
+    /// whether the flag lands before the exchange starts, while it holds
+    /// the lock, or after it has parked on the barrier condvar.
+    #[test]
+    fn model_contact_wakes_blocked_exchange() {
+        let explored = model::check(|| {
+            let bus = Arc::new(BoundaryBus::new(2));
+            let waiter = {
+                let bus = Arc::clone(&bus);
+                model::spawn(move || {
+                    assert_eq!(
+                        bus.exchange(0, 0, vec![(7, 0b100)]),
+                        Err(CutContact),
+                        "blocked exchange must drain with CutContact"
+                    );
+                })
+            };
+            let flagger = {
+                let bus = Arc::clone(&bus);
+                model::spawn(move || bus.flag_contact())
+            };
+            waiter.join();
+            flagger.join();
+            assert!(bus.contact());
+            // Later exchanges observe the abort immediately.
+            assert_eq!(bus.exchange(1, 0, vec![]), Err(CutContact));
+        });
+        assert!(
+            explored > 1,
+            "explorer found only {explored} interleaving(s)"
+        );
+    }
+}
+
+/// Real-loom variants of the scenarios above. Compiled only with
+/// `--cfg loom` on a machine that added the loom dev-dependency; see
+/// README "Race detection". Kept in the same file so the two backends
+/// cannot drift apart silently.
+#[cfg(loom)]
+mod real_loom {
+    use loom::sync::Arc;
+    use whitefi_mac::{BoundaryBus, CutContact};
+
+    #[test]
+    fn loom_contact_wakes_blocked_exchange() {
+        loom::model(|| {
+            let bus = Arc::new(BoundaryBus::new(2));
+            let waiter = {
+                let bus = Arc::clone(&bus);
+                // lint:allow(nondet, loom explores the interleavings deterministically under cfg(loom))
+                loom::thread::spawn(move || {
+                    assert_eq!(bus.exchange(0, 0, vec![(7, 0b100)]), Err(CutContact));
+                })
+            };
+            bus.flag_contact();
+            waiter.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn loom_exchange_merges_two_groups() {
+        loom::model(|| {
+            let bus = Arc::new(BoundaryBus::new(2));
+            let a = {
+                let bus = Arc::clone(&bus);
+                // lint:allow(nondet, loom explores the interleavings deterministically under cfg(loom))
+                loom::thread::spawn(move || {
+                    assert_eq!(bus.exchange(0, 0, vec![(0, 1)]), Ok(vec![(1, 2)]));
+                })
+            };
+            assert_eq!(bus.exchange(1, 0, vec![(1, 2)]), Ok(vec![(0, 1)]));
+            a.join().unwrap();
+        });
+    }
+}

@@ -296,7 +296,7 @@ impl Default for Synthesizer {
 /// One derived ChaCha8 stream of the per-capture family.
 fn derive_stream(base: u64, stream: u64) -> ChaCha8Rng {
     let mut rng = ChaCha8Rng::seed_from_u64(base);
-    rng.set_stream(stream);
+    rng.set_stream(stream); // stream-map: domain=synth-lanes salt=synth-seed streams=0..=65535 role="capture synthesis (0 = noise floor, 1 + burst index)"
     rng
 }
 

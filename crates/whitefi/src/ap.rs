@@ -220,6 +220,35 @@ impl ApBehavior {
     }
 
     fn complete_switch(&mut self, target: WfChannel, ctx: &mut Ctx) {
+        // The target was selected before the most recent incumbent
+        // detection may have landed on it (the SWITCH_FALLBACK timer and
+        // in-flight announce completions both outlive detections), so it
+        // must be re-checked here: tuning the network onto a primary
+        // user would trip the engine compliance meter on the very next
+        // frame.
+        let map = ctx.spectrum_map();
+        if !map.admits(target) {
+            if map.admits(ctx.channel()) {
+                match self.mode {
+                    Mode::OnBackup | Mode::SwitchingFromBackup { .. } => {
+                        // Still parked on an admissible backup: keep the
+                        // chirped maps, resume chirping, and re-select
+                        // with the fresh map at the next BACKUP_DONE.
+                        self.mode = Mode::OnBackup;
+                        ctx.set_timer(SimDuration::ZERO, keys::AP_CHIRP);
+                        ctx.set_timer(self.cfg.chirp_collect, keys::BACKUP_DONE);
+                    }
+                    _ => {
+                        // Voluntary switch aborted mid-flight: stay put.
+                        self.mode = Mode::Main;
+                        self.assigner.set_current(Some(ctx.channel()));
+                    }
+                }
+            } else {
+                self.vacate_to_backup(ctx);
+            }
+            return;
+        }
         // Anything chirped up to now has been handled by this switch.
         self.chirp_scan_floor = ctx.now();
         ctx.clear_queue();
@@ -646,9 +675,27 @@ impl Behavior for ApBehavior {
             Mode::Main | Mode::SwitchingFromMain { .. } => {
                 if !map.admits(ctx.channel()) {
                     self.vacate_to_backup(ctx);
+                } else if let Mode::SwitchingFromMain { target, .. } = self.mode {
+                    if !map.admits(target) {
+                        // The pending switch target was struck between
+                        // selection and completion: abandon the move and
+                        // stay on the (still admissible) current channel.
+                        self.mode = Mode::Main;
+                        self.assigner.set_current(Some(ctx.channel()));
+                    }
                 }
             }
             Mode::OnBackup | Mode::SwitchingFromBackup { .. } => {
+                if let Mode::SwitchingFromBackup { target, .. } = self.mode {
+                    if !map.admits(target) {
+                        // Stale pending target (struck after BACKUP_DONE
+                        // picked it): drop back to chirp collection and
+                        // re-select with the fresh map.
+                        self.mode = Mode::OnBackup;
+                        ctx.set_timer(SimDuration::ZERO, keys::AP_CHIRP);
+                        ctx.set_timer(self.cfg.chirp_collect, keys::BACKUP_DONE);
+                    }
+                }
                 if !map.admits(ctx.channel()) {
                     // The backup itself got hit: move to the secondary.
                     if let Some(next) =

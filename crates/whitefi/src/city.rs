@@ -773,7 +773,7 @@ fn build_group(
             .ap()
             .in_ssid(ssid)
             .at(cell.pos.0, cell.pos.1)
-            .rng_stream(base as u64)
+            .rng_stream(base as u64) // stream-map: domain=sim-nodes salt=scenario-seed streams=0..=4294967295 role="city AP (global node base)"
             .with_incumbents(incumbents.clone());
         ap_node_cfg.range = cell.range;
         let ap_detection = ap_node_cfg.detection_delay;
@@ -793,7 +793,7 @@ fn build_group(
             let mut node_cfg = NodeConfig::on_channel(initial)
                 .in_ssid(ssid)
                 .at(cell.pos.0, cell.pos.1)
-                .rng_stream(global as u64)
+                .rng_stream(global as u64) // stream-map: domain=sim-nodes salt=scenario-seed streams=1..=4294967295 role="city clients (global node id)"
                 .with_incumbents(incumbents.clone());
             node_cfg.range = cell.range;
             let detection = node_cfg.detection_delay;

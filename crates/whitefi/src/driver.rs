@@ -238,7 +238,7 @@ fn build(
     let ap_node_cfg = NodeConfig::on_channel(initial)
         .ap()
         .in_ssid(1)
-        .rng_stream(0)
+        .rng_stream(0) // stream-map: domain=sim-nodes salt=scenario-seed streams=0..=0 role="single-BSS AP"
         .with_incumbents(ap_incumbents.clone());
     let ap_detection = ap_node_cfg.detection_delay;
     let ap = sim.add_node(ap_node_cfg, Box::new(ApBehavior::new(ap_cfg)));
@@ -258,7 +258,7 @@ fn build(
         let incumbents = Scenario::incumbents_for(map, extra);
         let node_cfg = NodeConfig::on_channel(initial)
             .in_ssid(1)
-            .rng_stream(1 + i as u64)
+            .rng_stream(1 + i as u64) // stream-map: domain=sim-nodes salt=scenario-seed streams=1..=65535 role="single-BSS clients (1 + client index)"
             .with_incumbents(incumbents.clone());
         let detection = node_cfg.detection_delay;
         let slot = u8::try_from(i % 16).unwrap_or(0); // i % 16 < 16, always fits
@@ -290,11 +290,11 @@ fn build(
                 continue;
             }
         }
-        let rx_cfg = NodeConfig::on_channel(pair.channel).rng_stream(fg + 2 * k as u64);
+        let rx_cfg = NodeConfig::on_channel(pair.channel).rng_stream(fg + 2 * k as u64); // stream-map: domain=sim-nodes salt=scenario-seed streams=2..=4294967295 role="background pair rx (fg + 2*pair)"
         let rx = sim.add_node(rx_cfg, Box::new(Sink));
         let tx_cfg = NodeConfig::on_channel(pair.channel)
             .ap()
-            .rng_stream(fg + 2 * k as u64 + 1);
+            .rng_stream(fg + 2 * k as u64 + 1); // stream-map: domain=sim-nodes salt=scenario-seed streams=3..=4294967295 role="background pair tx (fg + 2*pair + 1)"
         match &pair.traffic {
             BackgroundTraffic::Cbr { interval } => {
                 sim.add_node(tx_cfg, Box::new(CbrSender::new(rx, *interval)));

@@ -80,6 +80,10 @@ pub struct OracleReport {
     /// Liveness misses explained by injected faults (documented
     /// outcomes, not protocol bugs).
     pub explained_liveness: u64,
+    /// Split-channel occupancy episodes explained by injected faults —
+    /// e.g. a dropped SwitchAnnounce leaving a client behind until its
+    /// watchdog recovers (documented outcomes, not protocol bugs).
+    pub explained_occupancy: u64,
     /// FNV-1a digest of the foreground transmission trace (member
     /// transmissions only, so pruning cannot change it) — the
     /// byte-identical determinism fingerprint.
@@ -194,8 +198,12 @@ struct Inner {
     last_marker: SimTime,
     /// Liveness misses awaiting fault correlation at finish.
     pending_liveness: Vec<(NodeId, SimTime, SimTime)>,
+    /// Occupancy splits awaiting fault correlation at finish.
+    pending_occupancy: Vec<Violation>,
     /// Liveness misses explained by injected faults.
     explained: u64,
+    /// Occupancy splits explained by injected faults.
+    explained_occ: u64,
     /// Independent per-UHF busy recomputation (same union-of-overlaps
     /// algorithm as the medium, fed from the observer hooks).
     busy_ns: [u64; NUM_UHF_CHANNELS],
@@ -275,16 +283,21 @@ impl Inner {
                 })
             });
             if split_live || split_recent {
-                self.violate(
-                    OracleKind::ChannelOccupancy,
-                    now,
-                    Some(src_stable),
-                    format!(
+                // Judged at finish: a split sustained past the grace
+                // window is a violation only when no injected fault
+                // (e.g. a dropped SwitchAnnounce) explains the members
+                // disagreeing about where the network lives — the same
+                // correlation the liveness oracle applies.
+                self.pending_occupancy.push(Violation {
+                    kind: OracleKind::ChannelOccupancy,
+                    time: now,
+                    node: Some(src_stable),
+                    detail: format!(
                         "member {} on {} while the network occupies another channel, \
                          >{:?} after the last transition",
                         src_stable, tx.channel, grace
                     ),
-                );
+                });
             }
         }
 
@@ -397,6 +410,7 @@ impl Inner {
 static ADAPTIVE_VIOLATIONS: AtomicU64 = AtomicU64::new(0);
 static FIXED_VIOLATIONS: AtomicU64 = AtomicU64::new(0);
 static EXPLAINED_LIVENESS: AtomicU64 = AtomicU64::new(0);
+static EXPLAINED_OCCUPANCY: AtomicU64 = AtomicU64::new(0);
 static REPORTS: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide oracle totals, for experiment reporting (mirrors
@@ -462,7 +476,9 @@ impl OracleBank {
                 fg_active: Vec::new(),
                 last_marker: SimTime::ZERO,
                 pending_liveness: Vec::new(),
+                pending_occupancy: Vec::new(),
                 explained: 0,
+                explained_occ: 0,
                 busy_ns: [0; NUM_UHF_CHANNELS],
                 active_count: [0; NUM_UHF_CHANNELS],
                 last_change_ns: [0; NUM_UHF_CHANNELS],
@@ -595,6 +611,28 @@ impl OracleBank {
         // window, a faulted detection stretch on a member, or a skewed
         // scanner history horizon (which perturbs every chirp scan).
         let skewed = sim.fault_plan().is_some_and(|p| p.history_skew.is_some());
+
+        // --- Channel occupancy: correlate splits with faults ---------
+        // A split episode is explained when a fault hit a member within
+        // the liveness bound before it: a dropped or delayed control
+        // frame (SwitchAnnounce, Beacon) leaves part of the network on
+        // the old channel until the client watchdog recovers — the
+        // designed recovery path, not a protocol bug. Unfaulted splits
+        // still violate.
+        let pending_occ = std::mem::take(&mut inner.pending_occupancy);
+        for v in pending_occ {
+            let explained = skewed
+                || sim.fault_events().iter().any(|e| {
+                    inner.is_member(e.node) && e.time <= v.time && e.time + bound >= v.time
+                });
+            if explained {
+                inner.explained_occ += 1;
+                EXPLAINED_OCCUPANCY.fetch_add(1, Ordering::Relaxed);
+            } else {
+                inner.violations.push(v);
+            }
+        }
+
         let pending = std::mem::take(&mut inner.pending_liveness);
         for (node, open, close) in pending {
             let explained = skewed
@@ -629,6 +667,7 @@ impl OracleBank {
             violations: inner.violations.clone(),
             checked_tx: inner.checked_tx,
             explained_liveness: inner.explained,
+            explained_occupancy: inner.explained_occ,
             trace_digest: inner.digest,
         };
         let bucket = if inner.cfg.adaptive {

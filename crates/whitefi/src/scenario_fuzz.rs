@@ -57,7 +57,7 @@ fn splitmix64(mut z: u64) -> u64 {
 /// One per-family RNG of the fuzz seed's stream family.
 fn stream(seed: u64, id: u64) -> ChaCha8Rng {
     let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(seed ^ FUZZ_SALT));
-    rng.set_stream(id);
+    rng.set_stream(id); // stream-map: domain=fuzz-fields salt=FUZZ_SALT streams=0..=7 role="per-field fuzz draws (STREAM_* lanes)"
     rng
 }
 

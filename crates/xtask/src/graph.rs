@@ -1,0 +1,326 @@
+//! A lightweight Rust item/call-graph extractor over the whitefi-lint
+//! token stream (DESIGN.md §16).
+//!
+//! This is deliberately *not* name resolution: it recovers just enough
+//! structure from [`crate::lexer::Lexed`] to drive whole-workspace
+//! analyses — `fn` items with their balanced-brace body extents, the
+//! `impl` block (if any) each one lives in, and the call sites inside
+//! each body. Calls are recorded by *simple callee name* (`foo(`,
+//! `.foo(`, `path::to::foo(` all record `foo`); the taint analysis in
+//! [`crate::taint`] resolves a call conservatively to **every**
+//! workspace `fn` of that name, which over-approximates the true call
+//! graph and therefore never misses a path (soundness limits — what
+//! the extractor knowingly cannot see, e.g. turbofish calls and
+//! function-pointer indirection — are catalogued in DESIGN.md §16).
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The bare function name.
+    pub name: String,
+    /// `Type::name` when the fn sits in an `impl` block, else `name`.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body (equal to `line` for bodyless items).
+    pub end_line: u32,
+    /// Token-index range of the body, `open_brace..=close_brace`.
+    body: Option<(usize, usize)>,
+    /// Call sites inside the body.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// Whether `tok_idx` falls inside this fn's body tokens.
+    pub fn contains(&self, tok_idx: usize) -> bool {
+        self.body.is_some_and(|(a, b)| (a..=b).contains(&tok_idx))
+    }
+
+    /// The body token range, if the item has a body.
+    pub fn body_range(&self) -> Option<(usize, usize)> {
+        self.body
+    }
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Simple callee name (last path segment).
+    pub callee: String,
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// Whether the call was written as a method (`.name(`).
+    pub method: bool,
+}
+
+/// Rust keywords that can directly precede a `(` without being calls.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "loop", "return", "in", "as", "let", "else", "move", "fn",
+];
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// Matches every `{` to its `}` by index. Unbalanced files map the
+/// stragglers to the last token so analyses degrade gracefully.
+fn brace_pairs(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if is_punct(t, "{") {
+            stack.push(i);
+        } else if is_punct(t, "}") {
+            if let Some(open) = stack.pop() {
+                pairs.push((open, i));
+            }
+        }
+    }
+    let last = tokens.len().saturating_sub(1);
+    for open in stack {
+        pairs.push((open, last));
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// The matching `}` index for a given `{` index.
+fn close_of(pairs: &[(usize, usize)], open: usize) -> usize {
+    pairs
+        .binary_search_by_key(&open, |&(o, _)| o)
+        .map(|k| pairs[k].1)
+        .unwrap_or(open)
+}
+
+/// `impl` blocks as `(open_brace, close_brace, type_name)`.
+fn impl_blocks(tokens: &[Token], pairs: &[(usize, usize)]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !(t.kind == TokKind::Ident && t.text == "impl") {
+            i += 1;
+            continue;
+        }
+        // Scan the header up to its `{`: `impl<G> Type<G> {` or
+        // `impl<G> Trait<G> for Type {`. The implemented type is the
+        // first ident after `for` when present, else the first ident
+        // at angle-depth 0 after the `impl` generics.
+        let mut j = i + 1;
+        let mut angle = 0i64;
+        let mut ty: Option<String> = None;
+        let mut after_for = false;
+        let mut header_ok = false;
+        while j < tokens.len() {
+            let h = &tokens[j];
+            if h.kind == TokKind::Punct {
+                match h.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle = (angle - 1).max(0),
+                    "{" if angle == 0 => {
+                        header_ok = true;
+                        break;
+                    }
+                    ";" => break, // `impl Trait for Type;` — not real Rust, bail
+                    _ => {}
+                }
+            } else if h.kind == TokKind::Ident && angle == 0 {
+                if h.text == "for" {
+                    after_for = true;
+                    ty = None;
+                } else if ty.is_none() && h.text != "const" && h.text != "unsafe" {
+                    ty = Some(h.text.clone());
+                }
+            }
+            let _ = after_for;
+            j += 1;
+        }
+        if header_ok {
+            out.push((j, close_of(pairs, j), ty.unwrap_or_else(|| "?".to_string())));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Extracts every `fn` item (with body extent, impl qualification and
+/// call sites) from one lexed file.
+pub fn file_fns(lexed: &Lexed) -> Vec<FnItem> {
+    let tokens = &lexed.tokens;
+    let pairs = brace_pairs(tokens);
+    let impls = impl_blocks(tokens, &pairs);
+
+    // Pass 1: fn items and their body ranges.
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !(t.kind == TokKind::Ident && t.text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let fn_line = t.line;
+        let name = name_tok.text.clone();
+        // Find the body `{` at paren/bracket depth 0, or a `;` ending a
+        // bodyless item (trait method signature). Angle brackets in
+        // generics/returns never nest braces, so they need no tracking.
+        let mut depth = 0i64;
+        let mut j = i + 2;
+        let mut body = None;
+        while j < tokens.len() {
+            let s = &tokens[j];
+            if s.kind == TokKind::Punct {
+                match s.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    "{" if depth == 0 => {
+                        body = Some((j, close_of(&pairs, j)));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let end_line = body
+            .map(|(_, c)| tokens.get(c).map_or(fn_line, |t| t.line))
+            .unwrap_or(fn_line);
+        let qual = impls
+            .iter()
+            .filter(|&&(o, c, _)| (o..=c).contains(&i))
+            .min_by_key(|&&(o, c, _)| c - o)
+            .map(|(_, _, ty)| format!("{ty}::{name}"))
+            .unwrap_or_else(|| name.clone());
+        fns.push(FnItem {
+            name,
+            qual,
+            line: fn_line,
+            end_line,
+            body,
+            calls: Vec::new(),
+        });
+        i += 2;
+    }
+
+    // Pass 2: call sites, attributed to the innermost enclosing body
+    // (nested fns own their calls; the outer fn does not).
+    for k in 0..tokens.len().saturating_sub(1) {
+        let t = &tokens[k];
+        if t.kind != TokKind::Ident || !is_punct(&tokens[k + 1], "(") {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `name!(…)` is a macro, `fn name(` is a definition.
+        if k >= 1 && tokens[k - 1].kind == TokKind::Ident && tokens[k - 1].text == "fn" {
+            continue;
+        }
+        let method = k >= 1 && is_punct(&tokens[k - 1], ".");
+        let owner = fns
+            .iter_mut()
+            .filter(|f| f.contains(k))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(a, b)| b - a));
+        if let Some(f) = owner {
+            f.calls.push(CallSite {
+                callee: t.text.clone(),
+                line: t.line,
+                method,
+            });
+        }
+    }
+    // Macro call sites slipped past the check above only when the `!`
+    // sits between name and paren — the token stream is `name ! (` so
+    // the Ident+`(` adjacency test already excludes them.
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn extract(src: &str) -> Vec<FnItem> {
+        file_fns(&lex(src))
+    }
+
+    #[test]
+    fn free_fn_with_calls() {
+        let fns = extract("fn a() { b(); c.d(); e::f(); }\nfn b() {}\n");
+        assert_eq!(fns.len(), 2);
+        let a = &fns[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.qual, "a");
+        assert_eq!(a.line, 1);
+        let callees: Vec<(&str, bool)> = a
+            .calls
+            .iter()
+            .map(|c| (c.callee.as_str(), c.method))
+            .collect();
+        assert_eq!(callees, vec![("b", false), ("d", true), ("f", false)]);
+        assert!(fns[1].calls.is_empty());
+    }
+
+    #[test]
+    fn impl_methods_are_qualified() {
+        let src = "struct S;\nimpl S {\n    fn m(&self) { helper(); }\n}\n\
+                   impl Clone for S {\n    fn clone(&self) -> S { S }\n}\n";
+        let fns = extract(src);
+        assert_eq!(fns[0].qual, "S::m");
+        assert_eq!(fns[1].qual, "S::clone");
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let src = "impl<T: Ord> Holder<T> {\n    fn get(&self) -> &T { inner() }\n}\n";
+        let fns = extract(src);
+        assert_eq!(fns[0].qual, "Holder::get");
+    }
+
+    #[test]
+    fn macros_definitions_and_keywords_are_not_calls() {
+        let src = "fn a(x: u32) { println!(\"{x}\"); if (x > 0) { b(); } match (x) { _ => {} } }\n";
+        let fns = extract(src);
+        let callees: Vec<&str> = fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(callees, vec!["b"]);
+    }
+
+    #[test]
+    fn nested_fns_own_their_calls() {
+        let src = "fn outer() {\n    fn inner() { deep(); }\n    shallow();\n}\n";
+        let fns = extract(src);
+        assert_eq!(fns[0].name, "outer");
+        let outer_calls: Vec<&str> = fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(outer_calls, vec!["shallow"]);
+        let inner_calls: Vec<&str> = fns[1].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(inner_calls, vec!["deep"]);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_have_no_extent() {
+        let fns =
+            extract("trait T {\n    fn sig(&self) -> u32;\n    fn with(&self) { go(); }\n}\n");
+        assert_eq!(fns[0].name, "sig");
+        assert!(fns[0].body_range().is_none());
+        assert_eq!(fns[1].calls.len(), 1);
+    }
+
+    #[test]
+    fn end_lines_span_the_body() {
+        let fns = extract("fn a() {\n    x();\n    y();\n}\n");
+        assert_eq!(fns[0].line, 1);
+        assert_eq!(fns[0].end_line, 4);
+    }
+}

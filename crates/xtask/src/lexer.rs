@@ -55,6 +55,16 @@ pub struct Comment {
     pub trailing: bool,
 }
 
+impl Comment {
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    /// Directives (waivers, stream-map annotations) are only honored
+    /// in plain comments — doc text *describing* a directive must not
+    /// enact it.
+    pub fn is_doc(&self) -> bool {
+        matches!(self.text.as_bytes().first(), Some(b'/' | b'!' | b'*'))
+    }
+}
+
 /// The full lex of one file.
 #[derive(Debug, Default)]
 pub struct Lexed {
@@ -149,7 +159,14 @@ pub fn lex(src: &str) -> Lexed {
                 let mut j = i + 1;
                 while j < bytes.len() {
                     match bytes[j] {
-                        b'\\' => j += 2,
+                        b'\\' => {
+                            // An escaped newline (line continuation)
+                            // still advances the line counter.
+                            if bytes.get(j + 1) == Some(&b'\n') {
+                                line += 1;
+                            }
+                            j += 2;
+                        }
                         b'\n' => {
                             line += 1;
                             j += 1;
@@ -335,6 +352,22 @@ mod tests {
         let bar = l.tokens.iter().find(|t| t.text == "bar").unwrap();
         assert_eq!(bar.line, 2);
         assert_eq!(bar.kind, TokKind::Ident);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_the_line() {
+        // A `\`-continued string spans two source lines; tokens after
+        // it must not drift.
+        let l = lex("let s = \"one \\\n two\";\nafter();\n");
+        let after = l.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn doc_comments_are_identified() {
+        let l = lex("/// outer doc\n//! inner doc\n// plain\n/** block doc */\n/* block */\n");
+        let docs: Vec<bool> = l.comments.iter().map(|c| c.is_doc()).collect();
+        assert_eq!(docs, vec![true, true, false, true, false]);
     }
 
     #[test]

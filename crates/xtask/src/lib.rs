@@ -8,7 +8,7 @@
 //! conventions into machine-checked rules that run at check time
 //! (`cargo run -p xtask -- lint`), before any simulation executes.
 //!
-//! Rules (full rationale and waiver policy in DESIGN.md §11):
+//! Rules (full rationale and waiver policy in DESIGN.md §11, §16):
 //!
 //! - **R1-hashmap** — no `HashMap`/`HashSet` in the sim-deterministic
 //!   crates (`mac`, `whitefi`, `spectrum`, `bench`).
@@ -21,16 +21,34 @@
 //!   outside `#[cfg(test)]` without a reasoned waiver.
 //! - **R5-cast** — no `as` numeric casts in the hot numeric kernels
 //!   (`phy::sift`, `spectrum::airtime`, `whitefi::mcham`).
+//! - **R6-taint** — whole-workspace call-graph taint: no path from
+//!   sim-deterministic library code into a fn that transitively
+//!   reaches ambient nondeterminism ([`taint`]).
+//! - **R7-streams** — every RNG stream-assignment site is registered
+//!   in the stream map, salts are pairwise distinct, cross-domain
+//!   ranges on one salt are disjoint, and `STREAM_MAP.md` matches the
+//!   sources ([`streams`]).
+//! - **R8-dead-waiver** — a valid waiver that silences nothing is
+//!   itself a finding.
+//!
+//! R1–R5 are per-file lexical passes; R6/R7 are whole-workspace
+//! passes over the item/call-graph facts extracted by [`graph`]. Both
+//! kinds of hit flow through the same waiver filter in
+//! [`rules::finalize`], which is also where R8 falls out: any valid
+//! waiver left silencing nothing is dead.
 
 #![forbid(unsafe_code)]
 
 pub mod diag;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod streams;
+pub mod taint;
 pub mod walk;
 
-use diag::Diagnostic;
-use rules::FileCtx;
+use diag::{Diagnostic, RuleId};
+use rules::{FileCtx, WaiverExplain};
 use std::io;
 use std::path::Path;
 
@@ -43,6 +61,10 @@ pub struct LintOutcome {
     pub files: usize,
     /// Violations silenced by a valid waiver.
     pub waived: usize,
+    /// What every valid waiver silences (for `--explain-waiver`).
+    pub waiver_explains: Vec<WaiverExplain>,
+    /// Rendered stream-map content (empty when no annotated sites).
+    pub stream_map: String,
 }
 
 impl LintOutcome {
@@ -53,17 +75,71 @@ impl LintOutcome {
 }
 
 /// Lints the workspace rooted at `root`.
+///
+/// Two phases: per-file analysis collects lexical hits plus the fn/
+/// call-site facts, then the whole-workspace passes ([`taint`], R6;
+/// [`streams`], R7) contribute extra hits, and every file is
+/// finalized through one waiver filter (R8 dead waivers fall out
+/// there). Finally the committed `STREAM_MAP.md` is checked against
+/// the rendered map — drift is a non-waivable R7 finding.
 pub fn lint_root(root: &Path) -> io::Result<LintOutcome> {
-    let mut outcome = LintOutcome::default();
+    let mut analyses = Vec::new();
     for rel in walk::workspace_files(root)? {
         let Some(ctx) = FileCtx::classify(&rel) else {
             continue;
         };
         let src = std::fs::read_to_string(root.join(&rel))?;
-        let report = rules::check_file(&ctx, &src);
+        analyses.push(rules::analyze_file(ctx, &src));
+    }
+
+    let mut taint_hits = taint::analyze(&analyses);
+    let streams_report = streams::analyze(&analyses);
+    let mut stream_hits = streams_report.hits;
+
+    let mut outcome = LintOutcome {
+        stream_map: streams_report.map_md.clone(),
+        ..LintOutcome::default()
+    };
+    for (fi, fa) in analyses.iter().enumerate() {
+        let mut extra = taint_hits.remove(&fi).unwrap_or_default();
+        extra.extend(stream_hits.remove(&fi).unwrap_or_default());
+        let (report, explains) = rules::finalize(fa, extra);
         outcome.files += 1;
         outcome.waived += report.waived;
         outcome.diagnostics.extend(report.diagnostics);
+        outcome.waiver_explains.extend(explains);
     }
+
+    // Stream-map drift: once any site is annotated (or a map is
+    // committed), the committed file must match the rendered one
+    // byte-for-byte. Not waivable — regenerating is one command.
+    let map_path = root.join("STREAM_MAP.md");
+    let committed = std::fs::read_to_string(&map_path).ok();
+    if (streams_report.sites > 0 || committed.is_some())
+        && committed.as_deref() != Some(streams_report.map_md.as_str())
+    {
+        let state = match &committed {
+            None => "missing".to_string(),
+            Some(c) => format!(
+                "stale ({} committed byte(s) vs {} rendered)",
+                c.len(),
+                streams_report.map_md.len()
+            ),
+        };
+        outcome.diagnostics.push(Diagnostic {
+            file: "STREAM_MAP.md".to_string(),
+            line: 1,
+            rule: RuleId::R7Streams,
+            message: format!(
+                "stream map is {state}; regenerate with \
+                 `cargo run -p xtask -- lint --write-stream-map`"
+            ),
+            snippet: String::new(),
+        });
+    }
+
+    outcome
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(outcome)
 }

@@ -5,10 +5,17 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo run -p xtask -- lint [--root PATH]\n\
+        "usage: cargo run -p xtask -- lint [--root PATH] [--json] [--explain-waiver] \
+         [--write-stream-map]\n\
          \n\
-         Enforces the workspace determinism/safety rules (DESIGN.md §11):\n\
-         R1-hashmap, R2-nondet, R3-rng, R4-unwrap, R5-cast.\n\
+         Enforces the workspace determinism/safety rules (DESIGN.md §11, §16):\n\
+         R1-hashmap, R2-nondet, R3-rng, R4-unwrap, R5-cast,\n\
+         R6-taint (call-graph nondeterminism), R7-streams (RNG stream map),\n\
+         R8-dead-waiver (waivers that silence nothing).\n\
+         \n\
+         --json              one JSON object per diagnostic on stdout\n\
+         --explain-waiver    list what every valid waiver silences\n\
+         --write-stream-map  regenerate STREAM_MAP.md from stream-map annotations\n\
          Exits 0 when clean, 1 on violations, 2 on usage errors."
     );
     ExitCode::from(2)
@@ -24,6 +31,9 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut explain = false;
+    let mut write_map = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,6 +45,9 @@ fn main() -> ExitCode {
                 };
                 root = PathBuf::from(p);
             }
+            "--json" => json = true,
+            "--explain-waiver" => explain = true,
+            "--write-stream-map" => write_map = true,
             "--fix-waivers" => {
                 eprintln!(
                     "--fix-waivers is not supported: waivers are intentionally manual. \
@@ -60,15 +73,72 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for d in &outcome.diagnostics {
-        println!("{d}\n");
+
+    if write_map {
+        let path = root.join("STREAM_MAP.md");
+        if outcome.stream_map.is_empty() {
+            eprintln!("whitefi-lint: no stream-map annotations found; nothing to write");
+        } else if let Err(e) = std::fs::write(&path, &outcome.stream_map) {
+            eprintln!("whitefi-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        } else {
+            println!("whitefi-lint: wrote {}", path.display());
+        }
+        // Re-lint so the drift diagnostic (if it was the only one)
+        // clears in the same invocation.
+        return match xtask::lint_root(&root) {
+            Ok(o) if o.clean() => ExitCode::SUCCESS,
+            Ok(o) => {
+                for d in &o.diagnostics {
+                    println!("{d}\n");
+                }
+                ExitCode::from(1)
+            }
+            Err(e) => {
+                eprintln!("whitefi-lint: failed to re-scan {}: {e}", root.display());
+                ExitCode::from(2)
+            }
+        };
     }
-    println!(
-        "whitefi-lint: {} file(s) scanned, {} violation(s), {} waived",
-        outcome.files,
-        outcome.diagnostics.len(),
-        outcome.waived
-    );
+
+    if explain {
+        for w in &outcome.waiver_explains {
+            let silenced: Vec<String> = w
+                .silenced
+                .iter()
+                .map(|(rule, line)| format!("{} at line {line}", rule.id()))
+                .collect();
+            println!(
+                "{}:{}: lint:allow({}, {}) silences [{}]",
+                w.file,
+                w.line,
+                w.key,
+                w.reason,
+                silenced.join(", ")
+            );
+        }
+        println!(
+            "whitefi-lint: {} valid waiver(s) across {} file(s)",
+            outcome.waiver_explains.len(),
+            outcome.files
+        );
+    }
+
+    if json {
+        for d in &outcome.diagnostics {
+            println!("{}", d.to_json());
+        }
+    } else {
+        for d in &outcome.diagnostics {
+            println!("{d}\n");
+        }
+        println!(
+            "whitefi-lint: {} file(s) scanned, {} violation(s), {} waived",
+            outcome.files,
+            outcome.diagnostics.len(),
+            outcome.waived
+        );
+    }
     if outcome.clean() {
         ExitCode::SUCCESS
     } else {

@@ -23,10 +23,18 @@
 //!
 //! The reason text is mandatory; a waiver without one (or with an
 //! unknown rule key) is itself a diagnostic, so waivers stay reviewable.
+//! A valid waiver that silences *nothing* is also a diagnostic
+//! (R8-dead-waiver): when the violation it covered is fixed or moves,
+//! the stale waiver must be deleted, or it would silently re-arm.
+//!
+//! R6 (call-graph taint) and R7 (RNG stream map) are whole-workspace
+//! analyses: [`analyze_file`] collects the per-file facts, the passes
+//! in [`crate::taint`] and [`crate::streams`] compute cross-file hits,
+//! and [`finalize`] merges everything through one waiver filter.
 
 use crate::diag::{Diagnostic, RuleId};
+use crate::graph::{file_fns, FnItem};
 use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
-use std::collections::BTreeMap;
 
 /// Crates whose state must evolve identically across schedulers and
 /// hosts (byte-identical runs, pruned==unpruned, golden digests).
@@ -46,8 +54,10 @@ const WALL_CLOCK_ALLOWLIST: [&str; 2] = [
 /// go through `whitefi_mac::BoundaryBus` or `Runner::map` — an ad-hoc
 /// lock or channel is exactly how schedule-dependent state leaks into
 /// byte-identical runs.
-const SYNC_ALLOWLIST: [&str; 3] = [
+const SYNC_ALLOWLIST: [&str; 5] = [
     "crates/mac/src/boundary.rs",
+    "crates/mac/src/model.rs",
+    "crates/mac/src/msync.rs",
     "crates/bench/src/runner.rs",
     "crates/bench/src/bin/experiments.rs",
 ];
@@ -117,24 +127,33 @@ impl FileCtx {
         })
     }
 
-    fn in_sim_crate(&self) -> bool {
+    /// Whether the file belongs to one of the sim-deterministic crates.
+    pub fn in_sim_crate(&self) -> bool {
         self.crate_dir
             .as_deref()
             .is_some_and(|c| SIM_CRATES.contains(&c))
+    }
+
+    /// Whether the file is on the R2 wall-clock allowlist (the bench
+    /// runner and the experiments binary). Under R6 this allowlist is
+    /// no longer a blanket pass: every *function* in these files that
+    /// reads ambient state needs its own `taint` waiver.
+    pub fn wall_clock_allowlisted(&self) -> bool {
+        WALL_CLOCK_ALLOWLIST.contains(&self.rel.as_str())
     }
 }
 
 /// One parsed waiver comment.
 #[derive(Debug, Clone)]
-struct Waiver {
+pub struct Waiver {
     /// Rule key (`unwrap`, `cast`, …).
-    key: String,
+    pub key: String,
     /// The mandatory justification; `None` when missing.
-    reason: Option<String>,
+    pub reason: Option<String>,
     /// Line the waiver silences.
-    target_line: u32,
+    pub target_line: u32,
     /// Line of the comment itself.
-    comment_line: u32,
+    pub comment_line: u32,
 }
 
 /// Extracts waivers from comments. A trailing comment targets its own
@@ -142,6 +161,9 @@ struct Waiver {
 fn parse_waivers(comments: &[Comment], token_lines: &[u32]) -> Vec<Waiver> {
     let mut out = Vec::new();
     for c in comments {
+        if c.is_doc() {
+            continue; // doc text may *describe* waivers, not enact them
+        }
         let Some(pos) = c.text.find("lint:allow(") else {
             continue;
         };
@@ -311,10 +333,14 @@ fn scan_attribute(tokens: &[Token], hash: usize) -> Option<(usize, bool)> {
 }
 
 /// A rule hit before waiver filtering.
-struct Hit {
-    rule: RuleId,
-    line: u32,
-    message: String,
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based source line.
+    pub line: u32,
+    /// Site-specific message.
+    pub message: String,
 }
 
 fn seq_path(tokens: &[Token], i: usize, first: &str, second: &str) -> bool {
@@ -450,27 +476,99 @@ pub struct FileReport {
     pub waived: usize,
 }
 
-/// Lints one file's source text.
-pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
+/// What one valid waiver actually silenced (for `--explain-waiver` and
+/// the R8 dead-waiver check).
+#[derive(Debug, Clone)]
+pub struct WaiverExplain {
+    /// File the waiver lives in.
+    pub file: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// Waiver rule key.
+    pub key: String,
+    /// The human-written justification.
+    pub reason: String,
+    /// `(rule, line)` of every hit this waiver silenced. Empty ⇒ dead.
+    pub silenced: Vec<(RuleId, u32)>,
+}
+
+/// Everything the per-file pass learned about one source file; the
+/// whole-workspace analyses (taint, streams) read these and hand their
+/// extra hits back to [`finalize`].
+pub struct FileAnalysis {
+    /// Classified path.
+    pub ctx: FileCtx,
+    /// The full token/comment stream.
+    pub lexed: Lexed,
+    /// Source lines (for snippets).
+    pub src_lines: Vec<String>,
+    /// `#[cfg(test)]` line regions.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Parsed waiver comments (valid or not).
+    pub waivers: Vec<Waiver>,
+    /// Local (R1–R5) hits.
+    pub hits: Vec<Hit>,
+    /// Extracted `fn` items with call sites.
+    pub fns: Vec<FnItem>,
+}
+
+impl FileAnalysis {
+    /// Whether `line` falls in a `#[cfg(test)]` region.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// Whether a *valid* (keyed + reasoned) waiver targets `line`.
+    pub fn valid_waiver_on(&self, key: &str, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.key == key && w.reason.is_some() && w.target_line == line)
+    }
+}
+
+/// Runs the per-file pass: lex, waivers, test regions, local rules and
+/// the call-graph extraction.
+pub fn analyze_file(ctx: FileCtx, src: &str) -> FileAnalysis {
     let lexed = lex(src);
     let token_lines = lexed.token_lines();
     let waivers = parse_waivers(&lexed.comments, &token_lines);
     let test_regions = test_region_lines(&lexed.tokens);
-    let hits = scan_rules(ctx, &lexed, &test_regions);
-    let lines: Vec<&str> = src.lines().collect();
+    let hits = scan_rules(&ctx, &lexed, &test_regions);
+    let fns = file_fns(&lexed);
+    FileAnalysis {
+        ctx,
+        src_lines: src.lines().map(str::to_string).collect(),
+        lexed,
+        test_regions,
+        waivers,
+        hits,
+        fns,
+    }
+}
+
+const KNOWN_KEYS: [&str; 7] = [
+    "hashmap", "nondet", "rng", "unwrap", "cast", "taint", "streams",
+];
+
+/// Filters the file's local hits plus any `extra_hits` from the global
+/// analyses through the waiver set, reporting malformed waivers and
+/// R8 dead waivers alongside. Returns the report and the per-waiver
+/// explanation records.
+pub fn finalize(fa: &FileAnalysis, extra_hits: Vec<Hit>) -> (FileReport, Vec<WaiverExplain>) {
+    let ctx = &fa.ctx;
     let snippet = |line: u32| -> String {
-        lines
+        fa.src_lines
             .get(line.saturating_sub(1) as usize)
             .map(|l| l.trim().to_string())
             .unwrap_or_default()
     };
 
-    // Index valid waivers by (key, target line).
-    let mut valid: BTreeMap<(String, u32), bool> = BTreeMap::new();
     let mut diagnostics = Vec::new();
-    let known_keys: [&str; 5] = ["hashmap", "nondet", "rng", "unwrap", "cast"];
-    for w in &waivers {
-        if w.key.is_empty() || !known_keys.contains(&w.key.as_str()) {
+    let mut explains: Vec<WaiverExplain> = Vec::new();
+    for w in &fa.waivers {
+        if w.key.is_empty() || !KNOWN_KEYS.contains(&w.key.as_str()) {
             diagnostics.push(Diagnostic {
                 file: ctx.rel.clone(),
                 line: w.comment_line,
@@ -479,8 +577,9 @@ pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
                     "malformed waiver (unclosed or empty lint:allow)".to_string()
                 } else {
                     format!(
-                        "waiver names unknown rule `{}` (known: hashmap, nondet, rng, unwrap, cast)",
-                        w.key
+                        "waiver names unknown rule `{}` (known: {})",
+                        w.key,
+                        KNOWN_KEYS.join(", ")
                     )
                 },
                 snippet: snippet(w.comment_line),
@@ -501,12 +600,27 @@ pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
             });
             continue;
         }
-        valid.insert((w.key.clone(), w.target_line), true);
+        explains.push(WaiverExplain {
+            file: ctx.rel.clone(),
+            line: w.comment_line,
+            key: w.key.clone(),
+            reason: w.reason.clone().unwrap_or_default(),
+            silenced: Vec::new(),
+        });
     }
 
     let mut waived = 0usize;
+    let mut hits = fa.hits.clone();
+    hits.extend(extra_hits);
     for h in hits {
-        if valid.contains_key(&(h.rule.waiver_key().to_string(), h.line)) {
+        let key = h.rule.waiver_key();
+        // A waiver's `target_line` is unique per (key, line): the first
+        // matching explain record collects every hit on that line.
+        let matched = explains
+            .iter_mut()
+            .find(|e| e.key == key && waiver_targets(fa, e.line, h.line));
+        if let Some(e) = matched {
+            e.silenced.push((h.rule, h.line));
             waived += 1;
             continue;
         }
@@ -518,11 +632,47 @@ pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
             snippet: snippet(h.line),
         });
     }
-    diagnostics.sort_by_key(|d| (d.line, d.rule));
-    FileReport {
-        diagnostics,
-        waived,
+
+    // R8: a valid waiver that silenced nothing is itself a finding.
+    for e in &explains {
+        if e.silenced.is_empty() {
+            diagnostics.push(Diagnostic {
+                file: ctx.rel.clone(),
+                line: e.line,
+                rule: RuleId::R8DeadWaiver,
+                message: format!(
+                    "dead waiver: `lint:allow({}, …)` no longer silences anything here",
+                    e.key
+                ),
+                snippet: snippet(e.line),
+            });
+        }
     }
+
+    diagnostics.sort_by_key(|d| (d.line, d.rule));
+    (
+        FileReport {
+            diagnostics,
+            waived,
+        },
+        explains,
+    )
+}
+
+/// Whether the waiver whose comment sits on `comment_line` targets
+/// `hit_line` (trailing: same line; standalone: next token line).
+fn waiver_targets(fa: &FileAnalysis, comment_line: u32, hit_line: u32) -> bool {
+    fa.waivers
+        .iter()
+        .any(|w| w.comment_line == comment_line && w.target_line == hit_line)
+}
+
+/// Lints one file's source text with the local rules only (R6/R7 need
+/// the whole workspace — see [`crate::lint_root`]). R8 dead-waiver
+/// detection runs here too, so a waiver must silence a local hit.
+pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
+    let fa = analyze_file(ctx.clone(), src);
+    finalize(&fa, Vec::new()).0
 }
 
 #[cfg(test)]
@@ -675,8 +825,33 @@ mod tests {
         let src = "// lint:allow(cast, wrong key for this violation)\n\
                    fn f(x: Option<u8>) { x.unwrap(); }\n";
         let r = lint("crates/mac/src/x.rs", src);
+        // The unwrap stays a violation, and the mismatched (valid but
+        // useless) waiver is flagged dead by R8.
+        assert_eq!(r.diagnostics.len(), 2);
+        assert_eq!(r.diagnostics[0].rule, RuleId::R8DeadWaiver);
+        assert_eq!(r.diagnostics[0].line, 1);
+        assert_eq!(r.diagnostics[1].rule, RuleId::R4Unwrap);
+        assert_eq!(r.diagnostics[1].line, 2);
+    }
+
+    #[test]
+    fn doc_comments_do_not_enact_waivers() {
+        let src = "/// lint:allow(unwrap, doc example only — must not waive)\n\
+                   pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = lint("crates/mac/src/x.rs", src);
         assert_eq!(r.diagnostics.len(), 1);
         assert_eq!(r.diagnostics[0].rule, RuleId::R4Unwrap);
+        assert_eq!(r.waived, 0);
+    }
+
+    #[test]
+    fn dead_waiver_fires_after_the_violation_is_fixed() {
+        let src = "// lint:allow(unwrap, the queue is non-empty by construction)\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n";
+        let r = lint("crates/mac/src/x.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, RuleId::R8DeadWaiver);
+        assert_eq!(r.waived, 0);
     }
 
     #[test]

@@ -1,0 +1,558 @@
+//! R7: the RNG stream map (DESIGN.md §16).
+//!
+//! Determinism rests on every RNG draw being attributable to a
+//! `(seed family, stream id)` pair that no other subsystem can
+//! collide with (DESIGN.md §9). The seed *families* are separated by
+//! salt constants (`FAULT_SEED_SALT`, `FUZZ_SALT`, …) or by being
+//! distinct seed parameters (the scenario seed, the synth capture
+//! seed); *within* a family, stream ids partition by role. R7 makes
+//! that contract machine-checked:
+//!
+//! * every `set_stream(…)` / `rng_stream(…)` assignment site in
+//!   library code must carry a `stream-map:` annotation declaring its
+//!   domain, salt, stream range and role:
+//!
+//!   ```text
+//!   // stream-map: domain=fuzz-fields salt=FUZZ_SALT streams=0..=7 role="per-field fuzz draws"
+//!   ```
+//!
+//! * annotated salts that name a `const` must resolve to a workspace
+//!   constant, and all salt constants must be pairwise **distinct**
+//!   (two equal salts would fold two supposedly independent seed
+//!   families onto one ChaCha keystream);
+//! * two sites with the **same salt but different domains** must
+//!   declare **disjoint** stream ranges — same-domain sites share one
+//!   allocation authority and may partition a range internally (the
+//!   `role` column documents how), which is the soundness boundary of
+//!   the static check;
+//! * the whole table is rendered to `STREAM_MAP.md`
+//!   (`lint --write-stream-map`), and `lint` fails when the committed
+//!   file drifts from the annotated sources — the audit table cannot
+//!   go stale.
+//!
+//! Salts written in lowercase/dashed form (`scenario-seed`,
+//! `synth-seed`) are *symbolic families*: seeds that arrive as
+//! parameters rather than constants. The checker treats distinct tags
+//! as distinct families (it cannot prove runtime distinctness; the
+//! mixing argument lives in DESIGN.md §16).
+
+use crate::diag::RuleId;
+use crate::lexer::{TokKind, Token};
+use crate::rules::{FileAnalysis, FileKind, Hit};
+use std::collections::BTreeMap;
+
+/// One parsed `stream-map:` annotation.
+#[derive(Debug, Clone)]
+pub struct StreamSite {
+    /// File (lint-root relative) and line of the assignment site.
+    pub file: String,
+    /// 1-based line of the `set_stream`/`rng_stream` call.
+    pub line: u32,
+    /// Allocation authority (`sim-nodes`, `fault-lanes`, …).
+    pub domain: String,
+    /// Salt constant name or symbolic family tag.
+    pub salt: String,
+    /// Inclusive stream-id range.
+    pub lo: u64,
+    /// Inclusive stream-id range.
+    pub hi: u64,
+    /// Who draws here (free text, quoted in the annotation).
+    pub role: String,
+}
+
+/// One salt constant discovered in the workspace.
+#[derive(Debug, Clone)]
+struct SaltConst {
+    name: String,
+    value: u64,
+    file: String,
+    line: u32,
+    file_ix: usize,
+}
+
+/// Output of the R7 pass.
+pub struct StreamsReport {
+    /// Extra hits keyed by file index.
+    pub hits: BTreeMap<usize, Vec<Hit>>,
+    /// Rendered `STREAM_MAP.md` content (empty when no sites exist).
+    pub map_md: String,
+    /// Number of annotated sites.
+    pub sites: usize,
+}
+
+fn parse_u64(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let t = t
+        .trim_end_matches("u64")
+        .trim_end_matches("u32")
+        .trim_end_matches("usize");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// Collects `const NAME: … = <number>;` items from one token stream.
+fn salt_consts(fa: &FileAnalysis, file_ix: usize, out: &mut Vec<SaltConst>) {
+    let tokens = &fa.lexed.tokens;
+    for i in 0..tokens.len() {
+        if !(tokens[i].kind == TokKind::Ident && tokens[i].text == "const") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Scan to `=` then take a following number (skipping the type).
+        let mut j = i + 2;
+        let mut value = None;
+        while j < tokens.len() && j < i + 12 {
+            let t = &tokens[j];
+            if t.kind == TokKind::Punct && t.text == ";" {
+                break;
+            }
+            if t.kind == TokKind::Punct && t.text == "=" {
+                if let Some(n) = tokens.get(j + 1).filter(|t| t.kind == TokKind::Number) {
+                    value = parse_u64(&n.text);
+                }
+                break;
+            }
+            j += 1;
+        }
+        if let Some(v) = value {
+            out.push(SaltConst {
+                name: name.text.clone(),
+                value: v,
+                file: fa.ctx.rel.clone(),
+                line: name.line,
+                file_ix,
+            });
+        }
+    }
+}
+
+/// Parses one annotation body (the text after `stream-map:`).
+fn parse_annotation(body: &str) -> Result<(String, String, u64, u64, String), String> {
+    // Extract role="…" first so the free text can contain spaces.
+    let (rest, role) = match body.find("role=\"") {
+        Some(p) => {
+            let after = &body[p + 6..];
+            let Some(q) = after.find('"') else {
+                return Err("unterminated role=\"…\"".to_string());
+            };
+            (
+                format!("{} {}", &body[..p], &after[q + 1..]),
+                after[..q].to_string(),
+            )
+        }
+        None => return Err("missing role=\"…\"".to_string()),
+    };
+    let mut domain = None;
+    let mut salt = None;
+    let mut streams = None;
+    for kv in rest.split_whitespace() {
+        let Some((k, v)) = kv.split_once('=') else {
+            return Err(format!("stray token `{kv}` (expected key=value)"));
+        };
+        match k {
+            "domain" => domain = Some(v.to_string()),
+            "salt" => salt = Some(v.to_string()),
+            "streams" => streams = Some(v.to_string()),
+            other => return Err(format!("unknown key `{other}`")),
+        }
+    }
+    let domain = domain.ok_or("missing domain=")?;
+    let salt = salt.ok_or("missing salt=")?;
+    let streams = streams.ok_or("missing streams=")?;
+    let (lo, hi) = match streams.split_once("..=") {
+        Some((a, b)) => (
+            parse_u64(a).ok_or_else(|| format!("bad stream range `{streams}`"))?,
+            parse_u64(b).ok_or_else(|| format!("bad stream range `{streams}`"))?,
+        ),
+        None => {
+            let v = parse_u64(&streams).ok_or_else(|| format!("bad stream range `{streams}`"))?;
+            (v, v)
+        }
+    };
+    if lo > hi {
+        return Err(format!("empty stream range `{streams}`"));
+    }
+    Ok((domain, salt, lo, hi, role))
+}
+
+/// A salt name written as a symbolic family tag (`scenario-seed`)
+/// rather than a constant reference (`FUZZ_SALT`).
+fn is_family_tag(salt: &str) -> bool {
+    salt.chars().any(|c| c == '-' || c.is_ascii_lowercase())
+}
+
+/// Call sites of the stream-assignment API: `set_stream(` or
+/// `rng_stream(` not directly after `fn`.
+fn assignment_sites(tokens: &[Token]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len().saturating_sub(1) {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || (t.text != "set_stream" && t.text != "rng_stream") {
+            continue;
+        }
+        if !(tokens[i + 1].kind == TokKind::Punct && tokens[i + 1].text == "(") {
+            continue;
+        }
+        if i >= 1 && tokens[i - 1].kind == TokKind::Ident && tokens[i - 1].text == "fn" {
+            continue; // definition, not a use
+        }
+        out.push(t.line);
+    }
+    out.dedup();
+    out
+}
+
+/// Runs the R7 pass over every analyzed file.
+pub fn analyze(files: &[FileAnalysis]) -> StreamsReport {
+    let mut hits: BTreeMap<usize, Vec<Hit>> = BTreeMap::new();
+    let push = |hits: &mut BTreeMap<usize, Vec<Hit>>, fi: usize, line: u32, msg: String| {
+        hits.entry(fi).or_default().push(Hit {
+            rule: RuleId::R7Streams,
+            line,
+            message: msg,
+        });
+    };
+
+    let mut consts = Vec::new();
+    for (fi, fa) in files.iter().enumerate() {
+        salt_consts(fa, fi, &mut consts);
+    }
+
+    // Collect annotated sites; demand annotations in library code.
+    let mut sites: Vec<(usize, StreamSite)> = Vec::new();
+    for (fi, fa) in files.iter().enumerate() {
+        let token_lines = fa.lexed.token_lines();
+        // Map annotation comments to their target line, mirroring the
+        // waiver-targeting rule (trailing: own line; standalone: next
+        // token line).
+        let mut annos: BTreeMap<u32, (u32, String)> = BTreeMap::new();
+        for c in &fa.lexed.comments {
+            if c.is_doc() {
+                continue; // doc text may *describe* the grammar, not enact it
+            }
+            let Some(p) = c.text.find("stream-map:") else {
+                continue;
+            };
+            let body = c.text[p + "stream-map:".len()..].trim().to_string();
+            let target = if c.trailing {
+                c.line
+            } else {
+                token_lines
+                    .iter()
+                    .copied()
+                    .find(|&l| l > c.line)
+                    .unwrap_or(c.line)
+            };
+            annos.insert(target, (c.line, body));
+        }
+        for line in assignment_sites(&fa.lexed.tokens) {
+            let required = fa.ctx.kind == FileKind::LibSrc && !fa.in_test(line);
+            match annos.remove(&line) {
+                Some((_, body)) => match parse_annotation(&body) {
+                    Ok((domain, salt, lo, hi, role)) => sites.push((
+                        fi,
+                        StreamSite {
+                            file: fa.ctx.rel.clone(),
+                            line,
+                            domain,
+                            salt,
+                            lo,
+                            hi,
+                            role,
+                        },
+                    )),
+                    Err(e) => push(
+                        &mut hits,
+                        fi,
+                        line,
+                        format!("unparsable stream-map annotation: {e}"),
+                    ),
+                },
+                None if required => push(
+                    &mut hits,
+                    fi,
+                    line,
+                    "RNG stream assignment without a stream-map annotation — every \
+                     library stream id must be registered in the audit table"
+                        .to_string(),
+                ),
+                None => {}
+            }
+        }
+        // Annotations that matched no site are stale.
+        for (target, (cline, _)) in annos {
+            push(
+                &mut hits,
+                fi,
+                cline,
+                format!(
+                    "stream-map annotation targets line {target}, which has no \
+                         set_stream/rng_stream call"
+                ),
+            );
+        }
+    }
+
+    // Salt resolution + distinctness over the referenced constants.
+    let mut referenced: BTreeMap<&str, &SaltConst> = BTreeMap::new();
+    for (fi, s) in &sites {
+        if is_family_tag(&s.salt) {
+            continue;
+        }
+        match consts.iter().find(|c| c.name == s.salt) {
+            Some(c) => {
+                referenced.insert(&s.salt, c);
+            }
+            None => push(
+                &mut hits,
+                *fi,
+                s.line,
+                format!(
+                    "stream-map salt `{}` does not resolve to a numeric const in the \
+                     workspace",
+                    s.salt
+                ),
+            ),
+        }
+    }
+    // Include every *_SALT const in the distinctness check even when
+    // unreferenced — a colliding salt is a bug before anyone draws.
+    for c in &consts {
+        if c.name.contains("SALT") {
+            referenced.entry(&c.name).or_insert(c);
+        }
+    }
+    let salts: Vec<&SaltConst> = referenced.values().copied().collect();
+    for (a, b) in pairs(salts.len()) {
+        if salts[a].value == salts[b].value {
+            for s in [salts[a], salts[b]] {
+                push(
+                    &mut hits,
+                    s.file_ix,
+                    s.line,
+                    format!(
+                        "salt collision: `{}` and `{}` share the value {:#x} — two seed \
+                         families fold onto one keystream",
+                        salts[a].name, salts[b].name, s.value
+                    ),
+                );
+            }
+        }
+    }
+
+    // Same-salt, cross-domain ranges must be disjoint.
+    for (a, b) in pairs(sites.len()) {
+        let (fa_ix, sa) = &sites[a];
+        let (fb_ix, sb) = &sites[b];
+        if sa.salt != sb.salt || sa.domain == sb.domain {
+            continue;
+        }
+        if sa.lo <= sb.hi && sb.lo <= sa.hi {
+            let msg = |other: &StreamSite| {
+                format!(
+                    "stream range collision on salt `{}`: domains `{}` and `{}` overlap \
+                     ({}..={} vs {}..={}; other site {}:{})",
+                    sa.salt,
+                    sa.domain,
+                    sb.domain,
+                    sa.lo,
+                    sa.hi,
+                    sb.lo,
+                    sb.hi,
+                    other.file,
+                    other.line
+                )
+            };
+            push(&mut hits, *fa_ix, sa.line, msg(sb));
+            push(&mut hits, *fb_ix, sb.line, msg(sa));
+        }
+    }
+
+    for v in hits.values_mut() {
+        v.sort_by_key(|h| h.line);
+    }
+    let map_md = render_map(&sites, &salts);
+    StreamsReport {
+        hits,
+        map_md,
+        sites: sites.len(),
+    }
+}
+
+fn pairs(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..n).flat_map(move |a| (a + 1..n).map(move |b| (a, b)))
+}
+
+fn render_map(sites: &[(usize, StreamSite)], salts: &[&SaltConst]) -> String {
+    if sites.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(
+        "# RNG stream map\n\n\
+         Generated from `// stream-map:` annotations by\n\
+         `cargo run -p xtask -- lint --write-stream-map`. Do not edit by hand:\n\
+         `lint` (R7-streams) fails when this file drifts from the sources.\n\
+         Semantics: salts separate seed *families* (pairwise-distinct values\n\
+         checked below); within a family, stream ranges of different domains\n\
+         are pairwise disjoint; same-domain roles partition their range as\n\
+         documented in the role column (DESIGN.md §16).\n\n\
+         ## Salt families\n\n\
+         | salt | value | declared at |\n\
+         |------|-------|-------------|\n",
+    );
+    let mut salt_rows: Vec<String> = salts
+        .iter()
+        .map(|c| {
+            format!(
+                "| `{}` | `{:#018x}` | {}:{} |\n",
+                c.name, c.value, c.file, c.line
+            )
+        })
+        .collect();
+    let mut families: Vec<&str> = sites
+        .iter()
+        .filter(|(_, s)| is_family_tag(&s.salt))
+        .map(|(_, s)| s.salt.as_str())
+        .collect();
+    families.sort_unstable();
+    families.dedup();
+    for f in families {
+        salt_rows.push(format!("| `{f}` | (runtime seed family) | — |\n"));
+    }
+    salt_rows.sort();
+    out.extend(salt_rows);
+    out.push_str(
+        "\n## Stream assignments\n\n\
+         | domain | salt | streams | role | site |\n\
+         |--------|------|---------|------|------|\n",
+    );
+    let mut rows: Vec<String> = sites
+        .iter()
+        .map(|(_, s)| {
+            format!(
+                "| `{}` | `{}` | {}..={} | {} | {}:{} |\n",
+                s.domain, s.salt, s.lo, s.hi, s.role, s.file, s.line
+            )
+        })
+        .collect();
+    rows.sort();
+    out.extend(rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{analyze_file, FileCtx};
+
+    fn fa(rel: &str, src: &str) -> FileAnalysis {
+        analyze_file(FileCtx::classify(rel).expect("classifiable"), src)
+    }
+
+    fn lines_of(r: &StreamsReport, fi: usize) -> Vec<u32> {
+        r.hits
+            .get(&fi)
+            .map(|v| v.iter().map(|h| h.line).collect())
+            .unwrap_or_default()
+    }
+
+    const GOOD: &str = "const MY_SALT: u64 = 0x10;\n\
+        pub fn mk(seed: u64) -> u64 {\n\
+            // stream-map: domain=lanes salt=MY_SALT streams=0..=7 role=\"lane draws\"\n\
+            set_stream(seed);\n\
+            seed\n\
+        }\n";
+
+    #[test]
+    fn annotated_site_is_clean_and_mapped() {
+        let files = vec![fa("crates/mac/src/x.rs", GOOD)];
+        let r = analyze(&files);
+        assert!(r.hits.is_empty(), "{:?}", r.hits);
+        assert_eq!(r.sites, 1);
+        assert!(r.map_md.contains("| `lanes` | `MY_SALT` | 0..=7 |"));
+        assert!(r.map_md.contains("`MY_SALT` | `0x0000000000000010`"));
+    }
+
+    #[test]
+    fn missing_annotation_is_required_in_lib_src_only() {
+        let src = "pub fn mk(s: u64) { set_stream(s); }\n";
+        let lib = vec![fa("crates/mac/src/x.rs", src)];
+        assert_eq!(lines_of(&analyze(&lib), 0), vec![1]);
+        let tests = vec![fa("crates/mac/tests/t.rs", src)];
+        assert!(analyze(&tests).hits.is_empty());
+    }
+
+    #[test]
+    fn salt_collision_is_flagged_at_both_consts() {
+        let a = fa(
+            "crates/mac/src/a.rs",
+            "pub const A_SALT: u64 = 0x42;\n\
+             pub fn f(s: u64) {\n\
+                 // stream-map: domain=a salt=A_SALT streams=0..=1 role=\"a\"\n\
+                 set_stream(s);\n\
+             }\n",
+        );
+        let b = fa(
+            "crates/whitefi/src/b.rs",
+            "pub const B_SALT: u64 = 0x42;\n\
+             pub fn g(s: u64) {\n\
+                 // stream-map: domain=b salt=B_SALT streams=0..=1 role=\"b\"\n\
+                 set_stream(s);\n\
+             }\n",
+        );
+        let r = analyze(&[a, b]);
+        assert_eq!(lines_of(&r, 0), vec![1]);
+        assert_eq!(lines_of(&r, 1), vec![1]);
+        assert!(r.hits[&0][0].message.contains("salt collision"));
+    }
+
+    #[test]
+    fn cross_domain_overlap_on_one_salt_is_flagged() {
+        let src = "const S_SALT: u64 = 7;\n\
+            pub fn f(s: u64) {\n\
+                // stream-map: domain=alpha salt=S_SALT streams=0..=4 role=\"a\"\n\
+                set_stream(s);\n\
+                // stream-map: domain=beta salt=S_SALT streams=4..=9 role=\"b\"\n\
+                set_stream(s + 1);\n\
+            }\n";
+        let r = analyze(&[fa("crates/mac/src/x.rs", src)]);
+        assert_eq!(lines_of(&r, 0), vec![4, 6]);
+        assert!(r.hits[&0][0].message.contains("range collision"));
+        // Same-domain partitions may overlap freely.
+        let ok = src.replace("domain=beta", "domain=alpha");
+        let r = analyze(&[fa("crates/mac/src/x.rs", &ok)]);
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn unresolved_salt_and_stale_annotation_are_flagged() {
+        let src = "pub fn f(s: u64) {\n\
+            // stream-map: domain=a salt=NO_SUCH_SALT streams=0..=1 role=\"a\"\n\
+            set_stream(s);\n\
+        }\n\
+        // stream-map: domain=b salt=scenario-seed streams=0..=1 role=\"b\"\n\
+        pub fn g() {}\n";
+        let r = analyze(&[fa("crates/mac/src/x.rs", src)]);
+        assert_eq!(lines_of(&r, 0), vec![3, 5]);
+    }
+
+    #[test]
+    fn family_tags_are_symbolic_salts() {
+        let src = "pub fn mk(s: u64) -> u64 {\n\
+            // stream-map: domain=nodes salt=scenario-seed streams=0..=99 role=\"per node\"\n\
+            set_stream(s);\n\
+            s\n\
+        }\n";
+        let r = analyze(&[fa("crates/mac/src/x.rs", src)]);
+        assert!(r.hits.is_empty(), "{:?}", r.hits);
+        assert!(r
+            .map_md
+            .contains("| `scenario-seed` | (runtime seed family) | — |"));
+    }
+}

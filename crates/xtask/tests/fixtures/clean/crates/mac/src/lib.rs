@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 pub fn node_rng(seed: u64, stream: u64) -> ChaCha8Rng {
     let mut r = ChaCha8Rng::seed_from_u64(seed);
-    r.set_stream(stream);
+    r.set_stream(stream); // stream-map: domain=sim-nodes salt=scenario-seed streams=0..=1023 role="per-node draws (stream = node id)"
     r
 }
 

@@ -1,0 +1,5 @@
+//! R6 matrix: ambient wrappers behind the R2 file allowlist — under
+//! R6 each clock-touching fn here needs its own acknowledgement.
+pub fn wall_secs() -> f64 { std::time::Instant::now().elapsed().as_secs_f64() }
+// lint:allow(taint, sanctioned experiment timing; sims never read the value)
+pub fn timed_secs() -> f64 { std::time::Instant::now().elapsed().as_secs_f64() }

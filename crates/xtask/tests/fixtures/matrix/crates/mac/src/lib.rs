@@ -1,0 +1,6 @@
+//! R1 matrix: one fired, one waived, one dead-waived instance.
+use std::collections::HashMap;
+// lint:allow(hashmap, scratch map is drained into a sorted Vec before any iteration)
+use std::collections::HashSet;
+// lint:allow(hashmap, nothing unordered is left on this line)
+use std::collections::BTreeMap;

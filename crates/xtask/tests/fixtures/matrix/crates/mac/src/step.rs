@@ -1,0 +1,7 @@
+//! R6 matrix: transitive taint fired, waived (barrier), dead-waived.
+pub fn leaks() -> f64 { crate::wall_secs() }
+// lint:allow(taint, reads the sanctioned timer; the value feeds logs only, never sim state)
+pub fn sanctioned() -> f64 { crate::wall_secs() }
+// lint:allow(taint, no ambient path reaches this fn)
+pub fn pure() -> f64 { 1.0 }
+pub fn clean_caller() -> f64 { crate::timed_secs() }

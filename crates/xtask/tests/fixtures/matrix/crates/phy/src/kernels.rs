@@ -1,0 +1,6 @@
+//! R5 matrix: one fired, one waived, one dead-waived instance.
+pub fn c0(n: usize) -> f64 { n as f64 }
+// lint:allow(cast, sample counts stay far below 2^53 so the cast is lossless)
+pub fn c1(n: usize) -> f64 { n as f64 }
+// lint:allow(cast, the cast was replaced by From)
+pub fn c2(n: u32) -> f64 { f64::from(n) }

@@ -1,0 +1,6 @@
+//! R3 matrix: one fired, one waived, one dead-waived instance.
+pub fn r0() -> ChaCha8Rng { ChaCha8Rng::from_entropy() }
+// lint:allow(rng, one-shot debug helper; stream discipline does not apply here)
+pub fn r1() -> ChaCha8Rng { ChaCha8Rng::from_entropy() }
+// lint:allow(rng, the constructor is routed through the stream API now)
+pub fn r2() -> u8 { 0 }

@@ -1,0 +1,6 @@
+//! R4 matrix: one fired, one waived, one dead-waived instance.
+pub fn u0(x: Option<u8>) -> u8 { x.unwrap() }
+// lint:allow(unwrap, ids are handed out densely by construction)
+pub fn u1(x: Option<u8>) -> u8 { x.unwrap() }
+// lint:allow(unwrap, the fallible path was removed)
+pub fn u2(x: Option<u8>) -> u8 { x.unwrap_or(0) }

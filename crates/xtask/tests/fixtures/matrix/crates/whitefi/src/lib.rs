@@ -1,0 +1,6 @@
+//! R2 matrix: one fired, one waived, one dead-waived instance.
+pub fn t0() -> u64 { std::time::Instant::now().elapsed().as_secs() }
+// lint:allow(nondet, coarse progress logging only; the value never enters sim state)
+pub fn t1() -> u64 { std::time::Instant::now().elapsed().as_secs() }
+// lint:allow(nondet, the clock read moved into the bench runner)
+pub fn t2() -> u64 { 0 }

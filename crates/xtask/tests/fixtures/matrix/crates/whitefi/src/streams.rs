@@ -1,0 +1,6 @@
+//! R7 matrix: one fired, one waived, one dead-waived instance.
+pub fn s0(r: &mut Rng, s: u64) { r.set_stream(s); }
+// lint:allow(streams, prototype lane; registered in the map before merge)
+pub fn s1(r: &mut Rng, s: u64) { r.set_stream(s); }
+// lint:allow(streams, this site is annotated now)
+pub fn s2(r: &mut Rng, s: u64) { r.set_stream(s); } // stream-map: domain=matrix-lanes salt=matrix-seed streams=0..=3 role="matrix fixture draws"

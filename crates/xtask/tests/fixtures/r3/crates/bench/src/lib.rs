@@ -3,7 +3,7 @@ use rand_chacha::ChaCha8Rng;
 
 pub fn rng_good(seed: u64, stream: u64) -> ChaCha8Rng {
     let mut r = ChaCha8Rng::seed_from_u64(seed);
-    r.set_stream(stream);
+    r.set_stream(stream); // stream-map: domain=bench-lanes salt=bench-seed streams=0..=999 role="per-lane bench draws"
     r
 }
 

@@ -3,7 +3,7 @@ use rand_chacha::ChaCha8Rng;
 
 pub fn stream_good(seed: u64, id: u64) -> ChaCha8Rng {
     let mut r = ChaCha8Rng::seed_from_u64(seed);
-    r.set_stream(id);
+    r.set_stream(id); // stream-map: domain=fuzz-fields salt=fuzz-seed streams=0..=7 role="per-field fuzz draws"
     r
 }
 

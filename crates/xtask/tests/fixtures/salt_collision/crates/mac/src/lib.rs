@@ -1,0 +1,3 @@
+//! A seed-family salt that collides with another crate's.
+pub const LANE_SALT: u64 = 0x00F0;
+pub fn lane(r: &mut Rng, s: u64) { r.set_stream(s); } // stream-map: domain=lanes salt=LANE_SALT streams=0..=7 role="lane draws"

@@ -1,0 +1,3 @@
+//! One seed family, two domains, overlapping stream ranges.
+pub fn a(r: &mut Rng, s: u64) { r.set_stream(s); } // stream-map: domain=alpha salt=city-seed streams=0..=4 role="alpha draws"
+pub fn b(r: &mut Rng, s: u64) { r.set_stream(s); } // stream-map: domain=beta salt=city-seed streams=4..=9 role="beta draws"

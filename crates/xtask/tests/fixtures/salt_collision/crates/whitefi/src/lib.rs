@@ -1,0 +1,4 @@
+//! Same salt value under a different name: two "independent" seed
+//! families fold onto one keystream.
+pub const FIELD_SALT: u64 = 0x00F0;
+pub fn field(r: &mut Rng, s: u64) { r.set_stream(s); } // stream-map: domain=fields salt=FIELD_SALT streams=4..=9 role="field draws"

@@ -149,6 +149,161 @@ fn clean_fixture_is_clean() {
     assert_eq!(waived, 0);
 }
 
+/// Every rule R1–R7 with one fired, one waived and one dead-waived
+/// instance; the dead waivers surface as R8 at the comment line. (R8
+/// itself cannot be waived: `waiver` is not an accepted key, so a
+/// "waived R8" is unrepresentable by construction.)
+#[test]
+fn matrix_fixture_fires_waives_and_deadwaives_every_rule() {
+    let (v, waived) = findings("matrix");
+    assert_eq!(
+        v,
+        vec![
+            ("R1-hashmap".into(), "crates/mac/src/lib.rs".into(), 2),
+            ("R2-nondet".into(), "crates/whitefi/src/lib.rs".into(), 2),
+            ("R3-rng".into(), "crates/phy/src/lib.rs".into(), 2),
+            ("R4-unwrap".into(), "crates/spectrum/src/lib.rs".into(), 2),
+            ("R5-cast".into(), "crates/phy/src/kernels.rs".into(), 2),
+            ("R6-taint".into(), "crates/bench/src/runner.rs".into(), 3),
+            ("R6-taint".into(), "crates/mac/src/step.rs".into(), 2),
+            (
+                "R7-streams".into(),
+                "crates/whitefi/src/streams.rs".into(),
+                2
+            ),
+            ("R8-dead-waiver".into(), "crates/mac/src/lib.rs".into(), 5),
+            ("R8-dead-waiver".into(), "crates/mac/src/step.rs".into(), 5),
+            (
+                "R8-dead-waiver".into(),
+                "crates/phy/src/kernels.rs".into(),
+                5
+            ),
+            ("R8-dead-waiver".into(), "crates/phy/src/lib.rs".into(), 5),
+            (
+                "R8-dead-waiver".into(),
+                "crates/spectrum/src/lib.rs".into(),
+                5
+            ),
+            (
+                "R8-dead-waiver".into(),
+                "crates/whitefi/src/lib.rs".into(),
+                5
+            ),
+            (
+                "R8-dead-waiver".into(),
+                "crates/whitefi/src/streams.rs".into(),
+                5,
+            ),
+        ]
+    );
+    // One waived instance per rule R1–R5 + R7, plus two taint waivers
+    // (the allowlisted wrapper and the sanctioned sim caller).
+    assert_eq!(waived, 8);
+}
+
+/// Acceptance: the transitive wrapper that lexical R2 provably misses.
+/// The wrapper file sits on the wall-clock allowlist (no R2 token
+/// fires anywhere), yet R6 flags both the wrapper fn and the sim fn
+/// that reaches the clock through it, with the full witness path.
+#[test]
+fn taint_wrapper_caught_by_r6_missed_by_r2() {
+    let out = lint_root(&fixture("taint_wrapper")).expect("fixture tree scans");
+    assert!(
+        out.diagnostics.iter().all(|d| d.rule == RuleId::R6Taint),
+        "only R6 may fire here (R2 must miss the wrapper): {:?}",
+        out.diagnostics
+    );
+    let (v, _) = findings("taint_wrapper");
+    assert_eq!(
+        v,
+        vec![
+            ("R6-taint".into(), "crates/bench/src/runner.rs".into(), 3),
+            ("R6-taint".into(), "crates/mac/src/lib.rs".into(), 3),
+        ]
+    );
+    let witness = &out
+        .diagnostics
+        .iter()
+        .find(|d| d.file == "crates/mac/src/lib.rs")
+        .expect("sim finding")
+        .message;
+    assert!(
+        witness.contains("step_duration → now_secs → Instant::now()"),
+        "{witness}"
+    );
+}
+
+/// Acceptance: the injected salt collision fails the lint — equal salt
+/// values across crates are flagged at both const definitions, and a
+/// same-salt cross-domain range overlap is flagged at both sites.
+#[test]
+fn salt_collision_fixture_fails() {
+    let (v, waived) = findings("salt_collision");
+    assert_eq!(
+        v,
+        vec![
+            ("R7-streams".into(), "crates/mac/src/lib.rs".into(), 2),
+            ("R7-streams".into(), "crates/spectrum/src/lib.rs".into(), 2),
+            ("R7-streams".into(), "crates/spectrum/src/lib.rs".into(), 3),
+            ("R7-streams".into(), "crates/whitefi/src/lib.rs".into(), 3),
+        ]
+    );
+    assert_eq!(waived, 0);
+}
+
+/// Annotated fixtures commit their generated stream map; deleting or
+/// editing it is a (non-waivable) R7 finding at STREAM_MAP.md:1.
+#[test]
+fn stream_map_drift_is_detected() {
+    let root = fixture("clean");
+    let committed =
+        std::fs::read_to_string(root.join("STREAM_MAP.md")).expect("clean fixture commits a map");
+    let out = lint_root(&root).expect("fixture tree scans");
+    assert_eq!(out.stream_map, committed, "rendered map matches committed");
+    // Simulate drift through a scratch copy of the tree.
+    let scratch = std::env::temp_dir().join("whitefi_lint_drift_fixture");
+    let _ = std::fs::remove_dir_all(&scratch);
+    let src_dir = root.join("crates/mac/src");
+    let dst_dir = scratch.join("crates/mac/src");
+    std::fs::create_dir_all(&dst_dir).expect("scratch tree");
+    std::fs::copy(src_dir.join("lib.rs"), dst_dir.join("lib.rs")).expect("copy fixture source");
+    std::fs::write(scratch.join("STREAM_MAP.md"), "stale\n").expect("stale map");
+    let out = lint_root(&scratch).expect("scratch tree scans");
+    assert_eq!(out.diagnostics.len(), 1, "{:?}", out.diagnostics);
+    let d = &out.diagnostics[0];
+    assert_eq!(d.rule.id(), "R7-streams");
+    assert_eq!((d.file.as_str(), d.line), ("STREAM_MAP.md", 1));
+    assert!(d.message.contains("stale"), "{}", d.message);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// `--json` output escapes and round-trips the diagnostic fields.
+#[test]
+fn json_rendering_is_well_formed() {
+    let out = lint_root(&fixture("r1")).expect("fixture tree scans");
+    let json = out.diagnostics[0].to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"rule\":\"R1-hashmap\""), "{json}");
+    assert!(
+        json.contains("\"file\":\"crates/mac/src/lib.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"line\":3"), "{json}");
+}
+
+/// Waiver explain records name what each valid waiver silences.
+#[test]
+fn waiver_explains_report_silenced_hits() {
+    let out = lint_root(&fixture("waiver_ok")).expect("fixture tree scans");
+    assert_eq!(out.waiver_explains.len(), 2);
+    for w in &out.waiver_explains {
+        assert_eq!(w.key, "unwrap");
+        assert!(!w.reason.is_empty());
+        assert_eq!(w.silenced.len(), 1, "{w:?}");
+        assert_eq!(w.silenced[0].0, RuleId::R4Unwrap);
+    }
+}
+
 #[test]
 fn diagnostics_render_with_location_rule_snippet_and_hint() {
     let out = lint_root(&fixture("r1")).expect("fixture tree scans");

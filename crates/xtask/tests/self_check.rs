@@ -22,4 +22,32 @@ fn live_workspace_is_lint_clean() {
         out.diagnostics.len(),
         rendered.join("\n\n")
     );
+    // The live tree has annotated stream sites, so the rendered map
+    // must be non-trivial and match the committed STREAM_MAP.md
+    // byte-for-byte (drift would have been a diagnostic above, but
+    // assert directly so a drift-check regression cannot hide it).
+    assert!(
+        out.stream_map.contains("## Stream assignments"),
+        "stream map rendered empty on the live tree"
+    );
+    let committed = std::fs::read_to_string(root.join("STREAM_MAP.md"))
+        .expect("STREAM_MAP.md is committed at the workspace root");
+    assert_eq!(out.stream_map, committed, "STREAM_MAP.md drifted");
+    // Every live waiver silences at least one hit (R8 enforces this as
+    // a diagnostic; the explain records must agree) and carries its
+    // mandatory reason.
+    for w in &out.waiver_explains {
+        assert!(
+            !w.reason.is_empty(),
+            "waiver without reason at {}:{}",
+            w.file,
+            w.line
+        );
+        assert!(
+            !w.silenced.is_empty(),
+            "explain record says waiver at {}:{} is dead, but no R8 fired",
+            w.file,
+            w.line
+        );
+    }
 }

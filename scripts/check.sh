@@ -18,13 +18,48 @@ cargo fmt --all --check
 cargo build --workspace --release
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Determinism/safety linter (DESIGN.md §11): R1 ordered containers,
-# R2 no ambient nondeterminism, R3 seeded+streamed RNG construction,
-# R4 no unwrap/expect in library code, R5 no lossy `as` casts in hot
-# kernels. Exits non-zero with file:line diagnostics on any violation.
+# Determinism/safety linter (DESIGN.md §11, §16): the lexical rules
+# (R1 ordered containers, R2 no ambient nondeterminism, R3
+# seeded+streamed RNG construction, R4 no unwrap/expect in library
+# code, R5 no lossy `as` casts in hot kernels) plus the call-graph
+# passes — R6 taint (no path from sim code into a fn that transitively
+# reaches a wall clock or ambient RNG), R7 RNG stream map (annotated
+# assignment sites, pairwise-distinct salts, disjoint cross-domain
+# ranges, STREAM_MAP.md in sync) and R8 dead waivers. Exits non-zero
+# with file:line diagnostics on any violation.
 cargo run --release -p xtask -- lint
 
 cargo test --workspace -q
+
+# Interleaving-exploration lane (DESIGN.md §16): the minloom model
+# tests exhaustively schedule BoundaryBus and the runner pool under a
+# preemption-bounded explorer; they run inside the workspace test
+# sweep above but are re-run here explicitly so a filtered invocation
+# can never skip them.
+cargo test --release -q -p whitefi-mac --test loom_models
+cargo test --release -q -p whitefi-bench --test loom_models
+
+# Real-loom lane (optional): when the `loom` dev-dependency is vendored
+# (it is not baked into the offline image — see README "Race
+# detection"), RUSTFLAGS="--cfg loom" compiles the cfg(loom) model
+# tests against upstream loom for full C11-memory-model coverage.
+if cargo metadata --format-version 1 --offline 2>/dev/null | grep -q '"name":"loom"'; then
+    RUSTFLAGS="--cfg loom" cargo test --release -q -p whitefi-mac --test loom_models
+    RUSTFLAGS="--cfg loom" cargo test --release -q -p whitefi-bench --test loom_models
+else
+    echo "loom: SKIPPED (loom dev-dependency not vendored; minloom lane above still ran)"
+fi
+
+# ThreadSanitizer lane (best effort): needs a nightly toolchain with
+# rust-src for -Zbuild-std. Drives the boundary/runner model tests
+# under TSan to catch data races the model abstraction cannot see.
+if rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src (installed)'; then
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test --release -q -p whitefi-mac \
+        --test loom_models -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')"
+else
+    echo "tsan: SKIPPED (nightly toolchain with rust-src not installed)"
+fi
 
 # Scalar-vs-batched differential gate: the lane kernels, the streaming
 # SIFT front end and the block synthesizer must stay bit-identical to
